@@ -1,0 +1,94 @@
+"""Ablation — trader federation vs. one flat trader (DESIGN.md §6).
+
+§2.2 motivates federation for geographic scope.  The trade: a federated
+import sees the union of the graph's offers at the cost of forwarded
+queries per hop; a flat trader answers locally but only sees its own
+exports.  Visibility is asserted, the query cost benchmarked per topology.
+"""
+
+import pytest
+
+from repro.naming.refs import ServiceRef
+from repro.net.endpoints import Address
+from repro.sidl.types import DOUBLE, InterfaceType, LONG, OperationType
+from repro.trader.service_types import ServiceType
+from repro.trader.trader import ImportRequest, LocalTrader
+
+
+def rental_type():
+    return ServiceType(
+        "CarRentalService",
+        InterfaceType("I", [OperationType("SelectCar", [], LONG)]),
+        [("ChargePerDay", DOUBLE)],
+    )
+
+
+def populate(trader: LocalTrader, count: int) -> None:
+    for index in range(count):
+        trader.export(
+            "CarRentalService",
+            ServiceRef.create(f"{trader.trader_id}-{index}", Address(trader.trader_id, 1), 4711),
+            {"ChargePerDay": 40.0 + index},
+        )
+
+
+def flat_trader(total_offers: int) -> LocalTrader:
+    trader = LocalTrader("flat")
+    trader.add_type(rental_type())
+    populate(trader, total_offers)
+    return trader
+
+
+def federated_chain(traders: int, offers_each: int):
+    chain = []
+    for index in range(traders):
+        trader = LocalTrader(f"t{index}")
+        trader.add_type(rental_type())
+        populate(trader, offers_each)
+        chain.append(trader)
+    for left, right in zip(chain, chain[1:]):
+        left.link_local(right)
+    return chain
+
+
+def test_flat_trader_import(benchmark):
+    trader = flat_trader(total_offers=40)
+    request = ImportRequest("CarRentalService", preference="min ChargePerDay")
+
+    offers = benchmark(lambda: trader.import_(request))
+    assert len(offers) == 40
+
+
+@pytest.mark.parametrize("hops", [1, 3, 7])
+def test_federated_import_by_depth(benchmark, hops):
+    chain = federated_chain(traders=hops + 1, offers_each=5)
+    request = ImportRequest(
+        "CarRentalService", preference="min ChargePerDay", hop_limit=hops
+    )
+
+    offers = benchmark(lambda: chain[0].import_(request))
+    # visibility grows with the hop limit: (hops+1) traders x 5 offers
+    assert len(offers) == (hops + 1) * 5
+
+
+def test_federation_visibility_equivalence(benchmark):
+    """A 4-trader federation sees exactly what one flat trader would."""
+    chain = federated_chain(traders=4, offers_each=10)
+    flat = flat_trader(total_offers=40)
+
+    def both():
+        federated = chain[0].import_(
+            ImportRequest("CarRentalService", hop_limit=3)
+        )
+        local = flat.import_(ImportRequest("CarRentalService"))
+        return len(federated), len(local)
+
+    federated_count, flat_count = benchmark(both)
+    assert federated_count == flat_count == 40
+
+
+def test_hop_zero_sees_local_only(benchmark):
+    chain = federated_chain(traders=3, offers_each=10)
+
+    offers = benchmark(lambda: chain[0].import_(ImportRequest("CarRentalService")))
+    assert len(offers) == 10

@@ -1,0 +1,63 @@
+"""Extension benchmark — activities (TP-monitor / activity manager).
+
+Not a paper figure: Fig. 6 names the boxes and defers them.  Measures the
+cost of atomic multi-service interactions relative to plain invocations,
+and how commit latency grows with the participant count.
+"""
+
+import pytest
+
+from benchmarks.conftest import Stack
+from repro.activity import ActivityManager, ActivityOutcome
+from repro.core import GenericClient
+from repro.services.hotel import start_hotel
+
+STAY = {"room": "DOUBLE", "arrival": "1994-09-01", "nights": 2}
+
+
+def build(participants: int):
+    stack = Stack()
+    hotels = [start_hotel(stack.server(f"hotel-{i}")) for i in range(participants)]
+    for hotel in hotels:
+        hotel.implementation.rooms = {"DOUBLE": 10**9}
+    manager = ActivityManager(stack.client("coordinator"), timeout=5.0)
+    return stack, hotels, manager
+
+
+def test_plain_invocation_baseline(benchmark):
+    """The non-transactional baseline: one direct booking."""
+    stack, hotels, __ = build(1)
+    generic = GenericClient(stack.client())
+    binding = generic.bind(hotels[0].ref)
+
+    result = benchmark(lambda: binding.invoke("BookRoom", {"stay": STAY}))
+    assert result.value["confirmation"] > 0
+
+
+@pytest.mark.parametrize("participants", [1, 2, 4])
+def test_activity_commit_by_participants(benchmark, participants):
+    """2PC over n participants: prepare+commit rounds grow linearly."""
+    __, hotels, manager = build(participants)
+
+    def trip():
+        activity = manager.begin("bench")
+        for hotel in hotels:
+            activity.add_step(hotel.ref, "BookRoom", {"stay": STAY})
+        return activity.execute()
+
+    assert benchmark(trip) is ActivityOutcome.COMMITTED
+
+
+def test_activity_abort_cost(benchmark):
+    """Aborts are cheaper than commits: no second successful round."""
+    __, hotels, manager = build(2)
+    hotels[1].implementation.rooms = {"DOUBLE": 0}
+    hotels[1].implementation.reserve = lambda op, args: False
+
+    def doomed():
+        activity = manager.begin("doomed")
+        activity.add_step(hotels[0].ref, "BookRoom", {"stay": STAY})
+        activity.add_step(hotels[1].ref, "BookRoom", {"stay": STAY})
+        return activity.execute()
+
+    assert benchmark(doomed) is ActivityOutcome.ABORTED

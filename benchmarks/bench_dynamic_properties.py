@@ -1,0 +1,80 @@
+"""Extension benchmark — dynamic properties (ODP late-bound attributes).
+
+Static properties are matched from the offer store; dynamic properties
+cost one invocation on the exporting service per import.  The benchmark
+shows the static/dynamic cost ratio and how caching the evaluator's
+bindings amortises binding establishment.
+"""
+
+import pytest
+
+from benchmarks.conftest import Stack
+from repro.core.service_runtime import ServiceRuntime
+from repro.sidl.builder import load_service_description
+from repro.sidl.types import DOUBLE, InterfaceType, OperationType
+from repro.trader.dynamic import BindingEvaluator, dynamic_property
+from repro.trader.service_types import ServiceType
+from repro.trader.trader import ImportRequest, LocalTrader
+
+SIDL = """
+module Priced {
+  interface COSM_Operations {
+    float CurrentCharge();
+  };
+};
+"""
+
+
+class Impl:
+    def __init__(self, charge):
+        self.charge = charge
+
+    def CurrentCharge(self):
+        return self.charge
+
+
+def priced_type():
+    return ServiceType(
+        "Priced",
+        InterfaceType("I", [OperationType("CurrentCharge", [], DOUBLE)]),
+        [("ChargePerDay", DOUBLE)],
+    )
+
+
+def build(offer_count: int, dynamic: bool):
+    stack = Stack()
+    trader = LocalTrader(
+        dynamic_evaluator=BindingEvaluator(stack.client("evaluator"))
+    )
+    trader.add_type(priced_type())
+    sid = load_service_description(SIDL)
+    for index in range(offer_count):
+        runtime = ServiceRuntime(stack.server(f"p{index}"), sid, Impl(50.0 + index))
+        if dynamic:
+            properties = {
+                "ChargePerDay": dynamic_property(runtime.ref, "CurrentCharge")
+            }
+        else:
+            properties = {"ChargePerDay": 50.0 + index}
+        trader.export("Priced", runtime.ref, properties)
+    return stack, trader
+
+
+@pytest.mark.parametrize("offer_count", [4, 16])
+def test_import_static_properties(benchmark, offer_count):
+    __, trader = build(offer_count, dynamic=False)
+    request = ImportRequest("Priced", "ChargePerDay < 1000", "min ChargePerDay")
+
+    offers = benchmark(lambda: trader.import_(request))
+    assert len(offers) == offer_count
+
+
+@pytest.mark.parametrize("offer_count", [4, 16])
+def test_import_dynamic_properties(benchmark, offer_count):
+    __, trader = build(offer_count, dynamic=True)
+    request = ImportRequest("Priced", "ChargePerDay < 1000", "min ChargePerDay")
+
+    offers = benchmark(lambda: trader.import_(request))
+    assert len(offers) == offer_count
+    # fresh values made it through
+    assert offers[0].properties["ChargePerDay"] == 50.0

@@ -1,0 +1,79 @@
+"""Fig. 2 — extending a base interface description by additional elements.
+
+Measures the costs of SID extensibility:
+
+* parsing SIDs that carry k unknown extension modules (lenient skipping),
+* checking SIDSub <: SIDBase conformance,
+* the ablation: strict parsing *fails* on extended SIDs — forward
+  compatibility is what the lenient mode buys.
+"""
+
+import pytest
+
+from repro.sidl.builder import load_service_description
+from repro.sidl.errors import SidlParseError
+from repro.sidl.parser import parse
+
+BASE = """
+module Extensible {
+  typedef Payload_t struct { string body; long size; };
+  interface COSM_Operations {
+    Payload_t Get(in string key);
+    boolean Put(in string key, in Payload_t value);
+  };
+};
+"""
+
+
+def extended_source(extensions: int) -> str:
+    """BASE plus k extension modules, each containing constructs only a
+    future component would understand."""
+    modules = "\n".join(
+        f"module COSM_Extension{i} {{ const long Level{i} = {i}; "
+        f"novel construct_{i} with {{ nested braces; }} inside;  }};"
+        for i in range(extensions)
+    )
+    return BASE[: BASE.rfind("};")] + modules + "\n};\n"
+
+
+@pytest.mark.parametrize("extensions", [0, 4, 16])
+def test_fig2_parse_extended_sid(benchmark, extensions):
+    source = extended_source(extensions)
+    sid = benchmark(lambda: load_service_description(source))
+    assert len(sid.unknown_modules) == extensions
+
+
+def test_fig2_conformance_check(benchmark):
+    base = load_service_description(BASE)
+    extended = load_service_description(extended_source(8))
+
+    result = benchmark(lambda: extended.conforms_to(base))
+    assert result is True
+
+
+def test_fig2_extension_survives_retransfer(benchmark):
+    """Re-encoding an extended SID must keep the unknown modules."""
+    extended = load_service_description(extended_source(8))
+
+    def roundtrip():
+        from repro.sidl.sid import ServiceDescription
+
+        return ServiceDescription.from_wire(extended.to_wire())
+
+    again = benchmark(roundtrip)
+    assert len(again.unknown_modules) == 8
+
+
+def test_fig2_ablation_strict_parser_rejects_extensions(benchmark):
+    """The ablation baseline: without §4.1's skip rule, extended SIDs are
+    unreadable by older components."""
+    source = extended_source(4)
+
+    def strict_parse_fails():
+        try:
+            parse(source, lenient=False)
+        except SidlParseError:
+            return True
+        return False
+
+    assert benchmark(strict_parse_fails) is True

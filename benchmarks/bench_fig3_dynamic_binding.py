@@ -1,0 +1,79 @@
+"""Fig. 3 — dynamic binding to innovative services.
+
+The figure's arrow sequence: bind → SID transfer → GUI generation →
+invocation.  Each stage is timed separately, then the whole "cold bind"
+a generic client pays for a service it has never seen.
+"""
+
+import pytest
+
+from benchmarks.conftest import SELECTION, Stack
+from repro.core import GenericClient
+from repro.services.car_rental import start_car_rental
+from repro.uims.controller import ServicePanel
+from repro.uims.formgen import form_for_operation
+
+
+@pytest.fixture(scope="module")
+def world():
+    stack = Stack()
+    rental = start_car_rental(stack.server("provider"))
+    generic = GenericClient(stack.client("user"))
+    return stack, rental, generic
+
+
+def test_fig3_bind_with_sid_transfer(benchmark, world):
+    __, rental, generic = world
+
+    def bind_unbind():
+        binding = generic.bind(rental.ref)
+        binding.unbind()
+        return binding
+
+    binding = benchmark(bind_unbind)
+    assert binding.sid.name == "CarRentalService"
+
+
+def test_fig3_gui_generation(benchmark, world):
+    """GUI generation alone: SID already local, no network."""
+    __, rental, generic = world
+    binding = generic.bind(rental.ref)
+
+    panel = benchmark(lambda: ServicePanel(binding))
+    assert set(panel.controllers) == {"SelectCar", "BookCar"}
+
+
+def test_fig3_form_for_one_operation(benchmark, world):
+    __, rental, __g = world
+    operation = rental.sid.interface.operation("SelectCar")
+
+    form = benchmark(lambda: form_for_operation(rental.sid, operation))
+    assert form.fields
+
+
+def test_fig3_first_invocation(benchmark, world):
+    __, rental, generic = world
+    binding = generic.bind(rental.ref)
+
+    def invoke():
+        return binding.invoke("SelectCar", {"selection": SELECTION})
+
+    result = benchmark(invoke)
+    assert result.value["available"] is True
+
+
+def test_fig3_cold_path_end_to_end(benchmark, world):
+    """Everything Fig. 3 shows, as one user-visible action."""
+    __, rental, generic = world
+
+    def cold():
+        binding = generic.bind(rental.ref)
+        panel = ServicePanel(binding)
+        controller = panel.controller("SelectCar")
+        controller.form.find("SelectCar.selection").set_value(SELECTION)
+        value = controller.submit()
+        binding.unbind()
+        return value
+
+    value = benchmark(cold)
+    assert value["available"] is True

@@ -1,0 +1,110 @@
+"""Fig. 6 — the overall COSM architecture, end to end.
+
+One request crossing every layer: user level (UI session) →
+client/service level (generic client, browser) → controlling level
+(trader) → service support level (name server, binder) → communication
+level (RPC over the simulated network).  Per-layer benchmarks isolate
+where the time goes.
+"""
+
+import pytest
+
+from benchmarks.conftest import SELECTION, Stack
+from repro.core import BrowserService, GenericClient, make_tradable
+from repro.naming.binder import Binder
+from repro.naming.nameserver import NameServerClient, NameServerService
+from repro.naming.refs import ServiceRef
+from repro.services.car_rental import start_car_rental
+from repro.trader.trader import ImportRequest, TraderClient, TraderService
+from repro.uims.session import UiSession
+
+
+@pytest.fixture(scope="module")
+def cosm():
+    stack = Stack()
+    names = NameServerService(stack.server("support"))
+    rental = start_car_rental(stack.server("app"))
+    # benchmarks book thousands of cars; the fleet must not run dry
+    rental.implementation.fleet = {"AUDI": 10**9, "FIAT-Uno": 10**9, "VW-Golf": 10**9}
+    browser = BrowserService(stack.server("browser"))
+    browser.register_local(rental)
+    trader_service = TraderService(stack.server("trader"))
+    trader = TraderClient(stack.client(), trader_service.address)
+    make_tradable(rental.sid, rental.ref, trader)
+    name_client = NameServerClient(stack.client(), names.address)
+    name_client.bind("cosm/browser", browser.ref.to_wire())
+    return {
+        "stack": stack,
+        "names": names,
+        "rental": rental,
+        "browser": browser,
+        "trader": trader,
+        "name_client": name_client,
+    }
+
+
+def test_layer_communication_rpc_roundtrip(benchmark, cosm):
+    """Communication level: one raw RPC (the NULL procedure)."""
+    client = cosm["stack"].client()
+    rental = cosm["rental"]
+
+    assert benchmark(lambda: client.call(rental.ref.address, rental.prog, 1, 0)) is None
+
+
+def test_layer_support_name_resolution(benchmark, cosm):
+    """Service support level: name server resolution."""
+    wire = benchmark(lambda: cosm["name_client"].resolve("cosm/browser"))
+    assert ServiceRef.from_wire(wire).name == "CosmBrowser"
+
+
+def test_layer_support_binding(benchmark, cosm):
+    """Service support level: binding establishment/teardown."""
+    binder = Binder(cosm["stack"].client())
+    rental = cosm["rental"]
+
+    def bind_unbind():
+        binding = binder.bind(rental.ref)
+        binding.unbind()
+
+    benchmark(bind_unbind)
+
+
+def test_layer_controlling_trader_import(benchmark, cosm):
+    """Controlling level: one trader import."""
+    offers = benchmark(
+        lambda: cosm["trader"].import_(ImportRequest("CarRentalService"))
+    )
+    assert offers
+
+
+def test_layer_client_generic_invoke(benchmark, cosm):
+    """Client/service level: guarded dynamic invocation."""
+    generic = GenericClient(cosm["stack"].client())
+    binding = generic.bind(cosm["rental"].ref)
+
+    result = benchmark(lambda: binding.invoke("SelectCar", {"selection": SELECTION}))
+    assert result.value["available"] is True
+
+
+def test_layer_user_full_journey(benchmark, cosm):
+    """User level: the complete journey of Fig. 6, from a name-server
+    lookup through browsing, cascade binding, form filling, and booking."""
+    stack = cosm["stack"]
+    name_client = cosm["name_client"]
+
+    def journey():
+        browser_ref = ServiceRef.from_wire(name_client.resolve("cosm/browser"))
+        session = UiSession(GenericClient(stack.client()))
+        session.open(browser_ref)
+        session.fill("Search.query", "rental")
+        session.click("Search")
+        session.click_bind("Search")
+        session.fill("SelectCar.selection.CarModel", "AUDI")
+        session.fill("SelectCar.selection.BookingDate", "1994-06-21")
+        session.fill("SelectCar.selection.Days", 2)
+        session.click("SelectCar")
+        confirmation = session.click("BookCar")["confirmation"]
+        session.close_all()
+        return confirmation
+
+    assert benchmark(journey) > 0

@@ -1,0 +1,97 @@
+"""§3.1/§4.2 — FSM protocol guarding, local vs. remote rejection.
+
+The paper: invocations that do not conform to the communication state
+"can be automatically intercepted by the generic client and, therefore,
+already be rejected locally."  The benchmark quantifies what that saves:
+a local rejection is pure computation; a remote rejection pays the full
+round trip (visible through the simulated network's latency).
+"""
+
+import pytest
+
+from benchmarks.conftest import SELECTION, Stack
+from repro.core import GenericClient
+from repro.rpc.errors import RemoteFault
+from repro.services.car_rental import start_car_rental
+from repro.sidl.fsm import FsmViolation
+
+
+@pytest.fixture(scope="module")
+def world():
+    stack = Stack(latency=0.002)  # 2ms one way: rejections differ visibly
+    rental = start_car_rental(stack.server("provider"))
+    guarded = GenericClient(stack.client("guarded-user"))
+    unguarded = GenericClient(stack.client("naive-user"), enforce_fsm=False)
+    return stack, rental, guarded, unguarded
+
+
+def test_local_rejection(benchmark, world):
+    __, rental, guarded, __u = world
+    binding = guarded.bind(rental.ref)
+
+    def reject_locally():
+        try:
+            binding.invoke("BookCar")
+        except FsmViolation:
+            return True
+        return False
+
+    assert benchmark(reject_locally) is True
+
+
+def test_remote_rejection_ablation(benchmark, world):
+    """The ablation: no client guard, the server rejects after a round trip."""
+    __, rental, __g, unguarded = world
+    binding = unguarded.bind(rental.ref)
+
+    def reject_remotely():
+        try:
+            binding.invoke("BookCar")
+        except RemoteFault:
+            return True
+        return False
+
+    assert benchmark(reject_remotely) is True
+
+
+def test_legal_invocation_with_guard(benchmark, world):
+    """The guard's overhead on calls that *do* conform."""
+    __, rental, guarded, __u = world
+    binding = guarded.bind(rental.ref)
+
+    def legal():
+        return binding.invoke("SelectCar", {"selection": SELECTION})
+
+    assert benchmark(legal).value["available"] is True
+
+
+def test_virtual_time_saved_by_local_interception(benchmark, world):
+    """Network cost comparison in *virtual* time: deterministic, exact."""
+    stack, rental, guarded, unguarded = world
+    net = stack.net
+
+    def measure():
+        guarded_binding = guarded.bind(rental.ref)
+        start = net.clock.now
+        for __ in range(100):
+            try:
+                guarded_binding.invoke("BookCar")
+            except FsmViolation:
+                pass
+        local_elapsed = net.clock.now - start
+
+        unguarded_binding = unguarded.bind(rental.ref)
+        start = net.clock.now
+        for __ in range(100):
+            try:
+                unguarded_binding.invoke("BookCar")
+            except RemoteFault:
+                pass
+        remote_elapsed = net.clock.now - start
+        return local_elapsed, remote_elapsed
+
+    local_elapsed, remote_elapsed = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # local interception: zero virtual network time
+    assert local_elapsed == 0.0
+    # remote rejection: 100 round trips at 2ms each way
+    assert remote_elapsed == pytest.approx(100 * 2 * 0.002)

@@ -1,0 +1,69 @@
+"""§3.3 — which schema when: selection quality across maturation stages.
+
+"In a pre-standardised stage ... only browser mediation is possible at
+all"; after standardisation "the compatibility among services of the same
+type allows to select a distinct service based on well-known quality
+attributes."  The benchmark freezes the market at several points of the
+maturation timeline and measures what clients pay per request under each
+schema — the crossover the paper argues for.
+"""
+
+import pytest
+
+from repro.market import ClientDemand, CostModel, MarketSimulation
+from repro.market.agents import staggered_providers
+
+PROVIDERS = staggered_providers("car-rental", 4, spacing=15.0)
+
+
+def outcome_at(mode: str, horizon: float):
+    demands = [ClientDemand("car-rental", rate_per_day=2.0)]
+    return MarketSimulation(
+        mode, PROVIDERS, demands, CostModel(), horizon=horizon, seed=1994
+    ).run()
+
+
+@pytest.mark.parametrize("horizon", [60.0, 200.0, 365.0])
+def test_maturation_stage(benchmark, horizon):
+    """At each stage, run all modes and assert the §3.3 stage logic."""
+
+    def run():
+        return {
+            mode: outcome_at(mode, horizon)
+            for mode in ("trading", "mediation", "integrated")
+        }
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    trading = outcomes["trading"]
+    mediation = outcomes["mediation"]
+    integrated = outcomes["integrated"]
+
+    # the trading pipeline completes at: first entry + standardisation
+    # (180) + type registration (5) + client development (30)
+    trading_pipeline_done = 215.0
+    if horizon <= trading_pipeline_done:
+        # pre-standardised: ONLY mediation serves anyone at all (§3.3)
+        assert trading.requests_served == 0
+        assert mediation.requests_served > 0
+        assert integrated.requests_served == mediation.requests_served
+    else:
+        # post-standardisation: the trader's best-fit gets better prices
+        assert trading.requests_served > 0
+        assert trading.mean_price_paid() <= mediation.mean_price_paid()
+        # integrated converges toward trader-quality selection over time
+        assert integrated.mean_price_paid() <= mediation.mean_price_paid()
+
+
+def test_integrated_price_converges_to_trading(benchmark):
+    """As the market matures, integrated selection approaches trading's."""
+
+    def run():
+        gaps = []
+        for horizon in (250.0, 365.0, 720.0):
+            trading = outcome_at("trading", horizon)
+            integrated = outcome_at("integrated", horizon)
+            gaps.append(integrated.mean_price_paid() - trading.mean_price_paid())
+        return gaps
+
+    gaps = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert gaps[0] >= gaps[-1] >= 0

@@ -1,0 +1,75 @@
+"""Substrate microbenchmarks: XDR codec and raw RPC dispatch.
+
+Everything above (SIDs, trading, mediation) rides on these costs; the
+series here make the higher-level numbers interpretable.
+"""
+
+import pytest
+
+from benchmarks.conftest import Stack
+from repro.rpc.server import RpcProgram
+from repro.rpc.xdr import decode_value, encode_value
+
+PROG = 910000
+
+
+def nested_value(depth: int, width: int):
+    value = {"leaf": 1}
+    for level in range(depth):
+        value = {
+            f"k{index}": dict(value) for index in range(width)
+        }
+    return value
+
+
+@pytest.mark.parametrize("size", [10, 100, 1000])
+def test_xdr_encode_flat_dict(benchmark, size):
+    value = {f"key{i}": i for i in range(size)}
+    payload = benchmark(lambda: encode_value(value))
+    assert len(payload) > size
+
+
+@pytest.mark.parametrize("size", [10, 100, 1000])
+def test_xdr_decode_flat_dict(benchmark, size):
+    payload = encode_value({f"key{i}": i for i in range(size)})
+    value = benchmark(lambda: decode_value(payload))
+    assert len(value) == size
+
+
+@pytest.mark.parametrize("depth", [2, 4])
+def test_xdr_nested_roundtrip(benchmark, depth):
+    value = nested_value(depth, width=3)
+
+    def roundtrip():
+        return decode_value(encode_value(value))
+
+    assert benchmark(roundtrip) == value
+
+
+def test_xdr_bytes_payload(benchmark):
+    value = {"blob": b"\x00" * 65536}
+    payload = benchmark(lambda: encode_value(value))
+    assert len(payload) > 65536
+
+
+@pytest.mark.parametrize("payload_size", [16, 4096])
+def test_rpc_roundtrip_by_payload(benchmark, payload_size):
+    stack = Stack()
+    server = stack.server("srv")
+    program = RpcProgram(PROG, 1)
+    program.register(1, lambda args: len(args))
+    server.serve(program)
+    client = stack.client()
+    argument = "x" * payload_size
+
+    size = benchmark(lambda: client.call(server.address, PROG, 1, 1, argument))
+    assert size == payload_size
+
+
+def test_rpc_null_procedure(benchmark):
+    stack = Stack()
+    server = stack.server("srv")
+    server.serve(RpcProgram(PROG, 1))
+    client = stack.client()
+
+    benchmark(lambda: client.call(server.address, PROG, 1, 0))

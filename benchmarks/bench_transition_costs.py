@@ -1,0 +1,85 @@
+"""§2.2/§2.3 — transition costs: trading-only vs. mediation vs. COSM.
+
+The paper's quantitative-in-spirit claims, regenerated as a market sweep:
+
+* time-to-market under trading is dominated by standardisation; under
+  mediation it is days ("fast and easily accessible ... at negligible
+  adaptation costs"),
+* "being the first pays most" holds only when the infrastructure lets the
+  first mover actually serve clients,
+* total transition effort is lowest under mediation.
+
+Each benchmark runs the full one-year market simulation; assertions pin
+the orderings (the "shape"), the timing numbers are this implementation's.
+"""
+
+import pytest
+
+from repro.market import ClientDemand, CostModel, MarketSimulation, run_all_modes
+from repro.market.agents import staggered_providers
+
+PROVIDERS = staggered_providers("car-rental", 3, spacing=30.0)
+DEMANDS = [ClientDemand("car-rental", rate_per_day=2.0)]
+
+
+@pytest.mark.parametrize("mode", ["trading", "mediation", "integrated"])
+def test_market_year_simulation(benchmark, mode):
+    """Cost of simulating one market-year per infrastructure mode."""
+    simulation = MarketSimulation(mode, PROVIDERS, DEMANDS, horizon=365.0, seed=1994)
+    outcome = benchmark(simulation.run)
+    assert outcome.requests_total > 0
+
+
+def test_transition_cost_orderings(benchmark):
+    """The §2.3 orderings, asserted over the full three-mode comparison."""
+
+    def run():
+        return run_all_modes(PROVIDERS, DEMANDS, horizon=365.0, seed=1994)
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    trading, mediation, integrated = (
+        outcomes["trading"],
+        outcomes["mediation"],
+        outcomes["integrated"],
+    )
+    # paper: standardisation pipeline delays trading availability by months
+    assert trading.mean_time_to_market() > 100
+    assert mediation.mean_time_to_market() < 5
+    # paper: mediation reduces transition costs substantially
+    assert mediation.provider_effort * 5 < trading.provider_effort
+    # paper: clients need per-type development only under trading
+    assert trading.client_effort > mediation.client_effort
+    # paper: service level (requests actually served) favours mediation
+    assert mediation.service_level > trading.service_level
+    # first mover: pays most only when reachable early
+    assert mediation.first_mover_revenue_share("car-rental") > 0.5
+    assert integrated.service_level == mediation.service_level
+
+
+@pytest.mark.parametrize("std_delay", [30.0, 180.0, 360.0])
+def test_standardisation_delay_sweep(benchmark, std_delay):
+    """Sweep the §2.2 bottleneck: the longer standardisation takes, the
+    worse trading-only serves the market; mediation is invariant."""
+    costs = CostModel().scaled(type_standardisation_delay=std_delay)
+
+    def run():
+        return run_all_modes(PROVIDERS, DEMANDS, costs, horizon=365.0, seed=1994)
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert outcomes["mediation"].requests_served == run_all_modes(
+        PROVIDERS, DEMANDS, CostModel(), horizon=365.0, seed=1994
+    )["mediation"].requests_served
+
+
+@pytest.mark.parametrize("provider_count", [1, 3, 8])
+def test_provider_count_sweep(benchmark, provider_count):
+    """More followers dilute the first mover everywhere, but mediation
+    keeps the pioneer ahead (position bias in browsing)."""
+    providers = staggered_providers("car-rental", provider_count, spacing=20.0)
+
+    def run():
+        return run_all_modes(providers, DEMANDS, horizon=365.0, seed=1994)
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    share = outcomes["mediation"].first_mover_revenue_share("car-rental")
+    assert share >= 1.0 / max(provider_count, 1) * 0.9

@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures: pre-built COSM stacks on a simulated network.
+
+Benchmarks measure *this implementation's* costs, not the 1994 hardware's;
+EXPERIMENTS.md maps each benchmark to the figure it regenerates and
+records the qualitative shape against the paper's claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import FixedLatency, SimNetwork
+from repro.rpc.client import RpcClient
+from repro.rpc.server import RpcServer
+from repro.rpc.transport import SimTransport
+
+
+class Stack:
+    """A simulated network plus factories for servers and clients."""
+
+    def __init__(self, latency: float = 0.0005) -> None:
+        self.net = SimNetwork(latency=FixedLatency(latency), seed=1994)
+        self._counter = 0
+
+    def server(self, host: str = None, **options) -> RpcServer:
+        self._counter += 1
+        host = host or f"host-{self._counter}"
+        return RpcServer(SimTransport(self.net, host), **options)
+
+    def client(self, host: str = None, **options) -> RpcClient:
+        self._counter += 1
+        host = host or f"client-{self._counter}"
+        options.setdefault("timeout", 5.0)
+        options.setdefault("retries", 0)
+        return RpcClient(SimTransport(self.net, host), **options)
+
+
+@pytest.fixture
+def stack() -> Stack:
+    return Stack()
+
+
+SELECTION = {"CarModel": "AUDI", "BookingDate": "1994-06-21", "Days": 2}

@@ -1,0 +1,90 @@
+"""The paper's running example as a market: ODP trading end to end (Fig. 1).
+
+Three competing car rental services export offers under the standardised
+``CarRentalService`` type to two *federated* traders (Hamburg + Bremen).
+An importer then asks Hamburg's trader for the best offer under a
+constraint — and receives Bremen's cheaper one through the federation
+link — before binding and booking directly.
+
+Run:  python examples/car_rental_market.py
+"""
+
+from repro.core import GenericClient, make_tradable
+from repro.net import LanWanLatency, SimNetwork
+from repro.rpc import RpcClient, RpcServer
+from repro.rpc.transport import SimTransport
+from repro.services.car_rental import make_car_rental_sid, start_car_rental
+from repro.trader.trader import ImportRequest, TraderClient, TraderService
+
+
+def main() -> None:
+    net = SimNetwork(latency=LanWanLatency())
+
+    # Two traders, one per site, federated.
+    hamburg = TraderService(
+        RpcServer(SimTransport(net, "trader.hamburg")),
+        client=RpcClient(SimTransport(net, "fed.hamburg")),
+    )
+    bremen = TraderService(
+        RpcServer(SimTransport(net, "trader.bremen")),
+        client=RpcClient(SimTransport(net, "fed.bremen")),
+    )
+    hamburg.link_to(bremen.address, name="bremen")
+
+    # Three providers with different prices/models; two export in Hamburg,
+    # the cheapest one in Bremen.
+    fleet = [
+        ("alpha.hamburg", "AUDI", 95.0, 4711, hamburg),
+        ("beta.hamburg", "FIAT-Uno", 80.0, 4712, hamburg),
+        ("gamma.bremen", "VW-Golf", 65.0, 4713, bremen),
+    ]
+    for host, model, charge, service_id, trader_service in fleet:
+        sid = make_car_rental_sid(
+            model=model, charge_per_day=charge, service_id=service_id
+        )
+        runtime = start_car_rental(RpcServer(SimTransport(net, host)), sid=sid)
+        exporter = TraderClient(RpcClient(SimTransport(net, f"exp.{host}")), trader_service.address)
+        offer_id = make_tradable(sid, runtime.ref, exporter)
+        print(f"exported {model:>9} at {charge:5.1f}/day -> {offer_id}")
+
+    # The importer talks only to the Hamburg trader.
+    importer = TraderClient(RpcClient(SimTransport(net, "client.hamburg")), hamburg.address)
+
+    print("\nimport: ChargePerDay < 90, preference 'min ChargePerDay', 1 hop")
+    offers = importer.import_(
+        ImportRequest(
+            "CarRentalService",
+            constraint="ChargePerDay < 90",
+            preference="min ChargePerDay",
+            hop_limit=1,
+        )
+    )
+    for offer in offers:
+        props = offer.properties
+        print(
+            f"  {offer.offer_id:<38} {props['CarModel']:>9} "
+            f"{props['ChargePerDay']:5.1f} {props['ChargeCurrency']}"
+        )
+
+    best = offers[0]
+    print(f"\nbinding to best offer: {best.service_ref().name} on {best.service_ref().host}")
+    generic = GenericClient(RpcClient(SimTransport(net, "user.hamburg")))
+    with generic.bind(best.service_ref()) as binding:
+        quote = binding.invoke(
+            "SelectCar",
+            {
+                "selection": {
+                    "CarModel": best.properties["CarModel"],
+                    "BookingDate": "1994-06-21",
+                    "Days": 7,
+                }
+            },
+        )
+        print(f"quote for a week: {quote.value}")
+        booking = binding.invoke("BookCar")
+        print(f"booked: confirmation {booking.value['confirmation']} "
+              f"at {booking.value['pickup_station']}")
+
+
+if __name__ == "__main__":
+    main()

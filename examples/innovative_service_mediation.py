@@ -1,0 +1,88 @@
+"""Browser mediation for innovative services (Figs. 3, 4, 7).
+
+A stock quote feed enters the market with *no standardised service type* —
+an ODP trader could not even register it.  It registers its SID at a
+browser; a human (scripted here through the UIMS session) browses, binds,
+and uses it through an automatically generated user interface, then
+follows a service reference into a cascade.
+
+Run:  python examples/innovative_service_mediation.py
+"""
+
+from repro.core import BrowserService, GenericClient
+from repro.core.browser import BrowserClient
+from repro.net import SimNetwork
+from repro.rpc import RpcClient, RpcServer
+from repro.rpc.transport import SimTransport
+from repro.services import start_car_rental, start_directory, start_stock_quotes
+from repro.uims.session import UiSession
+
+
+def main() -> None:
+    net = SimNetwork()
+
+    # Providers: an innovative quote feed, a rental, and a directory whose
+    # results are service references.
+    quotes = start_stock_quotes(RpcServer(SimTransport(net, "quotes-host")))
+    rental = start_car_rental(RpcServer(SimTransport(net, "rental-host")))
+    directory = start_directory(RpcServer(SimTransport(net, "directory-host")))
+
+    # Registration at the well-known browser (Fig. 4, step 1).
+    browser = BrowserService(RpcServer(SimTransport(net, "browser-host")))
+    for runtime in (quotes, rental, directory):
+        browser.register_local(runtime)
+    print(f"browser holds {browser.entries()} registered SIDs")
+
+    # Advertise the rental inside the directory, so lookups return refs.
+    setup = BrowserClient(RpcClient(SimTransport(net, "setup-host")), browser.ref)
+    from repro.naming.binder import Binder
+
+    directory_binding = Binder(RpcClient(SimTransport(net, "adv-host"))).bind(directory.ref)
+    directory_binding.invoke(
+        "Advertise",
+        {"category": "travel", "description": "cars at HAM", "ref": rental.ref.to_wire()},
+    )
+    setup.close()
+
+    # The human user: one generic client, one UI session.
+    generic = GenericClient(RpcClient(SimTransport(net, "user-host")))
+    session = UiSession(generic)
+
+    # Browse the browser itself — it is just another COSM service.
+    session.open(browser.ref)
+    session.fill("Search.query", "quote")
+    session.click("Search")
+    print("\n--- the browser's generated UI after searching 'quote' ---")
+    print(session.screen())
+
+    # Bind to the innovative service straight out of the result (Fig. 4).
+    session.click_bind("Search")
+    print(f"cascade depth {session.depth}: now at {session.current.title}")
+    session.fill("GetQuote.symbol", "DAI")
+    session.click("GetQuote")
+    print(f"quote: {session.result_of('GetQuote')}")
+
+    # Back at the browser, find the directory, then cascade two levels to
+    # the rental service and use its FSM-guarded interface.
+    session.close()
+    session.fill("Search.query", "directory")
+    session.click("Search")
+    session.click_bind("Search")
+    session.fill("Lookup.category", "travel")
+    session.click("Lookup")
+    session.click_bind("Lookup")
+    print(f"\ncascade depth {session.depth}: now at {session.current.title}")
+    print(f"allowed operations in state {session.state()}: "
+          f"{session.current.enabled_operations()}")
+    session.fill("SelectCar.selection.CarModel", "FIAT-Uno")
+    session.fill("SelectCar.selection.BookingDate", "1994-09-01")
+    session.fill("SelectCar.selection.Days", 2)
+    session.click("SelectCar")
+    session.click("BookCar")
+    print(f"booked: {session.result_of('BookCar')}")
+    print("\n--- the rental's generated UI at the end (Fig. 7) ---")
+    print(session.screen())
+
+
+if __name__ == "__main__":
+    main()

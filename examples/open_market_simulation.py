@@ -1,0 +1,57 @@
+"""The §2.2/§2.3 argument, quantified: trading vs. mediation vs. COSM.
+
+Runs the same open service market — three competing car rental providers
+entering a month apart, clients requesting twice a day — under the three
+infrastructure modes, and prints the orderings the paper asserts in prose:
+time-to-market, service level, first-mover revenue, transition efforts,
+and selection quality.
+
+Run:  python examples/open_market_simulation.py
+"""
+
+from repro.market import ClientDemand, CostModel, compare_modes, run_all_modes
+from repro.market.agents import staggered_providers
+
+
+def main() -> None:
+    providers = staggered_providers("car-rental", 3, spacing=30.0)
+    demands = [ClientDemand("car-rental", rate_per_day=2.0)]
+
+    print("providers entering the market:")
+    for provider in providers:
+        print(
+            f"  {provider.name:<14} day {provider.enter_time:>5.0f}  "
+            f"charge {provider.charge:.2f}"
+        )
+
+    outcomes = run_all_modes(providers, demands, horizon=365.0, seed=1994)
+
+    print("\n== one year of market, per infrastructure mode ==")
+    for row in compare_modes(outcomes):
+        print(row)
+
+    print("\n== 'being the first pays most' (first mover revenue share) ==")
+    for mode, outcome in outcomes.items():
+        share = outcome.first_mover_revenue_share("car-rental")
+        print(f"  {mode:<12} {share:6.1%}")
+
+    print("\n== per-provider detail, integrated mode ==")
+    for provider in outcomes["integrated"].providers:
+        print(
+            f"  {provider.name:<14} available day {provider.available_time:>6.1f} "
+            f"(TTM {provider.time_to_market:>5.1f}) "
+            f"revenue {provider.revenue:>7.2f} over {provider.requests_served} requests"
+        )
+
+    print("\n== sensitivity: standardisation delay (trading mode) ==")
+    print(f"  {'std delay':>10} {'served':>7} {'level':>7}")
+    for delay in (10.0, 60.0, 180.0, 300.0):
+        costs = CostModel().scaled(type_standardisation_delay=delay)
+        outcome = run_all_modes(providers, demands, costs, seed=1994)["trading"]
+        print(f"  {delay:>10.0f} {outcome.requests_served:>7} {outcome.service_level:>7.2f}")
+    print("\n(mediation is unaffected by the sweep: its availability never "
+          "depends on standardisation)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Quickstart: bind to a service you have never seen and use it.
+
+The heart of the paper in ~40 lines: a car rental server describes itself
+with a SID; a generic client binds, transfers the SID, and drives the
+service — form generation, dynamic marshalling, and FSM guarding included,
+with zero service-specific client code.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import BrowserService, GenericClient
+from repro.net import SimNetwork
+from repro.rpc import RpcClient, RpcServer
+from repro.rpc.transport import SimTransport
+from repro.services import start_car_rental
+from repro.sidl.fsm import FsmViolation
+
+
+def main() -> None:
+    # One simulated network plays the 1994 workstation cluster.
+    net = SimNetwork()
+
+    # A provider starts its service and registers at a well-known browser.
+    rental = start_car_rental(RpcServer(SimTransport(net, "provider-host")))
+    browser = BrowserService(RpcServer(SimTransport(net, "browser-host")))
+    browser.register_local(rental)
+
+    # A user's generic client: no stubs, no IDL compiler, no foreknowledge.
+    generic = GenericClient(RpcClient(SimTransport(net, "user-host")))
+
+    binding = generic.bind(rental.ref)  # <- the SID transfer happens here
+    print(f"bound to {binding.service_name}; operations: {binding.operations()}")
+    print(f"communication state: {binding.state()}")
+    for operation in binding.operations():
+        print(f"  {binding.describe(operation)}")
+
+    # The FSM says BookCar is illegal before SelectCar — rejected locally.
+    try:
+        binding.invoke("BookCar")
+    except FsmViolation as violation:
+        print(f"locally rejected: {violation}")
+
+    result = binding.invoke(
+        "SelectCar",
+        {"selection": {"CarModel": "VW-Golf", "BookingDate": "1994-08-01", "Days": 3}},
+    )
+    print(f"SelectCar -> {result.value}  (state now {result.state})")
+
+    booking = binding.invoke("BookCar")
+    print(f"BookCar   -> {booking.value}  (state now {booking.state})")
+
+    binding.unbind()
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Atomic multi-service activities — the Fig. 6 extension, working.
+
+The paper places "TP-Monitor" and "Activity Manager" on the Controlling
+Level but leaves them outside its prototype.  This example runs them: a
+trip books a hotel room in Hamburg AND a flight to Berlin through one
+activity — two independent services, one outcome.  When the flight is
+sold out, the hotel's already-reserved room is released and *nothing*
+is booked.
+
+Run:  python examples/transactional_trip.py
+"""
+
+from repro.activity import ActivityManager, ActivityOutcome
+from repro.core import BrowserService, GenericClient
+from repro.net import SimNetwork
+from repro.rpc import RpcClient, RpcServer
+from repro.rpc.transport import SimTransport
+from repro.services.flights import start_flights
+from repro.services.hotel import start_hotel
+
+STAY = {"room": "DOUBLE", "arrival": "1994-09-01", "nights": 3}
+LEG = {"origin": "HAM", "destination": "TXL", "date": "1994-09-01"}
+
+
+def main() -> None:
+    net = SimNetwork()
+    hotel = start_hotel(RpcServer(SimTransport(net, "hotel-host")))
+    flights = start_flights(RpcServer(SimTransport(net, "flights-host")))
+
+    # Transactional runtimes are still plain COSM services: browsable,
+    # describable, generically invokable.
+    browser = BrowserService(RpcServer(SimTransport(net, "browser-host")))
+    browser.register_local(hotel)
+    browser.register_local(flights)
+    generic = GenericClient(RpcClient(SimTransport(net, "user-host")))
+    quote = generic.bind(hotel.ref).invoke("Quote", {"stay": STAY})
+    print(f"hotel quote for {STAY['nights']} nights: {quote.value}")
+
+    manager = ActivityManager(RpcClient(SimTransport(net, "coordinator-host")))
+
+    # Trip 1: everything available -> both commit.
+    trip = manager.begin("hamburg-berlin")
+    trip.add_step(hotel.ref, "BookRoom", {"stay": STAY})
+    trip.add_step(flights.ref, "BookSeat", {"leg": LEG})
+    outcome = trip.execute()
+    print(f"\ntrip 1: {outcome.value}")
+    print(f"  hotel bookings:  {len(hotel.implementation.bookings)}")
+    print(f"  flight tickets:  {len(flights.implementation.tickets)}")
+    print(f"  rooms left (DOUBLE): {hotel.implementation.rooms['DOUBLE']}")
+    print(f"  seats left on route: {flights.implementation.SeatsLeft(LEG)}")
+
+    # Trip 2: the flight sells out first -> the whole activity aborts and
+    # the hotel's reservation is released.
+    flights.implementation.seats = {f"{LEG['origin']}->{LEG['destination']}@{LEG['date']}": 0}
+    doomed = manager.begin("doomed")
+    doomed.add_step(hotel.ref, "BookRoom", {"stay": STAY})
+    doomed.add_step(flights.ref, "BookSeat", {"leg": LEG})
+    outcome = doomed.execute()
+    print(f"\ntrip 2 (flight full): {outcome.value}")
+    print(f"  hotel bookings:  {len(hotel.implementation.bookings)}  (unchanged)")
+    print(f"  rooms left (DOUBLE): {hotel.implementation.rooms['DOUBLE']}  (reservation released)")
+
+    assert outcome is ActivityOutcome.ABORTED
+    print(f"\nactivities committed/aborted: {manager.committed}/{manager.aborted}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""COSM — Common Open Service Market support infrastructure.
+
+A full reproduction of *"Service Trading and Mediation in Distributed
+Computing Systems"* (M. Merz, K. Müller, W. Lamersdorf; ICDCS 1994):
+
+* :mod:`repro.net` — deterministic simulated network (the workstation
+  cluster substitute),
+* :mod:`repro.rpc` — from-scratch RPC stack: XDR-style marshalling,
+  portmapper, at-most-once semantics, multicast, transactional RPC,
+* :mod:`repro.sidl` — the Service Interface Description Language:
+  parser, structural type system with record subtyping, FSM protocol
+  specs, communicable first-class SIDs,
+* :mod:`repro.naming` — name server, group manager, service references,
+  binder,
+* :mod:`repro.trader` — the ODP trader: service types, offers,
+  constraints, preferences, federation,
+* :mod:`repro.core` — the paper's contribution: service runtime, browser,
+  generic client, mediator, trading/mediation integration,
+* :mod:`repro.uims` — generated user interfaces (Fig. 7),
+* :mod:`repro.market` — the transition-cost market model (§2.2/2.3/3.3),
+* :mod:`repro.services` — example application services (car rental,
+  image conversion, stock quotes, directory).
+
+Quickstart::
+
+    from repro.net import SimNetwork
+    from repro.rpc import RpcClient, RpcServer
+    from repro.rpc.transport import SimTransport
+    from repro.core import BrowserService, GenericClient
+    from repro.services import start_car_rental
+
+    net = SimNetwork()
+    rental = start_car_rental(RpcServer(SimTransport(net, "host-a")))
+    browser = BrowserService(RpcServer(SimTransport(net, "host-b")))
+    browser.register_local(rental)
+
+    client = GenericClient(RpcClient(SimTransport(net, "host-c")))
+    binding = client.bind(rental.ref)          # SID transfer happens here
+    binding.invoke("SelectCar", {"selection": {
+        "CarModel": "AUDI", "BookingDate": "1994-06-21", "Days": 3}})
+"""
+
+from repro.errors import (
+    BindingError,
+    CallTimeout,
+    CommunicationError,
+    ConfigurationError,
+    CosmError,
+    LookupFailure,
+    ProtocolError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BindingError",
+    "CallTimeout",
+    "CommunicationError",
+    "ConfigurationError",
+    "CosmError",
+    "LookupFailure",
+    "ProtocolError",
+    "__version__",
+]

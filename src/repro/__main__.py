@@ -1,0 +1,81 @@
+"""``python -m repro`` — a two-minute tour of the COSM infrastructure.
+
+Runs a compact end-to-end narrative on a simulated network: an innovative
+service registers at a browser, a generic client drives it through a
+generated UI, the service matures into a trader offer, and an importer
+selects and books through the trader — the whole arc of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.core import BrowserService, CosmMediator, GenericClient, make_tradable
+from repro.net import SimNetwork
+from repro.rpc import RpcClient, RpcServer
+from repro.rpc.transport import SimTransport
+from repro.services import start_car_rental, start_stock_quotes
+from repro.sidl.fsm import FsmViolation
+from repro.trader.trader import TraderClient, TraderService
+from repro.uims.session import UiSession
+
+
+def main() -> None:
+    print(__doc__.strip().splitlines()[0])
+    print("=" * 64)
+    net = SimNetwork()
+
+    print("\n[1] providers start and register their SIDs at the browser")
+    rental = start_car_rental(RpcServer(SimTransport(net, "rental-host")))
+    quotes = start_stock_quotes(RpcServer(SimTransport(net, "quotes-host")))
+    browser = BrowserService(RpcServer(SimTransport(net, "browser-host")))
+    browser.register_local(rental)
+    browser.register_local(quotes)
+    print(f"    browser now lists {browser.entries()} services")
+
+    print("\n[2] a generic client browses and binds — no stubs, no foreknowledge")
+    generic = GenericClient(RpcClient(SimTransport(net, "user-host")))
+    session = UiSession(generic)
+    session.open(browser.ref)
+    session.fill("Search.query", "rental")
+    session.click("Search")
+    session.click_bind("Search")
+    print(f"    bound to {session.current.title}; "
+          f"state {session.state()}, enabled: {session.current.enabled_operations()}")
+
+    print("\n[3] the FSM guards the protocol locally")
+    try:
+        session.click("BookCar")
+    except FsmViolation as violation:
+        print(f"    rejected without network traffic: {violation}")
+
+    print("\n[4] the generated form drives the service")
+    session.fill("SelectCar.selection.CarModel", "VW-Golf")
+    session.fill("SelectCar.selection.BookingDate", "1994-08-01")
+    session.fill("SelectCar.selection.Days", 3)
+    quote = session.click("SelectCar")
+    booking = session.click("BookCar")
+    print(f"    quoted {quote['charge']} {quote['currency']}, "
+          f"confirmation {booking['confirmation']}")
+
+    print("\n[5] the service matures: its export embedding becomes a trader offer")
+    trader_service = TraderService(RpcServer(SimTransport(net, "trader-host")))
+    trader = TraderClient(RpcClient(SimTransport(net, "exporter-host")), trader_service.address)
+    offer_id = make_tradable(rental.sid, rental.ref, trader)
+    print(f"    exported as {offer_id}")
+
+    print("\n[6] an importer selects by constraint and binds directly")
+    mediator = CosmMediator(
+        RpcClient(SimTransport(net, "importer-host")),
+        trader_address=trader_service.address,
+        browser_refs=[browser.ref],
+    )
+    binding = mediator.bind_best("CarRentalService", "ChargePerDay < 100")
+    result = binding.invoke(
+        "SelectCar",
+        {"selection": {"CarModel": "AUDI", "BookingDate": "1994-08-02", "Days": 1}},
+    )
+    print(f"    via trader: {result.value}")
+    print("\nall layers exercised — see examples/ for the full walkthroughs.")
+
+
+if __name__ == "__main__":
+    main()

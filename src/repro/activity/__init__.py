@@ -1,0 +1,33 @@
+"""Activity management — the Fig. 6 Controlling Level boxes the paper
+left as future work ("TP-Monitor", "Activity Manager": "currently outside
+the scope of the ongoing prototype implementation").
+
+An *activity* spans several COSM services: book a car AND a hotel, or
+neither.  The pieces:
+
+* :class:`TransactionalServiceRuntime` — a service runtime whose
+  operations can additionally be *staged*: the service exports the 2PC
+  participant protocol next to its ordinary COSM protocol, votes by
+  type-checking and reserving, and executes the staged invocations only
+  at commit,
+* :class:`ActivityManager` / :class:`Activity` — client-side coordinator
+  building an activity step by step and running two-phase commit over the
+  involved services,
+* :class:`ActivityManagerService` / :class:`ActivityClient` — the
+  networked Controlling-Level service form, so thin clients can delegate
+  coordination.
+"""
+
+from repro.activity.manager import Activity, ActivityManager, ActivityOutcome
+from repro.activity.participant import TransactionalServiceRuntime
+from repro.activity.service import ACTIVITY_PROGRAM, ActivityClient, ActivityManagerService
+
+__all__ = [
+    "ACTIVITY_PROGRAM",
+    "Activity",
+    "ActivityClient",
+    "ActivityManager",
+    "ActivityManagerService",
+    "ActivityOutcome",
+    "TransactionalServiceRuntime",
+]

@@ -1,0 +1,118 @@
+"""The activity manager: atomic multi-service interactions.
+
+An :class:`Activity` collects *steps* — deferred invocations on
+transactional COSM services, identified by their service references — and
+executes them with two-phase commit: either every step's service votes
+yes and all staged invocations run, or none do.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import CosmError
+from repro.naming.refs import ServiceRef
+from repro.net.endpoints import Address
+from repro.rpc.client import RpcClient
+from repro.rpc.txn import TransactionCoordinator, TxnOutcome
+
+
+class ActivityOutcome(enum.Enum):
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class ActivityStep:
+    """One deferred invocation inside an activity."""
+
+    ref: ServiceRef
+    operation: str
+    arguments: Dict[str, Any] = field(default_factory=dict)
+
+    def as_work(self) -> Dict[str, Any]:
+        return {"operation": self.operation, "arguments": dict(self.arguments)}
+
+
+class Activity:
+    """A named unit of work spanning several services."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, name: str, coordinator: TransactionCoordinator) -> None:
+        self.name = name
+        self.activity_id = f"activity-{name}-{next(self._ids)}"
+        self._coordinator = coordinator
+        self.steps: List[ActivityStep] = []
+        self.outcome: Optional[ActivityOutcome] = None
+
+    def add_step(
+        self,
+        ref: Union[ServiceRef, Dict[str, Any]],
+        operation: str,
+        arguments: Optional[Dict[str, Any]] = None,
+    ) -> "Activity":
+        """Append a deferred invocation; returns self for chaining."""
+        if self.outcome is not None:
+            raise CosmError(f"activity {self.name!r} already finished")
+        ref = ServiceRef.from_wire(ref)
+        self.steps.append(ActivityStep(ref, operation, dict(arguments or {})))
+        return self
+
+    def participants(self) -> List[Address]:
+        seen: Dict[Address, None] = {}
+        for step in self.steps:
+            seen.setdefault(step.ref.address)
+        return list(seen)
+
+    def execute(self) -> ActivityOutcome:
+        """Run 2PC: all steps commit, or none."""
+        if self.outcome is not None:
+            raise CosmError(f"activity {self.name!r} already executed")
+        if not self.steps:
+            raise CosmError(f"activity {self.name!r} has no steps")
+        work: Dict[Address, List[Dict[str, Any]]] = {}
+        for step in self.steps:
+            work.setdefault(step.ref.address, []).append(step.as_work())
+        result = self._coordinator.execute(work)
+        self.outcome = (
+            ActivityOutcome.COMMITTED
+            if result is TxnOutcome.COMMITTED
+            else ActivityOutcome.ABORTED
+        )
+        return self.outcome
+
+
+class ActivityManager:
+    """Creates and runs activities over one RPC client."""
+
+    def __init__(self, client: RpcClient, timeout: float = 1.0) -> None:
+        self._coordinator = TransactionCoordinator(client, timeout=timeout)
+        self.activities: List[Activity] = []
+
+    def begin(self, name: str) -> Activity:
+        activity = Activity(name, self._coordinator)
+        self.activities.append(activity)
+        return activity
+
+    def run(
+        self,
+        name: str,
+        steps: List[ActivityStep],
+    ) -> ActivityOutcome:
+        """Convenience: build and execute in one call."""
+        activity = self.begin(name)
+        for step in steps:
+            activity.add_step(step.ref, step.operation, step.arguments)
+        return activity.execute()
+
+    @property
+    def committed(self) -> int:
+        return self._coordinator.committed
+
+    @property
+    def aborted(self) -> int:
+        return self._coordinator.aborted

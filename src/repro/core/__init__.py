@@ -1,0 +1,41 @@
+"""COSM mediation core — the paper's primary contribution (§3, §4).
+
+* :class:`ServiceRuntime` — hosts any application implementation behind
+  the uniform four-procedure COSM protocol (GET_SID / BIND / UNBIND /
+  INVOKE) with per-session FSM enforcement; "developing new server
+  applications just requires to implement service operations and to
+  describe them" (§4.2),
+* :class:`BrowserService` / :class:`BrowserClient` — the well-known
+  Browser where innovative services register their SIDs (§3.2); itself a
+  COSM service with its own SID, so browsers can register at browsers,
+* :class:`GenericClient` — binds to arbitrary unknown services, transfers
+  the SID, performs dynamic type-checked marshalling, enforces the FSM
+  locally, surfaces returned service references for cascade binding
+  (Figs. 3 & 4),
+* :class:`CosmMediator` — one façade over both cooperation schemas:
+  trader import for standardised types, browser mediation for innovative
+  services,
+* :func:`make_tradable` — the §4.1 maturation path: derive a service type
+  from a SID's ``COSM_TraderExport`` and register the offer at a trader
+  while the service stays browsable.
+"""
+
+from repro.core.browser import BROWSER_SIDL, BrowserClient, BrowserEntry, BrowserService
+from repro.core.generic_client import GenericBinding, GenericClient, InvocationResult
+from repro.core.integration import make_tradable
+from repro.core.mediator import CosmMediator, DiscoveryResult
+from repro.core.service_runtime import ServiceRuntime
+
+__all__ = [
+    "BROWSER_SIDL",
+    "BrowserClient",
+    "BrowserEntry",
+    "BrowserService",
+    "CosmMediator",
+    "DiscoveryResult",
+    "GenericBinding",
+    "GenericClient",
+    "InvocationResult",
+    "ServiceRuntime",
+    "make_tradable",
+]

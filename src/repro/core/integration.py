@@ -1,0 +1,70 @@
+"""Integrating innovative and tradable services (§4.1).
+
+The maturation path: an innovative service starts browsable-only; once a
+service type is agreed, its SID's ``COSM_TraderExport`` embedding supplies
+everything the trader needs — the type (derived or pre-registered) and the
+offer's property values — while the service *stays accessible to generic
+clients* unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import CosmError
+from repro.naming.refs import ServiceRef
+from repro.rpc.errors import RemoteFault
+from repro.sidl.sid import ServiceDescription
+from repro.trader.errors import DuplicateServiceType
+from repro.trader.service_types import ServiceType, service_type_from_sid
+from repro.trader.trader import LocalTrader, TraderClient
+
+_RESERVED_EXPORT_KEYS = ("ServiceID", "TOD", "ServiceType")
+
+
+def export_properties(sid: ServiceDescription) -> Dict[str, Any]:
+    """The offer properties a SID's trader export carries (§4.1)."""
+    export = sid.trader_export or {}
+    return {
+        key: value for key, value in export.items() if key not in _RESERVED_EXPORT_KEYS
+    }
+
+
+def make_tradable(
+    sid: ServiceDescription,
+    ref: ServiceRef,
+    trader: Union[LocalTrader, TraderClient],
+    service_type: Optional[ServiceType] = None,
+    now: float = 0.0,
+) -> str:
+    """Register a SID-described service at a trader; returns the offer id.
+
+    * When the trader does not yet know the service type, it is derived
+      from the SID (``service_type_from_sid``) and registered first —
+      modelling the standardisation step of §2.2.
+    * When the type already exists, only the offer is exported, which is
+      the cheap steady-state transition the paper argues for.
+
+    Raises :class:`CosmError` when the SID has no ``COSM_TraderExport``
+    embedding: a purely innovative SID is not tradable yet.
+    """
+    if sid.trader_export is None:
+        raise CosmError(
+            f"SID {sid.name!r} carries no COSM_TraderExport; "
+            f"it can only be mediated via browsers"
+        )
+    derived = service_type or service_type_from_sid(sid)
+    if isinstance(trader, LocalTrader):
+        if not trader.types.has(derived.name):
+            trader.add_type(derived, now)
+        return trader.export(derived.name, ref, export_properties(sid), now)
+    # Remote trader via RPC stub.
+    if derived.name not in trader.list_types():
+        try:
+            trader.add_type(derived)
+        except DuplicateServiceType:
+            pass  # registration race with another exporter
+        except RemoteFault as exc:
+            if exc.kind != "DuplicateServiceType":
+                raise
+    return trader.export(derived.name, ref, export_properties(sid))

@@ -1,0 +1,135 @@
+"""The COSM mediator: one façade over both cooperation schemas (§3.3).
+
+Given a user need, the mediator
+
+* asks the trader when the need names a *standardised service type*
+  (attribute constraints, best-fit selection), and
+* browses the registered browsers when the need is a free-text query
+  about *innovative* services,
+
+and in both cases hands back generic bindings, so the calling application
+never distinguishes how the service was found — exactly the integration
+argument of chapter 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.browser import BrowserClient, BrowserEntry
+from repro.core.generic_client import GenericBinding, GenericClient
+from repro.errors import LookupFailure
+from repro.naming.refs import ServiceRef
+from repro.rpc.client import RpcClient
+from repro.net.endpoints import Address
+from repro.trader.trader import ImportRequest, TraderClient
+
+
+@dataclass
+class DiscoveryResult:
+    """One discovered service, however it was found."""
+
+    ref: ServiceRef
+    via: str  # "trader" or "browser"
+    detail: str  # offer id / browser service id
+
+
+class CosmMediator:
+    """Combines trader import and browser mediation behind one API."""
+
+    def __init__(
+        self,
+        client: RpcClient,
+        trader_address: Optional[Address] = None,
+        browser_refs: Sequence[ServiceRef] = (),
+    ) -> None:
+        self._client = client
+        self.generic = GenericClient(client)
+        self.trader: Optional[TraderClient] = (
+            TraderClient(client, trader_address) if trader_address else None
+        )
+        self._browser_refs = list(browser_refs)
+
+    def add_browser(self, ref: ServiceRef) -> None:
+        self._browser_refs.append(ref)
+
+    # -- discovery --------------------------------------------------------------
+
+    def import_from_trader(
+        self,
+        service_type: str,
+        constraint: str = "",
+        preference: str = "",
+        max_matches: int = 0,
+    ) -> List[DiscoveryResult]:
+        """Trader cooperation schema: by type + constraints (Fig. 1)."""
+        if self.trader is None:
+            raise LookupFailure("no trader configured for this mediator")
+        offers = self.trader.import_(
+            ImportRequest(service_type, constraint, preference, max_matches)
+        )
+        return [
+            DiscoveryResult(offer.service_ref(), "trader", offer.offer_id)
+            for offer in offers
+        ]
+
+    def browse(self, query: str = "") -> List[DiscoveryResult]:
+        """Browser mediation schema: free-text over registered SIDs."""
+        results: List[DiscoveryResult] = []
+        for browser_ref in self._browser_refs:
+            browser = BrowserClient(self._client, browser_ref)
+            try:
+                entries = browser.search(query) if query else browser.list()
+            finally:
+                browser.close()
+            results.extend(
+                DiscoveryResult(entry.ref, "browser", entry.service_id)
+                for entry in entries
+            )
+        unique = {}
+        for result in results:
+            unique.setdefault(result.ref.service_id, result)
+        return list(unique.values())
+
+    def discover(
+        self,
+        query: str,
+        service_type: Optional[str] = None,
+        constraint: str = "",
+        preference: str = "",
+    ) -> List[DiscoveryResult]:
+        """Integrated lookup: trader first when a type is known, then
+        browsers; duplicates (same service id) collapse to the trader hit."""
+        results: List[DiscoveryResult] = []
+        if service_type and self.trader is not None:
+            try:
+                results.extend(
+                    self.import_from_trader(service_type, constraint, preference)
+                )
+            except LookupFailure:
+                pass
+        seen = {result.ref.service_id for result in results}
+        results.extend(
+            hit for hit in self.browse(query) if hit.ref.service_id not in seen
+        )
+        return results
+
+    # -- binding -----------------------------------------------------------------
+
+    def bind(self, result: DiscoveryResult) -> GenericBinding:
+        return self.generic.bind(result.ref)
+
+    def bind_best(
+        self,
+        service_type: str,
+        constraint: str = "",
+        preference: str = "",
+    ) -> GenericBinding:
+        """Select the trader's best offer and bind it in one step."""
+        hits = self.import_from_trader(service_type, constraint, preference, 1)
+        if not hits:
+            raise LookupFailure(
+                f"no offer for type {service_type!r} with {constraint!r}"
+            )
+        return self.bind(hits[0])

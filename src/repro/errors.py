@@ -1,0 +1,44 @@
+"""Exception hierarchy shared across the COSM reproduction.
+
+Every subsystem derives its errors from :class:`CosmError` so applications
+can catch one base class at the COSM support interface.  Subsystems with a
+richer local hierarchy (SIDL, RPC, trader) subclass further in their own
+``errors`` modules.
+"""
+
+from __future__ import annotations
+
+
+class CosmError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ConfigurationError(CosmError):
+    """A component was wired together inconsistently."""
+
+
+class CommunicationError(CosmError):
+    """Transport-level failure (timeouts, unreachable endpoints, drops)."""
+
+
+class TimeoutError_(CommunicationError):
+    """A call did not complete within its deadline.
+
+    Named with a trailing underscore to avoid shadowing the builtin; the
+    public alias is ``repro.errors.CallTimeout``.
+    """
+
+
+CallTimeout = TimeoutError_
+
+
+class BindingError(CosmError):
+    """A binding could not be established or has been torn down."""
+
+
+class LookupFailure(CosmError):
+    """A name, group, offer, or SID lookup produced no result."""
+
+
+class ProtocolError(CosmError):
+    """A peer violated the agreed wire or interaction protocol."""

@@ -1,0 +1,35 @@
+"""COSM market model: quantifying the paper's transition-cost argument.
+
+The paper argues (§2.2, §2.3, §3.3) — without numbers — that
+
+1. trading-only infrastructure delays innovative services by the full
+   standardisation → type-registration → client-development pipeline,
+2. mediation makes them available at SID-authoring + browser-registration
+   cost, so "being the first pays most" actually pays,
+3. once types standardise, the trader's attribute-based best-fit
+   selection serves clients better than browsing.
+
+This package turns those arguments into a deterministic discrete-event
+market simulation: providers enter with services over time, clients issue
+requests, and the infrastructure mode decides when services become
+reachable and how one is selected.  The benchmarks sweep the knobs the
+paper's prose varies (standardisation delay, provider count, maturation
+stage) and report the orderings.
+"""
+
+from repro.market.agents import ClientDemand, ProviderSpec
+from repro.market.costs import CostModel
+from repro.market.metrics import MarketOutcome, ProviderOutcome, compare_modes
+from repro.market.simulation import MODES, MarketSimulation, run_all_modes
+
+__all__ = [
+    "ClientDemand",
+    "CostModel",
+    "MODES",
+    "MarketOutcome",
+    "MarketSimulation",
+    "ProviderOutcome",
+    "ProviderSpec",
+    "compare_modes",
+    "run_all_modes",
+]

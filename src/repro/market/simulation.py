@@ -1,0 +1,211 @@
+"""The market simulation: one run = one infrastructure mode.
+
+Modes (§3.3's comparison, plus the paper's proposed integration):
+
+* ``"trading"`` — ODP-trader-only.  A family's first provider must drive
+  service type standardisation; offers become importable only after the
+  type exists; client applications must be developed per type before any
+  request can be served; the trader then selects best-fit (cheapest).
+* ``"mediation"`` — browser-only.  Providers author a SID and register at
+  a browser; generic clients need no development and can use a service
+  immediately; the human user picks from the browse list (first
+  registered), so selection quality is weaker.
+* ``"integrated"`` — the COSM proposal: services are browsable
+  immediately *and* become tradable once their type standardises, at
+  which point selection switches to the trader's best-fit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.market.agents import ClientDemand, ProviderSpec, demand_requests
+from repro.market.costs import CostModel
+from repro.market.metrics import MarketOutcome, ProviderOutcome
+
+MODES = ("trading", "mediation", "integrated")
+
+
+class MarketSimulation:
+    """Deterministic discrete-event run of one open service market."""
+
+    def __init__(
+        self,
+        mode: str,
+        providers: Iterable[ProviderSpec],
+        demands: Iterable[ClientDemand],
+        costs: Optional[CostModel] = None,
+        horizon: float = 365.0,
+        seed: int = 1994,
+    ) -> None:
+        if mode not in MODES:
+            raise ConfigurationError(f"unknown market mode {mode!r}; pick from {MODES}")
+        self.mode = mode
+        self.providers = sorted(providers, key=lambda p: (p.enter_time, p.name))
+        self.demands = list(demands)
+        self.costs = costs or CostModel()
+        self.horizon = horizon
+        self.seed = seed
+
+    # -- derived schedule ---------------------------------------------------------
+
+    def type_ready_times(self) -> Dict[str, float]:
+        """When each family's service type exists (trading/integrated)."""
+        ready: Dict[str, float] = {}
+        for provider in self.providers:
+            if provider.family not in ready:
+                ready[provider.family] = (
+                    provider.enter_time
+                    + self.costs.type_standardisation_delay
+                    + self.costs.type_registration_delay
+                )
+        return ready
+
+    def _provider_plan(self) -> List[ProviderOutcome]:
+        """Availability time and transition effort per provider."""
+        costs = self.costs
+        type_ready = self.type_ready_times()
+        seen_families: set = set()
+        outcomes: List[ProviderOutcome] = []
+        for provider in self.providers:
+            first_in_family = provider.family not in seen_families
+            seen_families.add(provider.family)
+            if self.mode == "trading":
+                available = max(
+                    provider.enter_time + costs.offer_registration_delay,
+                    type_ready[provider.family] + costs.offer_registration_delay,
+                )
+                effort = costs.trading_provider_effort(type_exists=not first_in_family)
+            elif self.mode == "mediation":
+                available = provider.enter_time + costs.mediation_provider_delay()
+                effort = costs.mediation_provider_effort()
+            else:  # integrated: browsable early, tradable later
+                available = provider.enter_time + costs.mediation_provider_delay()
+                effort = costs.mediation_provider_effort()
+                if type_ready[provider.family] <= self.horizon:
+                    # the maturation step still happens, once, within the run
+                    if first_in_family:
+                        effort += (
+                            costs.type_standardisation_effort
+                            + costs.type_registration_effort
+                        )
+                    effort += costs.offer_registration_effort
+            outcomes.append(
+                ProviderOutcome(
+                    name=provider.name,
+                    family=provider.family,
+                    enter_time=provider.enter_time,
+                    available_time=available,
+                    transition_effort=effort,
+                )
+            )
+        return outcomes
+
+    # -- the run ----------------------------------------------------------------------
+
+    def run(self) -> MarketOutcome:
+        rng = random.Random(self.seed)
+        outcome = MarketOutcome(mode=self.mode, horizon=self.horizon)
+        outcome.providers = self._provider_plan()
+        outcome.provider_effort = sum(p.transition_effort for p in outcome.providers)
+        by_family: Dict[str, List[Tuple[ProviderSpec, ProviderOutcome]]] = {}
+        for spec, planned in zip(self.providers, outcome.providers):
+            by_family.setdefault(spec.family, []).append((spec, planned))
+        type_ready = self.type_ready_times()
+        client_ready: Dict[str, float] = {}
+        developed: set = set()
+        if self.mode == "trading":
+            for family, ready in type_ready.items():
+                client_ready[family] = ready + self.costs.client_development_delay
+
+        last_choice: Dict[str, str] = {}
+        for demand in self.demands:
+            requests = demand_requests(demand, self.horizon, rng)
+            outcome.requests_total += len(requests)
+            candidates = by_family.get(demand.family, [])
+            for t in requests:
+                served = self._serve_request(
+                    outcome, demand.family, t, candidates, type_ready,
+                    client_ready, developed, last_choice, rng,
+                )
+                if served:
+                    outcome.requests_served += 1
+                else:
+                    outcome.requests_unserved += 1
+        return outcome
+
+    def _serve_request(
+        self,
+        outcome: MarketOutcome,
+        family: str,
+        t: float,
+        candidates: List[Tuple[ProviderSpec, ProviderOutcome]],
+        type_ready: Dict[str, float],
+        client_ready: Dict[str, float],
+        developed: set,
+        last_choice: Dict[str, str],
+        rng: random.Random,
+    ) -> bool:
+        costs = self.costs
+        available = [
+            (spec, planned) for spec, planned in candidates
+            if planned.available_time <= t
+        ]
+        if self.mode == "trading":
+            # the client application must exist first
+            if t < client_ready.get(family, float("inf")):
+                return False
+            if family not in developed:
+                developed.add(family)
+                outcome.client_effort += costs.client_development_effort
+        if not available:
+            return False
+
+        traded = self.mode == "trading" or (
+            self.mode == "integrated" and t >= type_ready.get(family, float("inf"))
+        )
+        if traded:
+            # the trader's best-fit: cheapest offer (min ChargePerDay style)
+            spec, planned = min(available, key=lambda item: (item[0].charge, item[0].name))
+        else:
+            # Browsing: the human picks from the browse list.  Entries are
+            # ordered by registration time and earlier positions attract
+            # more attention (weight 1/(position+1)) — the first mover
+            # keeps most, not all, of the demand ("being the first pays
+            # most", §2.2).
+            listed = sorted(
+                available, key=lambda item: (item[1].available_time, item[0].name)
+            )
+            weights = [1.0 / (position + 1) for position in range(len(listed))]
+            spec, planned = rng.choices(listed, weights=weights, k=1)[0]
+            outcome.client_effort += costs.browsing_effort
+
+        if last_choice.get(family) not in (None, spec.name):
+            outcome.client_effort += (
+                costs.client_switch_effort
+                if traded
+                else costs.generic_client_adaptation_effort
+            )
+        last_choice[family] = spec.name
+        planned.revenue += spec.charge
+        planned.requests_served += 1
+        outcome.client_spend += spec.charge
+        return True
+
+
+def run_all_modes(
+    providers: Iterable[ProviderSpec],
+    demands: Iterable[ClientDemand],
+    costs: Optional[CostModel] = None,
+    horizon: float = 365.0,
+    seed: int = 1994,
+) -> Dict[str, MarketOutcome]:
+    """Run the same market under every infrastructure mode."""
+    providers = list(providers)
+    demands = list(demands)
+    return {
+        mode: MarketSimulation(mode, providers, demands, costs, horizon, seed).run()
+        for mode in MODES
+    }

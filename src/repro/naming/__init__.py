@@ -1,0 +1,41 @@
+"""Service Support Level (Fig. 6): naming, groups, service refs, binder.
+
+* :mod:`repro.naming.refs` — SERVICEREFERENCE values: globally identifying,
+  first-class, transferable service references (§3.2),
+* :mod:`repro.naming.nameserver` — hierarchical name server (service +
+  client),
+* :mod:`repro.naming.groups` — group manager for multicast groups,
+* :mod:`repro.naming.binder` — binding establishment between a client and
+  a COSM service runtime; produces :class:`Binding` handles.
+"""
+
+from repro.naming.binder import Binder, Binding
+from repro.naming.groups import GroupManagerService, GroupClient, GROUP_PROGRAM
+from repro.naming.interface_manager import (
+    IFMGR_PROGRAM,
+    InterfaceManagerClient,
+    InterfaceManagerService,
+)
+from repro.naming.nameserver import (
+    NAMESERVER_PROGRAM,
+    NameRegistry,
+    NameServerClient,
+    NameServerService,
+)
+from repro.naming.refs import ServiceRef
+
+__all__ = [
+    "Binder",
+    "Binding",
+    "GROUP_PROGRAM",
+    "GroupClient",
+    "GroupManagerService",
+    "IFMGR_PROGRAM",
+    "InterfaceManagerClient",
+    "InterfaceManagerService",
+    "NAMESERVER_PROGRAM",
+    "NameRegistry",
+    "NameServerClient",
+    "NameServerService",
+    "ServiceRef",
+]

@@ -1,0 +1,157 @@
+"""Hierarchical name server (Fig. 6, Service Support Level).
+
+Names are slash-separated paths (``"services/rental/hamburg"``).  Bound
+values are arbitrary marshallable values — in COSM practice, service
+reference wire dicts.  Both the in-process registry and the networked
+service/client pair are provided.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import LookupFailure
+from repro.net.endpoints import Address
+from repro.rpc.client import RpcClient
+from repro.rpc.server import RpcProgram, RpcServer
+
+NAMESERVER_PROGRAM = 100300
+
+_PROC_BIND = 1
+_PROC_REBIND = 2
+_PROC_RESOLVE = 3
+_PROC_UNBIND = 4
+_PROC_LIST = 5
+
+
+def _split(path: str) -> Tuple[str, ...]:
+    parts = tuple(part for part in path.split("/") if part)
+    if not parts:
+        raise LookupFailure("empty name")
+    return parts
+
+
+class NameRegistry:
+    """The in-process data structure: a tree of contexts with leaf values."""
+
+    def __init__(self) -> None:
+        self._root: Dict[str, Any] = {}
+
+    def bind(self, path: str, value: Any, replace: bool = False) -> None:
+        """Bind ``path`` to ``value``; intermediate contexts are created."""
+        parts = _split(path)
+        node = self._root
+        for part in parts[:-1]:
+            child = node.get(part)
+            if child is None:
+                child = {}
+                node[part] = child
+            if not isinstance(child, dict):
+                raise LookupFailure(f"{part!r} in {path!r} is a leaf, not a context")
+            node = child
+        leaf = parts[-1]
+        if leaf in node and not replace:
+            raise LookupFailure(f"name already bound: {path!r}")
+        if isinstance(node.get(leaf), dict):
+            raise LookupFailure(f"{path!r} is a context; cannot bind a value over it")
+        node[leaf] = ("leaf", value)
+
+    def resolve(self, path: str) -> Any:
+        node = self._descend(path)
+        if isinstance(node, tuple) and node and node[0] == "leaf":
+            return node[1]
+        raise LookupFailure(f"{path!r} names a context, not a value")
+
+    def unbind(self, path: str) -> bool:
+        parts = _split(path)
+        node = self._root
+        for part in parts[:-1]:
+            child = node.get(part)
+            if not isinstance(child, dict):
+                return False
+            node = child
+        return node.pop(parts[-1], None) is not None
+
+    def list(self, context: str = "") -> List[str]:
+        """Immediate children of a context; leaves sort before contexts."""
+        node = self._root if not context else self._descend(context)
+        if not isinstance(node, dict):
+            raise LookupFailure(f"{context!r} is not a context")
+        leaves = sorted(k for k, v in node.items() if not isinstance(v, dict))
+        contexts = sorted(f"{k}/" for k, v in node.items() if isinstance(v, dict))
+        return leaves + contexts
+
+    def _descend(self, path: str) -> Any:
+        node: Any = self._root
+        for part in _split(path):
+            if not isinstance(node, dict) or part not in node:
+                raise LookupFailure(f"name not found: {path!r}")
+            node = node[part]
+        return node
+
+
+class NameServerService:
+    """Networked wrapper exposing a :class:`NameRegistry` over RPC."""
+
+    def __init__(self, server: RpcServer, registry: Optional[NameRegistry] = None) -> None:
+        self.registry = registry or NameRegistry()
+        program = RpcProgram(NAMESERVER_PROGRAM, 1, "nameserver")
+        program.register(_PROC_BIND, self._bind, "bind")
+        program.register(_PROC_REBIND, self._rebind, "rebind")
+        program.register(_PROC_RESOLVE, self._resolve, "resolve")
+        program.register(_PROC_UNBIND, self._unbind, "unbind")
+        program.register(_PROC_LIST, self._list, "list")
+        server.serve(program)
+        self.address = server.address
+
+    def _bind(self, args) -> bool:
+        self.registry.bind(args["name"], args["value"])
+        return True
+
+    def _rebind(self, args) -> bool:
+        self.registry.bind(args["name"], args["value"], replace=True)
+        return True
+
+    def _resolve(self, args) -> Any:
+        return self.registry.resolve(args["name"])
+
+    def _unbind(self, args) -> bool:
+        return self.registry.unbind(args["name"])
+
+    def _list(self, args) -> List[str]:
+        return self.registry.list(args.get("context", ""))
+
+
+class NameServerClient:
+    """Client-side stub for a remote name server."""
+
+    def __init__(self, client: RpcClient, address: Address) -> None:
+        self._client = client
+        self._address = address
+
+    def bind(self, name: str, value: Any) -> bool:
+        return self._client.call(
+            self._address, NAMESERVER_PROGRAM, 1, _PROC_BIND,
+            {"name": name, "value": value},
+        )
+
+    def rebind(self, name: str, value: Any) -> bool:
+        return self._client.call(
+            self._address, NAMESERVER_PROGRAM, 1, _PROC_REBIND,
+            {"name": name, "value": value},
+        )
+
+    def resolve(self, name: str) -> Any:
+        return self._client.call(
+            self._address, NAMESERVER_PROGRAM, 1, _PROC_RESOLVE, {"name": name}
+        )
+
+    def unbind(self, name: str) -> bool:
+        return self._client.call(
+            self._address, NAMESERVER_PROGRAM, 1, _PROC_UNBIND, {"name": name}
+        )
+
+    def list(self, context: str = "") -> List[str]:
+        return self._client.call(
+            self._address, NAMESERVER_PROGRAM, 1, _PROC_LIST, {"context": context}
+        )

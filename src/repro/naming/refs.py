@@ -1,0 +1,105 @@
+"""Service references — SIDL's SERVICEREFERENCE base type (§3.2).
+
+A :class:`ServiceRef` globally identifies one service instance: where it
+listens (address), which RPC program serves it, and a stable service id.
+References are first-class values: they marshal through the tagged codec
+(as marker dicts), travel as parameters and return values, and the generic
+client turns any reference it receives into a "bind" UI control — that is
+what makes binding *cascades* (Fig. 4) possible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.errors import ProtocolError
+from repro.net.endpoints import Address
+from repro.sidl.types import SERVICE_REF_WIRE_MARKER
+
+_instance_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ServiceRef:
+    """Identifies one service instance in the open network."""
+
+    service_id: str
+    name: str
+    host: str
+    port: int
+    prog: int
+    vers: int = 1
+
+    @property
+    def address(self) -> Address:
+        return Address(self.host, self.port)
+
+    @classmethod
+    def create(cls, name: str, address: Address, prog: int, vers: int = 1) -> "ServiceRef":
+        """Mint a fresh, globally unique reference for a new instance."""
+        service_id = f"cosm:{name}:{address.host}:{address.port}:{next(_instance_counter)}"
+        return cls(service_id, name, address.host, address.port, prog, vers)
+
+    # -- wire form ----------------------------------------------------------
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "__cosm__": SERVICE_REF_WIRE_MARKER,
+            "service_id": self.service_id,
+            "name": self.name,
+            "host": self.host,
+            "port": self.port,
+            "prog": self.prog,
+            "vers": self.vers,
+        }
+
+    @classmethod
+    def from_wire(cls, data: Any) -> "ServiceRef":
+        if isinstance(data, ServiceRef):
+            return data
+        if (
+            not isinstance(data, dict)
+            or data.get("__cosm__") != SERVICE_REF_WIRE_MARKER
+        ):
+            raise ProtocolError(f"not a service reference: {data!r}")
+        return cls(
+            service_id=data["service_id"],
+            name=data["name"],
+            host=data["host"],
+            port=data["port"],
+            prog=data["prog"],
+            vers=data.get("vers", 1),
+        )
+
+    @staticmethod
+    def is_wire_ref(value: Any) -> bool:
+        """True when ``value`` is the wire form of a service reference."""
+        return (
+            isinstance(value, dict)
+            and value.get("__cosm__") == SERVICE_REF_WIRE_MARKER
+        )
+
+
+def find_refs(value: Any) -> list:
+    """Collect every service reference nested inside a decoded value.
+
+    The generic client calls this on operation results so each returned
+    reference becomes a "bind" control in the generated UI (Fig. 4).
+    """
+    found = []
+    _collect(value, found)
+    return found
+
+
+def _collect(value: Any, found: list) -> None:
+    if ServiceRef.is_wire_ref(value):
+        found.append(ServiceRef.from_wire(value))
+        return
+    if isinstance(value, dict):
+        for item in value.values():
+            _collect(item, found)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            _collect(item, found)

@@ -1,0 +1,81 @@
+"""Network endpoints and datagrams for the simulated network."""
+
+from __future__ import annotations
+
+from typing import Callable, Deque, NamedTuple, Optional
+from collections import deque
+
+from repro.errors import CommunicationError
+
+
+class Address(NamedTuple):
+    """Host/port pair identifying an endpoint on a :class:`SimNetwork`.
+
+    Hosts are symbolic names ("sparc1", "rs6000-a"); ports are integers.
+    The tuple form lets addresses be used directly as dict keys and be
+    marshalled like any other value.
+    """
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.host}:{self.port}"
+
+
+class Datagram(NamedTuple):
+    """A single message in flight."""
+
+    source: Address
+    destination: Address
+    payload: bytes
+
+
+ReceiveCallback = Callable[[Datagram], None]
+
+
+class Endpoint:
+    """A bound network endpoint.
+
+    Incoming datagrams are either delivered to an ``on_receive`` callback
+    (server style) or queued in an inbox for polling (client style).  Both
+    modes may be mixed; the callback, when set, takes precedence.
+    """
+
+    def __init__(self, network: "SimNetwork", address: Address) -> None:  # noqa: F821
+        self._network = network
+        self.address = address
+        self.inbox: Deque[Datagram] = deque()
+        self.on_receive: Optional[ReceiveCallback] = None
+        self.closed = False
+        self.sent_count = 0
+        self.received_count = 0
+
+    def send(self, destination: Address, payload: bytes) -> None:
+        """Send ``payload`` to ``destination`` via the owning network."""
+        if self.closed:
+            raise CommunicationError(f"endpoint {self.address} is closed")
+        self.sent_count += 1
+        self._network.transmit(Datagram(self.address, destination, payload))
+
+    def deliver(self, datagram: Datagram) -> None:
+        """Called by the network when a datagram arrives."""
+        if self.closed:
+            return
+        self.received_count += 1
+        if self.on_receive is not None:
+            self.on_receive(datagram)
+        else:
+            self.inbox.append(datagram)
+
+    def poll(self) -> Optional[Datagram]:
+        """Pop the oldest queued datagram, or ``None`` when empty."""
+        if self.inbox:
+            return self.inbox.popleft()
+        return None
+
+    def close(self) -> None:
+        """Unbind; subsequent sends raise, arriving datagrams are dropped."""
+        if not self.closed:
+            self.closed = True
+            self._network.unbind(self.address)

@@ -1,0 +1,88 @@
+"""Fault injection for the simulated network.
+
+A :class:`FaultPlan` decides, per datagram, whether to drop or duplicate it
+and whether the two hosts are currently partitioned.  Crashed hosts receive
+nothing and cannot send.  All decisions use the network's seeded RNG so
+failure scenarios replay identically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Set, Tuple
+
+from repro.net.endpoints import Datagram
+
+
+class FaultPlan:
+    """Mutable description of current network pathologies."""
+
+    def __init__(
+        self,
+        drop_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+    ) -> None:
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be within [0, 1]")
+        if not 0.0 <= duplicate_probability <= 1.0:
+            raise ValueError("duplicate_probability must be within [0, 1]")
+        self.drop_probability = drop_probability
+        self.duplicate_probability = duplicate_probability
+        self._partitions: Set[Tuple[str, str]] = set()
+        self._crashed: Set[str] = set()
+        self.dropped_count = 0
+        self.duplicated_count = 0
+
+    # -- partitions ------------------------------------------------------
+
+    def partition(self, host_a: str, host_b: str) -> None:
+        """Cut all traffic between two hosts (both directions)."""
+        self._partitions.add(self._key(host_a, host_b))
+
+    def heal(self, host_a: str, host_b: str) -> None:
+        """Restore traffic between two hosts."""
+        self._partitions.discard(self._key(host_a, host_b))
+
+    def heal_all(self) -> None:
+        self._partitions.clear()
+
+    def partitioned(self, host_a: str, host_b: str) -> bool:
+        return self._key(host_a, host_b) in self._partitions
+
+    # -- crashes ---------------------------------------------------------
+
+    def crash(self, host: str) -> None:
+        """Silently stop a host: its datagrams vanish in both directions."""
+        self._crashed.add(host)
+
+    def recover(self, host: str) -> None:
+        self._crashed.discard(host)
+
+    def crashed(self, host: str) -> bool:
+        return host in self._crashed
+
+    # -- per-datagram decisions -----------------------------------------
+
+    def should_drop(self, datagram: Datagram, rng: random.Random) -> bool:
+        """True when this datagram must not be delivered."""
+        if self.crashed(datagram.source.host) or self.crashed(datagram.destination.host):
+            self.dropped_count += 1
+            return True
+        if self.partitioned(datagram.source.host, datagram.destination.host):
+            self.dropped_count += 1
+            return True
+        if self.drop_probability and rng.random() < self.drop_probability:
+            self.dropped_count += 1
+            return True
+        return False
+
+    def should_duplicate(self, datagram: Datagram, rng: random.Random) -> bool:
+        """True when an extra copy of this datagram should be delivered."""
+        if self.duplicate_probability and rng.random() < self.duplicate_probability:
+            self.duplicated_count += 1
+            return True
+        return False
+
+    @staticmethod
+    def _key(host_a: str, host_b: str) -> Tuple[str, str]:
+        return (host_a, host_b) if host_a <= host_b else (host_b, host_a)

@@ -1,0 +1,143 @@
+"""Snapshot persistence for long-lived COSM components.
+
+Traders and browsers accumulate state (service types, offers, registered
+SIDs) that should survive a restart of the hosting node.  Snapshots are
+plain JSON-compatible dicts built from the same wire forms that cross the
+network, written with :func:`save_snapshot` / :func:`load_snapshot`.
+
+Bytes inside offer properties or SIDs are hex-wrapped, since the wire
+forms may carry ``octets`` values JSON cannot hold natively.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Union
+
+from repro.core.browser import BrowserService
+from repro.errors import ConfigurationError
+from repro.sidl.sid import ServiceDescription
+from repro.trader.offers import ServiceOffer
+from repro.trader.service_types import ServiceType
+from repro.trader.trader import LocalTrader
+
+_BYTES_MARKER = "__bytes_hex__"
+SNAPSHOT_VERSION = 1
+
+
+# -- JSON-safe wrapping -------------------------------------------------------
+
+
+def _wrap(value: Any) -> Any:
+    if isinstance(value, (bytes, bytearray)):
+        return {_BYTES_MARKER: bytes(value).hex()}
+    if isinstance(value, dict):
+        return {key: _wrap(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_wrap(item) for item in value]
+    return value
+
+
+def _unwrap(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {_BYTES_MARKER}:
+            return bytes.fromhex(value[_BYTES_MARKER])
+        return {key: _unwrap(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_unwrap(item) for item in value]
+    return value
+
+
+# -- trader snapshots -------------------------------------------------------------
+
+
+def trader_snapshot(trader: LocalTrader) -> Dict[str, Any]:
+    """Everything a trader needs to resume: types and offers (links are
+    re-established by the operator; they name live peers)."""
+    return {
+        "version": SNAPSHOT_VERSION,
+        "kind": "trader",
+        "trader_id": trader.trader_id,
+        "types": [
+            {
+                "wire": service_type.to_wire(),
+                "registered_at": trader.types.registered_at(service_type.name),
+                "masked": trader.types.masked(service_type.name),
+            }
+            for service_type in trader.types
+        ],
+        "offers": [offer.to_wire() for offer in trader.offers.all()],
+    }
+
+
+def restore_trader(snapshot: Dict[str, Any], **trader_options: Any) -> LocalTrader:
+    _check(snapshot, "trader")
+    trader = LocalTrader(snapshot["trader_id"], **trader_options)
+    # two passes: types may name super types registered later in the list
+    pending = list(snapshot["types"])
+    while pending:
+        progressed = []
+        for entry in pending:
+            service_type = ServiceType.from_wire(entry["wire"])
+            if all(trader.types.has(s) for s in service_type.super_types):
+                trader.types.add(service_type, entry.get("registered_at") or 0.0)
+                if entry.get("masked"):
+                    trader.types.mask(service_type.name)
+                progressed.append(entry)
+        if not progressed:
+            names = [e["wire"]["name"] for e in pending]
+            raise ConfigurationError(f"unresolvable super types among {names}")
+        pending = [entry for entry in pending if entry not in progressed]
+    for offer_wire in snapshot["offers"]:
+        trader.offers.add(ServiceOffer.from_wire(offer_wire))
+    return trader
+
+
+# -- browser snapshots ---------------------------------------------------------------
+
+
+def browser_snapshot(browser: BrowserService) -> Dict[str, Any]:
+    entries = browser._implementation._entries
+    return {
+        "version": SNAPSHOT_VERSION,
+        "kind": "browser",
+        "entries": [
+            {"sid": entry["sid"].to_wire(), "ref": entry["ref"].to_wire()}
+            for entry in entries.values()
+        ],
+    }
+
+
+def restore_browser(browser: BrowserService, snapshot: Dict[str, Any]) -> int:
+    """Load registrations into a (fresh) browser; returns how many."""
+    _check(snapshot, "browser")
+    for entry in snapshot["entries"]:
+        browser._implementation.Register(entry["sid"], entry["ref"])
+    return len(snapshot["entries"])
+
+
+# -- files -------------------------------------------------------------------------------
+
+
+def save_snapshot(snapshot: Dict[str, Any], path: Union[str, pathlib.Path]) -> None:
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(_wrap(snapshot), indent=2, sort_keys=True))
+
+
+def load_snapshot(path: Union[str, pathlib.Path]) -> Dict[str, Any]:
+    data = _unwrap(json.loads(pathlib.Path(path).read_text()))
+    if not isinstance(data, dict) or "kind" not in data:
+        raise ConfigurationError(f"{path} does not hold a COSM snapshot")
+    return data
+
+
+def _check(snapshot: Dict[str, Any], kind: str) -> None:
+    if snapshot.get("kind") != kind:
+        raise ConfigurationError(
+            f"expected a {kind} snapshot, got {snapshot.get('kind')!r}"
+        )
+    if snapshot.get("version") != SNAPSHOT_VERSION:
+        raise ConfigurationError(
+            f"snapshot version {snapshot.get('version')!r} not supported"
+        )

@@ -1,0 +1,63 @@
+"""From-scratch RPC stack (the paper's "Communication Level").
+
+Replaces the prototype's Sun ONC RPC with a compatible-in-spirit layer:
+
+* :mod:`repro.rpc.xdr` — XDR-style binary marshalling plus a tagged codec
+  for dynamic (SID-driven) marshalling of arbitrary values,
+* :mod:`repro.rpc.message` — CALL/REPLY message format with transaction ids,
+* :mod:`repro.rpc.transport` — pluggable transports (simulated network, TCP),
+* :mod:`repro.rpc.server` / :mod:`repro.rpc.client` — dispatch with an
+  at-most-once duplicate-request cache, retrying client handles,
+* :mod:`repro.rpc.portmap` — the portmapper on well-known port 111,
+* :mod:`repro.rpc.multicast` — multicast/broadcast calls with reply
+  gathering (the extended communication functions of Fig. 6),
+* :mod:`repro.rpc.txn` — transactional RPC (two-phase commit coordinator),
+  the "Transactional RPC" box of Fig. 6.
+"""
+
+from repro.rpc.client import RpcClient
+from repro.rpc.errors import (
+    GarbageArguments,
+    ProcedureUnavailable,
+    ProgramUnavailable,
+    RemoteFault,
+    RpcError,
+    RpcTimeout,
+)
+from repro.rpc.message import RpcCall, RpcReply, ReplyStatus
+from repro.rpc.multicast import MulticastCaller
+from repro.rpc.portmap import PORTMAP_PORT, PORTMAP_PROGRAM, Portmapper, portmap_lookup
+from repro.rpc.server import RpcProgram, RpcServer
+from repro.rpc.transport import SimTransport, TcpTransport, Transport
+from repro.rpc.txn import TransactionCoordinator, TransactionParticipant, TxnOutcome
+from repro.rpc.xdr import XdrDecoder, XdrEncoder, decode_value, encode_value
+
+__all__ = [
+    "GarbageArguments",
+    "MulticastCaller",
+    "PORTMAP_PORT",
+    "PORTMAP_PROGRAM",
+    "Portmapper",
+    "ProcedureUnavailable",
+    "ProgramUnavailable",
+    "RemoteFault",
+    "ReplyStatus",
+    "RpcCall",
+    "RpcClient",
+    "RpcError",
+    "RpcProgram",
+    "RpcReply",
+    "RpcServer",
+    "RpcTimeout",
+    "SimTransport",
+    "TcpTransport",
+    "Transport",
+    "TransactionCoordinator",
+    "TransactionParticipant",
+    "TxnOutcome",
+    "XdrDecoder",
+    "XdrEncoder",
+    "decode_value",
+    "encode_value",
+    "portmap_lookup",
+]

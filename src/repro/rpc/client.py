@@ -1,0 +1,122 @@
+"""RPC client handle with retransmission and typed error surfacing."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional
+
+from repro.net.endpoints import Address
+from repro.rpc.dispatch import dispatcher_for
+from repro.rpc.errors import (
+    GarbageArguments,
+    ProcedureUnavailable,
+    ProgramUnavailable,
+    RemoteFault,
+    RpcError,
+    RpcTimeout,
+)
+from repro.rpc.message import ReplyStatus, RpcCall, RpcReply
+from repro.rpc.transport import Transport
+from repro.rpc.xdr import decode_value, encode_value
+
+
+class RpcClient:
+    """Issues calls over a transport.
+
+    Retransmits with the *same* xid on timeout so the server's at-most-once
+    cache can suppress re-execution; the total deadline is
+    ``timeout * (retries + 1)``.
+    """
+
+    _xid_counter = itertools.count(1)
+
+    def __init__(
+        self,
+        transport: Transport,
+        timeout: float = 1.0,
+        retries: int = 3,
+    ) -> None:
+        self.transport = transport
+        self.timeout = timeout
+        self.retries = retries
+        self._pending: Dict[int, RpcReply] = {}
+        self.calls_sent = 0
+        self.retransmissions = 0
+        dispatcher_for(transport).client = self
+
+    @property
+    def address(self) -> Address:
+        return self.transport.local_address
+
+    def handle_reply(self, source: Address, reply: RpcReply) -> None:
+        """Entry point from the dispatcher."""
+        # Late duplicates of an answered xid are simply overwritten/ignored.
+        self._pending[reply.xid] = reply
+
+    def call(
+        self,
+        destination: Address,
+        prog: int,
+        vers: int,
+        proc: int,
+        args: Any = None,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+    ) -> Any:
+        """Call and decode; raises a typed :class:`RpcError` on failure."""
+        reply = self.call_raw(
+            destination, prog, vers, proc, encode_value(args), timeout, retries
+        )
+        if reply.status is ReplyStatus.SUCCESS:
+            return decode_value(reply.body)
+        if reply.status is ReplyStatus.PROG_UNAVAIL:
+            raise ProgramUnavailable(f"program {prog} v{vers} not at {destination}")
+        if reply.status is ReplyStatus.PROC_UNAVAIL:
+            raise ProcedureUnavailable(f"procedure {proc} of program {prog} not at {destination}")
+        if reply.status is ReplyStatus.GARBAGE_ARGS:
+            raise GarbageArguments(f"arguments rejected by {destination}")
+        fault = decode_value(reply.body)
+        raise RemoteFault(fault.get("kind", "Error"), fault.get("detail", ""))
+
+    def call_raw(
+        self,
+        destination: Address,
+        prog: int,
+        vers: int,
+        proc: int,
+        body: bytes,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+    ) -> RpcReply:
+        """Send pre-encoded bytes and return the raw reply."""
+        timeout = self.timeout if timeout is None else timeout
+        retries = self.retries if retries is None else retries
+        xid = next(self._xid_counter)
+        call = RpcCall(xid, prog, vers, proc, body)
+        encoded = call.encode()
+        attempts = retries + 1
+        try:
+            for attempt in range(attempts):
+                if attempt:
+                    self.retransmissions += 1
+                self.calls_sent += 1
+                self.transport.send(destination, encoded)
+                if self.transport.wait(lambda: xid in self._pending, timeout):
+                    return self._pending.pop(xid)
+            raise RpcTimeout(
+                f"no reply from {destination} for prog={prog} proc={proc} "
+                f"after {attempts} attempt(s) of {timeout}s"
+            )
+        finally:
+            self._pending.pop(xid, None)
+
+    def ping(self, destination: Address, prog: int, vers: int = 1) -> bool:
+        """True when the destination answers procedure 0 (NULL proc)."""
+        try:
+            self.call(destination, prog, vers, 0)
+            return True
+        except RpcError:
+            return False
+
+    def close(self) -> None:
+        dispatcher_for(self.transport).client = None

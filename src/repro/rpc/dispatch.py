@@ -1,0 +1,49 @@
+"""Per-transport message demultiplexer.
+
+A node in the COSM network is often client and server at the same time
+(e.g. a browser answers registration calls *and* forwards queries to peer
+browsers).  Both roles share one transport; the dispatcher routes incoming
+CALL messages to the server half and REPLY messages to the client half.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.endpoints import Address
+from repro.rpc.errors import XdrError
+from repro.rpc.message import RpcCall, RpcReply, decode_message
+from repro.rpc.transport import Transport
+
+
+class RpcDispatcher:
+    """Routes decoded RPC messages to the attached client/server."""
+
+    def __init__(self, transport: Transport) -> None:
+        self.transport = transport
+        self.server = None  # type: Optional[object]
+        self.client = None  # type: Optional[object]
+        self.malformed_count = 0
+        transport.set_receiver(self._on_message)
+
+    def _on_message(self, source: Address, payload: bytes) -> None:
+        try:
+            message = decode_message(payload)
+        except XdrError:
+            self.malformed_count += 1
+            return
+        if isinstance(message, RpcCall):
+            if self.server is not None:
+                self.server.handle_call(source, message)
+        elif isinstance(message, RpcReply):
+            if self.client is not None:
+                self.client.handle_reply(source, message)
+
+
+def dispatcher_for(transport: Transport) -> RpcDispatcher:
+    """Return the transport's dispatcher, creating it on first use."""
+    existing = getattr(transport, "_rpc_dispatcher", None)
+    if existing is None:
+        existing = RpcDispatcher(transport)
+        transport._rpc_dispatcher = existing
+    return existing

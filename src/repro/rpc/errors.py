@@ -1,0 +1,38 @@
+"""RPC error hierarchy."""
+
+from __future__ import annotations
+
+from repro.errors import CommunicationError, ProtocolError
+
+
+class RpcError(CommunicationError):
+    """Base class for RPC-level failures."""
+
+
+class RpcTimeout(RpcError):
+    """No reply arrived within the client's deadline (after retries)."""
+
+
+class ProgramUnavailable(RpcError):
+    """The destination server does not host the requested program."""
+
+
+class ProcedureUnavailable(RpcError):
+    """The program exists but the procedure number is not registered."""
+
+
+class GarbageArguments(RpcError):
+    """The server could not decode the call arguments."""
+
+
+class RemoteFault(RpcError):
+    """The remote procedure raised; carries the remote error text."""
+
+    def __init__(self, kind: str, detail: str) -> None:
+        super().__init__(f"{kind}: {detail}")
+        self.kind = kind
+        self.detail = detail
+
+
+class XdrError(ProtocolError):
+    """Malformed XDR data or an unencodable value."""

@@ -1,0 +1,91 @@
+"""RPC wire messages: CALL and REPLY.
+
+Mirrors the shape of ONC RPC messages (xid, program, version, procedure)
+with a simplified reply status enum.  Bodies are opaque byte strings —
+normally the tagged encoding from :mod:`repro.rpc.xdr`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.rpc.errors import XdrError
+from repro.rpc.xdr import XdrDecoder, XdrEncoder
+
+_MSG_CALL = 0
+_MSG_REPLY = 1
+
+
+class ReplyStatus(enum.IntEnum):
+    """Outcome of a call as reported by the server."""
+
+    SUCCESS = 0
+    PROG_UNAVAIL = 1
+    PROC_UNAVAIL = 2
+    GARBAGE_ARGS = 3
+    REMOTE_FAULT = 4
+
+
+@dataclass(frozen=True)
+class RpcCall:
+    """A request for procedure ``proc`` of program ``prog`` version ``vers``."""
+
+    xid: int
+    prog: int
+    vers: int
+    proc: int
+    body: bytes = b""
+
+    def encode(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_u32(self.xid)
+        enc.pack_u32(_MSG_CALL)
+        enc.pack_u32(self.prog)
+        enc.pack_u32(self.vers)
+        enc.pack_u32(self.proc)
+        enc.pack_opaque(self.body)
+        return enc.getvalue()
+
+
+@dataclass(frozen=True)
+class RpcReply:
+    """The server's answer, matched to the call by ``xid``."""
+
+    xid: int
+    status: ReplyStatus
+    body: bytes = b""
+
+    def encode(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_u32(self.xid)
+        enc.pack_u32(_MSG_REPLY)
+        enc.pack_u32(int(self.status))
+        enc.pack_opaque(self.body)
+        return enc.getvalue()
+
+
+def decode_message(data: bytes):
+    """Decode bytes into an :class:`RpcCall` or :class:`RpcReply`."""
+    dec = XdrDecoder(data)
+    xid = dec.unpack_u32()
+    kind = dec.unpack_u32()
+    if kind == _MSG_CALL:
+        prog = dec.unpack_u32()
+        vers = dec.unpack_u32()
+        proc = dec.unpack_u32()
+        body = dec.unpack_opaque()
+        message = RpcCall(xid, prog, vers, proc, body)
+    elif kind == _MSG_REPLY:
+        status_raw = dec.unpack_u32()
+        try:
+            status = ReplyStatus(status_raw)
+        except ValueError:
+            raise XdrError(f"unknown reply status {status_raw}")
+        body = dec.unpack_opaque()
+        message = RpcReply(xid, status, body)
+    else:
+        raise XdrError(f"unknown RPC message kind {kind}")
+    if not dec.done():
+        raise XdrError("trailing bytes after RPC message")
+    return message

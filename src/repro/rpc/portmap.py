@@ -1,0 +1,115 @@
+"""Portmapper: maps (program, version) to a port on each host.
+
+Faithful to the ONC RPC model the prototype used: servers register their
+dynamically bound port under their program number at the host's portmapper
+on well-known port 111; clients ask the portmapper where a program lives
+before calling it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.net.endpoints import Address
+from repro.rpc.client import RpcClient
+from repro.rpc.errors import RpcError
+from repro.rpc.server import RpcProgram, RpcServer
+from repro.rpc.transport import Transport
+
+PORTMAP_PORT = 111
+PORTMAP_PROGRAM = 100000
+
+_PROC_SET = 1
+_PROC_UNSET = 2
+_PROC_GETPORT = 3
+_PROC_DUMP = 4
+
+
+class Portmapper:
+    """The registry service; one per simulated host."""
+
+    def __init__(self, transport: Transport) -> None:
+        if transport.local_address.port != PORTMAP_PORT:
+            raise RpcError(
+                f"portmapper must listen on port {PORTMAP_PORT}, "
+                f"got {transport.local_address.port}"
+            )
+        self._mappings: Dict[Tuple[int, int], int] = {}
+        self.server = RpcServer(transport)
+        program = RpcProgram(PORTMAP_PROGRAM, 1, "portmap")
+        program.register(_PROC_SET, self._set, "set")
+        program.register(_PROC_UNSET, self._unset, "unset")
+        program.register(_PROC_GETPORT, self._getport, "getport")
+        program.register(_PROC_DUMP, self._dump, "dump")
+        self.server.serve(program)
+
+    @property
+    def address(self) -> Address:
+        return self.server.address
+
+    # -- handlers ---------------------------------------------------------
+
+    def _set(self, args) -> bool:
+        key = (args["prog"], args["vers"])
+        if key in self._mappings:
+            return False
+        self._mappings[key] = args["port"]
+        return True
+
+    def _unset(self, args) -> bool:
+        return self._mappings.pop((args["prog"], args["vers"]), None) is not None
+
+    def _getport(self, args):
+        # Port 0 means "not registered", as in the real portmapper.
+        return self._mappings.get((args["prog"], args["vers"]), 0)
+
+    def _dump(self, args):
+        return [
+            {"prog": prog, "vers": vers, "port": port}
+            for (prog, vers), port in sorted(self._mappings.items())
+        ]
+
+    # -- local convenience --------------------------------------------------
+
+    def register_local(self, prog: int, vers: int, port: int) -> None:
+        """Direct registration for servers co-located with the portmapper."""
+        self._mappings[(prog, vers)] = port
+
+
+def portmap_register(
+    client: RpcClient, host: str, prog: int, vers: int, port: int
+) -> bool:
+    """Register a program at ``host``'s portmapper; True on success."""
+    return client.call(
+        Address(host, PORTMAP_PORT),
+        PORTMAP_PROGRAM,
+        1,
+        _PROC_SET,
+        {"prog": prog, "vers": vers, "port": port},
+    )
+
+
+def portmap_unregister(client: RpcClient, host: str, prog: int, vers: int) -> bool:
+    return client.call(
+        Address(host, PORTMAP_PORT),
+        PORTMAP_PROGRAM,
+        1,
+        _PROC_UNSET,
+        {"prog": prog, "vers": vers},
+    )
+
+
+def portmap_lookup(
+    client: RpcClient, host: str, prog: int, vers: int
+) -> Optional[Address]:
+    """Resolve a program to a concrete address, or ``None`` if unknown."""
+    port = client.call(
+        Address(host, PORTMAP_PORT),
+        PORTMAP_PROGRAM,
+        1,
+        _PROC_GETPORT,
+        {"prog": prog, "vers": vers},
+    )
+    if not port:
+        return None
+    return Address(host, port)

@@ -1,0 +1,141 @@
+"""Transactional RPC: a two-phase-commit coordinator over plain RPC.
+
+The Fig. 6 architecture places a TP-monitor above the communication level
+and "Transactional RPC" inside it.  This module provides the mechanism:
+participants export PREPARE/COMMIT/ABORT procedures; a coordinator drives
+the classic presumed-abort protocol across any number of participants.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Dict, List
+
+from repro.net.endpoints import Address
+from repro.rpc.client import RpcClient
+from repro.rpc.errors import RpcError
+from repro.rpc.server import RpcProgram, RpcServer
+
+TXN_PROGRAM = 100500
+_PROC_PREPARE = 1
+_PROC_COMMIT = 2
+_PROC_ABORT = 3
+
+
+class TxnOutcome(enum.Enum):
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class TransactionParticipant:
+    """Server-side 2PC endpoint wrapping an application *resource*.
+
+    The resource supplies three methods::
+
+        prepare(txn_id: str, work: Any) -> bool   # vote yes/no
+        commit(txn_id: str) -> None
+        abort(txn_id: str) -> None
+
+    A participant votes no for unknown work and tolerates repeated
+    COMMIT/ABORT deliveries (the coordinator may retransmit).
+    """
+
+    def __init__(self, server: RpcServer, resource: Any) -> None:
+        self.resource = resource
+        self._prepared: Dict[str, bool] = {}
+        program = RpcProgram(TXN_PROGRAM, 1, "txn-participant")
+        program.register(_PROC_PREPARE, self._prepare, "prepare")
+        program.register(_PROC_COMMIT, self._commit, "commit")
+        program.register(_PROC_ABORT, self._abort, "abort")
+        server.serve(program)
+
+    def _prepare(self, args) -> bool:
+        txn_id = args["txn_id"]
+        if txn_id in self._prepared:
+            return self._prepared[txn_id]
+        try:
+            vote = bool(self.resource.prepare(txn_id, args.get("work")))
+        except Exception:  # noqa: BLE001 - a crashing resource votes no
+            vote = False
+        if not vote:
+            # Presumed abort: the coordinator never sends ABORT to a
+            # no-voter, so release any partially staged work right here.
+            try:
+                self.resource.abort(txn_id)
+            except Exception:  # noqa: BLE001
+                pass
+        self._prepared[txn_id] = vote
+        return vote
+
+    def _commit(self, args) -> bool:
+        txn_id = args["txn_id"]
+        if self._prepared.pop(txn_id, None):
+            self.resource.commit(txn_id)
+        return True
+
+    def _abort(self, args) -> bool:
+        txn_id = args["txn_id"]
+        if self._prepared.pop(txn_id, False):
+            self.resource.abort(txn_id)
+        return True
+
+
+class TransactionCoordinator:
+    """Drives 2PC over a set of participants."""
+
+    _txn_counter = itertools.count(1)
+
+    def __init__(self, client: RpcClient, timeout: float = 1.0) -> None:
+        self._client = client
+        self._timeout = timeout
+        self.committed = 0
+        self.aborted = 0
+
+    def execute(self, work: Dict[Address, Any]) -> TxnOutcome:
+        """Run one distributed transaction.
+
+        ``work`` maps each participant address to the work item passed to
+        its resource's ``prepare``.  Aborts on any no-vote, fault, or
+        timeout (presumed abort).
+        """
+        txn_id = f"txn-{self._client.address}-{next(self._txn_counter)}"
+        voted_yes: List[Address] = []
+        decision = TxnOutcome.COMMITTED
+        for address, item in work.items():
+            try:
+                vote = self._client.call(
+                    address,
+                    TXN_PROGRAM,
+                    1,
+                    _PROC_PREPARE,
+                    {"txn_id": txn_id, "work": item},
+                    timeout=self._timeout,
+                )
+            except RpcError:
+                vote = False
+            if vote:
+                voted_yes.append(address)
+            else:
+                decision = TxnOutcome.ABORTED
+                break
+
+        if decision is TxnOutcome.COMMITTED:
+            self._finish(voted_yes, txn_id, _PROC_COMMIT)
+            self.committed += 1
+        else:
+            self._finish(voted_yes, txn_id, _PROC_ABORT)
+            self.aborted += 1
+        return decision
+
+    def _finish(self, participants: List[Address], txn_id: str, proc: int) -> None:
+        for address in participants:
+            try:
+                self._client.call(
+                    address, TXN_PROGRAM, 1, proc, {"txn_id": txn_id},
+                    timeout=self._timeout,
+                )
+            except RpcError:
+                # Presumed abort: an unreachable participant will learn the
+                # outcome when it asks; nothing more the coordinator can do.
+                pass

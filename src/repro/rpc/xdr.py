@@ -1,0 +1,232 @@
+"""XDR-style binary marshalling.
+
+Two layers:
+
+* :class:`XdrEncoder` / :class:`XdrDecoder` — the primitive wire formats of
+  RFC 1014-era XDR: big-endian 4-byte words, 8-byte hypers, IEEE doubles,
+  length-prefixed opaques padded to 4-byte boundaries.
+* :func:`encode_value` / :func:`decode_value` — a *tagged* self-describing
+  encoding of Python values built on the primitives.  This is what makes
+  the paper's **dynamic marshalling** possible: a generic client that has
+  just downloaded a SID can marshal parameters for a service it has never
+  seen, because values carry their own structure on the wire.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Tuple
+
+from repro.net.endpoints import Address
+from repro.rpc.errors import XdrError
+
+_I32_MIN, _I32_MAX = -(2**31), 2**31 - 1
+_U32_MAX = 2**32 - 1
+_I64_MIN, _I64_MAX = -(2**63), 2**63 - 1
+
+
+class XdrEncoder:
+    """Accumulates XDR primitives into a byte buffer."""
+
+    def __init__(self) -> None:
+        self._chunks: List[bytes] = []
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+    def pack_u32(self, value: int) -> None:
+        if not 0 <= value <= _U32_MAX:
+            raise XdrError(f"u32 out of range: {value!r}")
+        self._chunks.append(struct.pack(">I", value))
+
+    def pack_i32(self, value: int) -> None:
+        if not _I32_MIN <= value <= _I32_MAX:
+            raise XdrError(f"i32 out of range: {value!r}")
+        self._chunks.append(struct.pack(">i", value))
+
+    def pack_i64(self, value: int) -> None:
+        if not _I64_MIN <= value <= _I64_MAX:
+            raise XdrError(f"i64 out of range: {value!r}")
+        self._chunks.append(struct.pack(">q", value))
+
+    def pack_double(self, value: float) -> None:
+        self._chunks.append(struct.pack(">d", value))
+
+    def pack_bool(self, value: bool) -> None:
+        self.pack_u32(1 if value else 0)
+
+    def pack_opaque(self, data: bytes) -> None:
+        """Variable-length opaque: u32 length, bytes, zero pad to 4."""
+        self.pack_u32(len(data))
+        self._chunks.append(data)
+        pad = (-len(data)) % 4
+        if pad:
+            self._chunks.append(b"\x00" * pad)
+
+    def pack_string(self, text: str) -> None:
+        self.pack_opaque(text.encode("utf-8"))
+
+
+class XdrDecoder:
+    """Consumes XDR primitives from a byte buffer."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._offset = 0
+
+    def remaining(self) -> int:
+        return len(self._data) - self._offset
+
+    def done(self) -> bool:
+        return self._offset >= len(self._data)
+
+    def _take(self, count: int) -> bytes:
+        if self._offset + count > len(self._data):
+            raise XdrError(
+                f"truncated XDR data: wanted {count} bytes, "
+                f"have {len(self._data) - self._offset}"
+            )
+        chunk = self._data[self._offset : self._offset + count]
+        self._offset += count
+        return chunk
+
+    def unpack_u32(self) -> int:
+        return struct.unpack(">I", self._take(4))[0]
+
+    def unpack_i32(self) -> int:
+        return struct.unpack(">i", self._take(4))[0]
+
+    def unpack_i64(self) -> int:
+        return struct.unpack(">q", self._take(8))[0]
+
+    def unpack_double(self) -> float:
+        return struct.unpack(">d", self._take(8))[0]
+
+    def unpack_bool(self) -> bool:
+        value = self.unpack_u32()
+        if value not in (0, 1):
+            raise XdrError(f"bool must be 0 or 1, got {value}")
+        return bool(value)
+
+    def unpack_opaque(self) -> bytes:
+        length = self.unpack_u32()
+        data = self._take(length)
+        pad = (-length) % 4
+        if pad:
+            padding = self._take(pad)
+            if padding != b"\x00" * pad:
+                raise XdrError("non-zero XDR padding")
+        return data
+
+    def unpack_string(self) -> str:
+        return self.unpack_opaque().decode("utf-8")
+
+
+# -- tagged generic values -----------------------------------------------
+
+_TAG_NULL = 0
+_TAG_BOOL = 1
+_TAG_INT = 2
+_TAG_FLOAT = 3
+_TAG_STRING = 4
+_TAG_BYTES = 5
+_TAG_LIST = 6
+_TAG_DICT = 7
+_TAG_ADDRESS = 8
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode a Python value into self-describing XDR bytes.
+
+    Supported: ``None``, ``bool``, ``int``, ``float``, ``str``, ``bytes``,
+    :class:`~repro.net.endpoints.Address`, and (nested) lists/tuples and
+    string-keyed dicts of the above.  Dict key order is preserved, so two
+    structurally equal values encode identically.
+    """
+    encoder = XdrEncoder()
+    _encode_into(value, encoder)
+    return encoder.getvalue()
+
+
+def _encode_into(value: Any, enc: XdrEncoder) -> None:
+    if value is None:
+        enc.pack_u32(_TAG_NULL)
+    elif value is True or value is False:
+        enc.pack_u32(_TAG_BOOL)
+        enc.pack_bool(value)
+    elif isinstance(value, Address):
+        # Must precede the tuple check: Address is a NamedTuple.
+        enc.pack_u32(_TAG_ADDRESS)
+        enc.pack_string(value.host)
+        enc.pack_u32(value.port)
+    elif isinstance(value, int):
+        enc.pack_u32(_TAG_INT)
+        enc.pack_i64(value)
+    elif isinstance(value, float):
+        enc.pack_u32(_TAG_FLOAT)
+        enc.pack_double(value)
+    elif isinstance(value, str):
+        enc.pack_u32(_TAG_STRING)
+        enc.pack_string(value)
+    elif isinstance(value, (bytes, bytearray)):
+        enc.pack_u32(_TAG_BYTES)
+        enc.pack_opaque(bytes(value))
+    elif isinstance(value, (list, tuple)):
+        enc.pack_u32(_TAG_LIST)
+        enc.pack_u32(len(value))
+        for item in value:
+            _encode_into(item, enc)
+    elif isinstance(value, dict):
+        enc.pack_u32(_TAG_DICT)
+        enc.pack_u32(len(value))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise XdrError(f"dict keys must be strings, got {key!r}")
+            enc.pack_string(key)
+            _encode_into(item, enc)
+    else:
+        raise XdrError(f"cannot marshal value of type {type(value).__name__}")
+
+
+def decode_value(data: bytes) -> Any:
+    """Decode bytes produced by :func:`encode_value`.
+
+    Raises :class:`~repro.rpc.errors.XdrError` on malformed or trailing
+    data.
+    """
+    decoder = XdrDecoder(data)
+    value = _decode_from(decoder)
+    if not decoder.done():
+        raise XdrError(f"{decoder.remaining()} trailing bytes after value")
+    return value
+
+
+def _decode_from(dec: XdrDecoder) -> Any:
+    tag = dec.unpack_u32()
+    if tag == _TAG_NULL:
+        return None
+    if tag == _TAG_BOOL:
+        return dec.unpack_bool()
+    if tag == _TAG_INT:
+        return dec.unpack_i64()
+    if tag == _TAG_FLOAT:
+        return dec.unpack_double()
+    if tag == _TAG_STRING:
+        return dec.unpack_string()
+    if tag == _TAG_BYTES:
+        return dec.unpack_opaque()
+    if tag == _TAG_LIST:
+        length = dec.unpack_u32()
+        return [_decode_from(dec) for __ in range(length)]
+    if tag == _TAG_DICT:
+        length = dec.unpack_u32()
+        result: Dict[str, Any] = {}
+        for __ in range(length):
+            key = dec.unpack_string()
+            result[key] = _decode_from(dec)
+        return result
+    if tag == _TAG_ADDRESS:
+        host = dec.unpack_string()
+        port = dec.unpack_u32()
+        return Address(host, port)
+    raise XdrError(f"unknown XDR value tag {tag}")

@@ -1,0 +1,57 @@
+"""Example application services, each a SIDL description + implementation.
+
+* :mod:`repro.services.car_rental` — the paper's running example (§2.1,
+  §3.1, §4.1), FSM-restricted (INIT/SELECTED), trader-exportable,
+* :mod:`repro.services.image_conversion` — the §2.3 value-adding service:
+  converts image format Y to X by *invoking another service*,
+* :mod:`repro.services.stock_quotes` — an innovative service without any
+  standardised type (browsable only),
+* :mod:`repro.services.directory` — a directory whose results are
+  SERVICEREFERENCE values, driving Fig. 4 cascades.
+"""
+
+from repro.services.car_rental import (
+    CAR_RENTAL_SIDL,
+    PAPER_LISTING_SIDL,
+    CarRentalImpl,
+    make_car_rental_sid,
+    start_car_rental,
+)
+from repro.services.directory import DIRECTORY_SIDL, DirectoryImpl, start_directory
+from repro.services.flights import FLIGHTS_SIDL, FlightsImpl, start_flights
+from repro.services.hotel import HOTEL_SIDL, HotelImpl, start_hotel
+from repro.services.image_conversion import (
+    IMAGE_ARCHIVE_SIDL,
+    IMAGE_CONVERTER_SIDL,
+    ImageArchiveImpl,
+    ImageConverterImpl,
+    start_image_archive,
+    start_image_converter,
+)
+from repro.services.stock_quotes import STOCK_QUOTES_SIDL, StockQuotesImpl, start_stock_quotes
+
+__all__ = [
+    "CAR_RENTAL_SIDL",
+    "CarRentalImpl",
+    "DIRECTORY_SIDL",
+    "DirectoryImpl",
+    "FLIGHTS_SIDL",
+    "FlightsImpl",
+    "HOTEL_SIDL",
+    "HotelImpl",
+    "IMAGE_ARCHIVE_SIDL",
+    "IMAGE_CONVERTER_SIDL",
+    "ImageArchiveImpl",
+    "ImageConverterImpl",
+    "PAPER_LISTING_SIDL",
+    "STOCK_QUOTES_SIDL",
+    "StockQuotesImpl",
+    "make_car_rental_sid",
+    "start_car_rental",
+    "start_directory",
+    "start_flights",
+    "start_hotel",
+    "start_image_archive",
+    "start_image_converter",
+    "start_stock_quotes",
+]

@@ -1,0 +1,62 @@
+"""A directory service whose results are service references.
+
+Demonstrates SERVICEREFERENCE as a first-class parameter/return type
+(§3.2): looking up a category returns references, each of which the
+generic client renders as a bind button — the engine behind arbitrarily
+deep Fig. 4 cascades (a directory can even list other directories).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.core.service_runtime import ServiceRuntime
+from repro.naming.refs import ServiceRef
+from repro.rpc.server import RpcServer
+from repro.sidl.builder import load_service_description
+
+DIRECTORY_SIDL = """
+module ServiceDirectory {
+  typedef Listing_t struct {
+    string category;
+    string description;
+    service_reference ref;
+  };
+  typedef ListingList_t sequence<Listing_t>;
+  typedef CategoryList_t sequence<string>;
+  interface COSM_Operations {
+    CategoryList_t Categories();
+    ListingList_t Lookup(in string category);
+    boolean Advertise(in string category, in string description, in service_reference ref);
+  };
+  module COSM_Annotations {
+    annotation Lookup "Services advertised under a category; bind any result.";
+    annotation Advertise "Add a service reference under a category.";
+  };
+};
+"""
+
+
+class DirectoryImpl:
+    """In-memory category → listings map."""
+
+    def __init__(self) -> None:
+        self._listings: Dict[str, List[Dict[str, Any]]] = {}
+
+    def Categories(self) -> List[str]:
+        return sorted(self._listings)
+
+    def Lookup(self, category: str) -> List[Dict[str, Any]]:
+        return [dict(item) for item in self._listings.get(category, [])]
+
+    def Advertise(self, category: str, description: str, ref: Any) -> bool:
+        wire = ref.to_wire() if isinstance(ref, ServiceRef) else dict(ref)
+        self._listings.setdefault(category, []).append(
+            {"category": category, "description": description, "ref": wire}
+        )
+        return True
+
+
+def start_directory(server: RpcServer, **runtime_options: Any) -> ServiceRuntime:
+    sid = load_service_description(DIRECTORY_SIDL)
+    return ServiceRuntime(server, sid, DirectoryImpl(), **runtime_options)

@@ -1,0 +1,115 @@
+"""SIDL — the Service Interface Description Language.
+
+The paper's uniform description technique (§3.1, §4.1): a CORBA-IDL-
+conformant concrete syntax in which COSM-specific descriptional elements
+(FSM protocol restrictions, trader-export attributes, user annotations,
+UI hints) are embedded as specially named modules.  Components that do not
+understand an embedded module *skip* it, which is what makes SIDs
+forward-compatible and extensible (Fig. 2).
+
+Public entry points:
+
+* :func:`parse` — SIDL source text → AST,
+* :func:`build_service_description` / :func:`load_service_description` —
+  AST/source → :class:`ServiceDescription` (a SID: a first-class,
+  communicable value),
+* :mod:`repro.sidl.types` — the structural type system with record
+  subtyping (Quest/TL style, per the paper's §3.1),
+* :mod:`repro.sidl.fsm` — finite-state-machine protocol specifications,
+* :class:`InterfaceRepository` — a store of SIDs, CORBA-IR style.
+"""
+
+from repro.sidl.ast_nodes import (
+    AnnotationDecl,
+    ConstDecl,
+    EnumDecl,
+    FsmDecl,
+    InterfaceDecl,
+    ModuleDecl,
+    OperationDecl,
+    ParamDecl,
+    SkippedDecl,
+    StructDecl,
+    TypedefDecl,
+    UnionDecl,
+)
+from repro.sidl.builder import build_service_description, load_service_description
+from repro.sidl.errors import (
+    SidlError,
+    SidlParseError,
+    SidlSemanticError,
+    SidlTypeError,
+)
+from repro.sidl.fsm import FsmSession, FsmSpec, FsmTransition, FsmViolation
+from repro.sidl.lexer import tokenize
+from repro.sidl.parser import parse
+from repro.sidl.printer import print_module
+from repro.sidl.repository import InterfaceRepository
+from repro.sidl.sid import ServiceDescription
+from repro.sidl.subtyping import conforms, is_subtype
+from repro.sidl.types import (
+    AnyType,
+    BOOLEAN,
+    DOUBLE,
+    EnumType,
+    FLOAT,
+    InterfaceType,
+    LONG,
+    OCTETS,
+    OperationType,
+    STRING,
+    SequenceType,
+    ServiceReferenceType,
+    SidlType,
+    StructType,
+    UnionType,
+    VOID,
+)
+
+__all__ = [
+    "AnnotationDecl",
+    "AnyType",
+    "BOOLEAN",
+    "ConstDecl",
+    "DOUBLE",
+    "EnumDecl",
+    "EnumType",
+    "FLOAT",
+    "FsmDecl",
+    "FsmSession",
+    "FsmSpec",
+    "FsmTransition",
+    "FsmViolation",
+    "InterfaceDecl",
+    "InterfaceRepository",
+    "InterfaceType",
+    "LONG",
+    "ModuleDecl",
+    "OCTETS",
+    "OperationDecl",
+    "OperationType",
+    "ParamDecl",
+    "STRING",
+    "SequenceType",
+    "ServiceDescription",
+    "ServiceReferenceType",
+    "SidlError",
+    "SidlParseError",
+    "SidlSemanticError",
+    "SidlType",
+    "SidlTypeError",
+    "SkippedDecl",
+    "StructDecl",
+    "StructType",
+    "TypedefDecl",
+    "UnionDecl",
+    "UnionType",
+    "VOID",
+    "build_service_description",
+    "conforms",
+    "is_subtype",
+    "load_service_description",
+    "parse",
+    "print_module",
+    "tokenize",
+]

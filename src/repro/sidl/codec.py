@@ -1,0 +1,171 @@
+"""Wire representation of SIDL types.
+
+SIDs are communicable first-class values (§3.1), so every type object must
+survive a trip through the tagged XDR codec.  Named types declared by the
+SID are serialised once in a definitions table; all other references are
+inlined.  Decoding resolves names lazily with memoisation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.sidl.errors import SidlSemanticError
+from repro.sidl.types import (
+    AnyType,
+    BooleanType,
+    EnumType,
+    FloatType,
+    IntegerType,
+    InterfaceType,
+    OctetsType,
+    OperationType,
+    PRIMITIVES,
+    SequenceType,
+    ServiceReferenceType,
+    SidValueType,
+    SidlType,
+    StringType,
+    StructType,
+    UnionType,
+    VoidType,
+)
+
+
+def type_to_wire(sidl_type: SidlType, named: Dict[str, SidlType]) -> Any:
+    """Encode a type; named types already in ``named`` become references."""
+    name = getattr(sidl_type, "name", None)
+    if name in named and named[name] is sidl_type:
+        return {"kind": "ref", "name": name}
+    if isinstance(sidl_type, (VoidType, BooleanType, OctetsType, AnyType,
+                              ServiceReferenceType, SidValueType)):
+        return {"kind": "primitive", "name": sidl_type.name}
+    if isinstance(sidl_type, IntegerType):
+        return {"kind": "primitive", "name": sidl_type.name}
+    if isinstance(sidl_type, FloatType):
+        return {"kind": "primitive", "name": sidl_type.name}
+    if isinstance(sidl_type, StringType):
+        return {"kind": "string", "bound": sidl_type.bound}
+    if isinstance(sidl_type, EnumType):
+        return {
+            "kind": "enum",
+            "name": sidl_type.name,
+            "labels": list(sidl_type.labels),
+        }
+    if isinstance(sidl_type, StructType):
+        return {
+            "kind": "struct",
+            "name": sidl_type.name,
+            "fields": [
+                [field_name, type_to_wire(field_type, named)]
+                for field_name, field_type in sidl_type.fields
+            ],
+        }
+    if isinstance(sidl_type, SequenceType):
+        return {
+            "kind": "sequence",
+            "element": type_to_wire(sidl_type.element, named),
+            "bound": sidl_type.bound,
+        }
+    if isinstance(sidl_type, UnionType):
+        return {
+            "kind": "union",
+            "name": sidl_type.name,
+            "discriminator": type_to_wire(sidl_type.discriminator, named),
+            "cases": [
+                [label, arm_name, type_to_wire(arm_type, named)]
+                for label, arm_name, arm_type in sidl_type.cases
+            ],
+        }
+    raise SidlSemanticError(f"cannot serialise type {sidl_type!r}")
+
+
+def type_from_wire(
+    data: Any,
+    definitions: Optional[Dict[str, Any]] = None,
+    memo: Optional[Dict[str, SidlType]] = None,
+) -> SidlType:
+    """Decode a type; ``definitions`` maps names to their wire forms."""
+    definitions = definitions or {}
+    memo = memo if memo is not None else {}
+    return _decode(data, definitions, memo)
+
+
+def _decode(data: Any, definitions: Dict[str, Any], memo: Dict[str, SidlType]) -> SidlType:
+    kind = data.get("kind")
+    if kind == "ref":
+        name = data["name"]
+        if name in memo:
+            return memo[name]
+        if name not in definitions:
+            raise SidlSemanticError(f"reference to unknown type {name!r}")
+        decoded = _decode(definitions[name], definitions, memo)
+        memo[name] = decoded
+        return decoded
+    if kind == "primitive":
+        name = data["name"]
+        if name not in PRIMITIVES:
+            raise SidlSemanticError(f"unknown primitive {name!r}")
+        return PRIMITIVES[name]
+    if kind == "string":
+        bound = data.get("bound")
+        return StringType(bound) if bound else PRIMITIVES["string"]
+    if kind == "enum":
+        return EnumType(data["name"], data["labels"])
+    if kind == "struct":
+        fields = [
+            (field_name, _decode(field_data, definitions, memo))
+            for field_name, field_data in data["fields"]
+        ]
+        return StructType(data["name"], fields)
+    if kind == "sequence":
+        element = _decode(data["element"], definitions, memo)
+        return SequenceType(element, data.get("bound"))
+    if kind == "union":
+        discriminator = _decode(data["discriminator"], definitions, memo)
+        cases = [
+            (label, arm_name, _decode(arm_data, definitions, memo))
+            for label, arm_name, arm_data in data["cases"]
+        ]
+        return UnionType(data["name"], discriminator, cases)
+    raise SidlSemanticError(f"unknown wire type kind {kind!r}")
+
+
+def interface_to_wire(interface: InterfaceType, named: Dict[str, SidlType]) -> Any:
+    return {
+        "name": interface.name,
+        "operations": [
+            {
+                "name": operation.name,
+                "result": type_to_wire(operation.result, named),
+                "params": [
+                    [param_name, direction, type_to_wire(param_type, named)]
+                    for param_name, direction, param_type in operation.params
+                ],
+                "oneway": operation.oneway,
+            }
+            for operation in interface.operations.values()
+        ],
+    }
+
+
+def interface_from_wire(
+    data: Any,
+    definitions: Dict[str, Any],
+    memo: Dict[str, SidlType],
+) -> InterfaceType:
+    operations = []
+    for op_data in data["operations"]:
+        params = [
+            (param_name, direction, _decode(param_data, definitions, memo))
+            for param_name, direction, param_data in op_data["params"]
+        ]
+        operations.append(
+            OperationType(
+                op_data["name"],
+                params,
+                _decode(op_data["result"], definitions, memo),
+                op_data.get("oneway", False),
+            )
+        )
+    return InterfaceType(data["name"], operations)

@@ -1,0 +1,27 @@
+"""SIDL error hierarchy."""
+
+from __future__ import annotations
+
+from repro.errors import CosmError
+
+
+class SidlError(CosmError):
+    """Base class for SIDL language errors."""
+
+
+class SidlParseError(SidlError):
+    """Lexical or syntactic error, with source position."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        position = f" at {line}:{column}" if line else ""
+        super().__init__(f"{message}{position}")
+        self.line = line
+        self.column = column
+
+
+class SidlSemanticError(SidlError):
+    """The SIDL parsed but is meaningless (unknown type, bad FSM, ...)."""
+
+
+class SidlTypeError(SidlError):
+    """A value does not conform to its declared SIDL type."""

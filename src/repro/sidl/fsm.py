@@ -1,0 +1,174 @@
+"""Finite-state-machine service protocol specifications (§3.1).
+
+A SID may restrict the legal invocation sequences of its operations by a
+list of ``(current state, operation, resulting state)`` transitions.  The
+generic client runs an :class:`FsmSession` per binding and *locally*
+rejects calls the FSM forbids — the paper's example of an optional SID
+extension that older components simply ignore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import ProtocolError
+from repro.sidl.errors import SidlSemanticError
+
+
+class FsmViolation(ProtocolError):
+    """An invocation was attempted that the FSM does not allow."""
+
+    def __init__(self, state: str, operation: str, allowed: Iterable[str]) -> None:
+        allowed = sorted(set(allowed))
+        super().__init__(
+            f"operation {operation!r} not allowed in state {state!r}; "
+            f"allowed: {allowed}"
+        )
+        self.state = state
+        self.operation = operation
+        self.allowed = allowed
+
+
+@dataclass(frozen=True)
+class FsmTransition:
+    """One tuple of the paper's transition list."""
+
+    source: str
+    operation: str
+    target: str
+
+    def as_tuple(self) -> Tuple[str, str, str]:
+        return (self.source, self.operation, self.target)
+
+
+class FsmSpec:
+    """Validated FSM: states, an initial state, deterministic transitions."""
+
+    def __init__(
+        self,
+        states: Iterable[str],
+        initial: str,
+        transitions: Iterable[FsmTransition],
+    ) -> None:
+        self.states: Tuple[str, ...] = tuple(dict.fromkeys(states))
+        if not self.states:
+            raise SidlSemanticError("FSM needs at least one state")
+        if initial not in self.states:
+            raise SidlSemanticError(f"initial state {initial!r} not declared")
+        self.initial = initial
+        self.transitions: Tuple[FsmTransition, ...] = tuple(transitions)
+        self._table: Dict[Tuple[str, str], str] = {}
+        for transition in self.transitions:
+            for state in (transition.source, transition.target):
+                if state not in self.states:
+                    raise SidlSemanticError(
+                        f"transition uses undeclared state {state!r}"
+                    )
+            key = (transition.source, transition.operation)
+            existing = self._table.get(key)
+            if existing is not None and existing != transition.target:
+                raise SidlSemanticError(
+                    f"non-deterministic FSM: {key} goes to both "
+                    f"{existing!r} and {transition.target!r}"
+                )
+            self._table[key] = transition.target
+
+    # -- queries -----------------------------------------------------------
+
+    def operations(self) -> FrozenSet[str]:
+        """Every operation mentioned by some transition."""
+        return frozenset(t.operation for t in self.transitions)
+
+    def allowed_in(self, state: str) -> List[str]:
+        """Operations that may be invoked from ``state``."""
+        return sorted(
+            operation for (source, operation) in self._table if source == state
+        )
+
+    def successor(self, state: str, operation: str) -> Optional[str]:
+        return self._table.get((state, operation))
+
+    def reachable_states(self) -> Set[str]:
+        """States reachable from the initial state."""
+        reachable = {self.initial}
+        frontier = [self.initial]
+        while frontier:
+            state = frontier.pop()
+            for (source, __), target in self._table.items():
+                if source == state and target not in reachable:
+                    reachable.add(target)
+                    frontier.append(target)
+        return reachable
+
+    def unreachable_states(self) -> Set[str]:
+        return set(self.states) - self.reachable_states()
+
+    def validate_against(self, operation_names: Iterable[str]) -> List[str]:
+        """Return diagnostics for operations the interface does not offer."""
+        known = set(operation_names)
+        return sorted(
+            f"FSM transition on unknown operation {operation!r}"
+            for operation in self.operations()
+            if operation not in known
+        )
+
+    # -- wire form ---------------------------------------------------------
+
+    def to_wire(self) -> dict:
+        return {
+            "states": list(self.states),
+            "initial": self.initial,
+            "transitions": [list(t.as_tuple()) for t in self.transitions],
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "FsmSpec":
+        transitions = [FsmTransition(*item) for item in data["transitions"]]
+        return cls(data["states"], data["initial"], transitions)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FsmSpec):
+            return NotImplemented
+        return self.to_wire() == other.to_wire()
+
+    def __hash__(self) -> int:
+        return hash((self.states, self.initial, self.transitions))
+
+
+class FsmSession:
+    """Tracks the communication state of one binding."""
+
+    def __init__(self, spec: FsmSpec) -> None:
+        self.spec = spec
+        self.state = spec.initial
+        self.history: List[str] = []
+        self.rejections = 0
+
+    def allows(self, operation: str) -> bool:
+        """True when ``operation`` is legal now.
+
+        Operations the FSM never mentions are unrestricted — the FSM only
+        constrains the operations it talks about, so an extended service
+        can add FSM-free operations without breaking old sessions.
+        """
+        if operation not in self.spec.operations():
+            return True
+        return self.spec.successor(self.state, operation) is not None
+
+    def advance(self, operation: str) -> str:
+        """Record a successful invocation; returns the new state."""
+        if operation in self.spec.operations():
+            target = self.spec.successor(self.state, operation)
+            if target is None:
+                self.rejections += 1
+                raise FsmViolation(
+                    self.state, operation, self.spec.allowed_in(self.state)
+                )
+            self.state = target
+        self.history.append(operation)
+        return self.state
+
+    def reset(self) -> None:
+        self.state = self.spec.initial
+        self.history.clear()

@@ -1,0 +1,230 @@
+"""Regenerate SIDL source from a semantic :class:`ServiceDescription`.
+
+The inverse of the builder.  Used when a mediated SID must be exported as
+text (e.g. written to an interface repository file, or shown to the human
+user in the browser).  Generated source always parses back to an equal
+SID, which the test suite checks property-style.
+
+Constructed types (enums, structs, unions) that appear in signatures
+without being in the SID's named-type table — legal in the semantic model
+— are *hoisted*: they get a synthetic unique name and a definition emitted
+before first use, because SIDL's concrete syntax (like CORBA IDL's) only
+references constructed types by name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.sidl.types import (
+    EnumType,
+    SequenceType,
+    SidlType,
+    StringType,
+    StructType,
+    UnionType,
+)
+
+_CONSTRUCTED = (EnumType, StructType, UnionType)
+
+
+def sid_to_sidl(sid) -> str:
+    """Render a :class:`~repro.sidl.sid.ServiceDescription` as SIDL text."""
+    table, by_id = _build_type_table(sid)
+    lines: List[str] = [f"module {sid.name} {{"]
+    emitted: set = set()
+    for type_name, sidl_type in table:
+        _emit_definition(type_name, sidl_type, by_id, emitted, lines)
+    for const_name, value in sid.constants.items():
+        lines.append(f"  const {_const_type(value)} {const_name} = {_literal(value)};")
+    lines.extend(_interface_lines(sid.interface, by_id))
+    if sid.fsm is not None:
+        lines.append("  module COSM_FSM {")
+        lines.append(f"    state {', '.join(sid.fsm.states)};")
+        lines.append(f"    initial {sid.fsm.initial};")
+        for transition in sid.fsm.transitions:
+            lines.append(
+                f"    transition {transition.source} -> {transition.target} "
+                f"on {transition.operation};"
+            )
+        lines.append("  };")
+    if sid.trader_export is not None:
+        lines.append("  module COSM_TraderExport {")
+        for key, value in sid.trader_export.items():
+            lines.append(f"    const {_const_type(value)} {key} = {_literal(value)};")
+        lines.append("  };")
+    if sid.annotations:
+        lines.append("  module COSM_Annotations {")
+        for subject, text in sid.annotations.items():
+            lines.append(f"    annotation {subject} {_quote(text)};")
+        lines.append("  };")
+    if sid.ui_hints:
+        lines.append("  module COSM_UIHints {")
+        for key, value in sid.ui_hints.items():
+            lines.append(f"    const {_const_type(value)} {key} = {_literal(value)};")
+        lines.append("  };")
+    for __, raw_source in sid.unknown_modules:
+        for raw_line in raw_source.rstrip("\n").splitlines():
+            lines.append(f"  {raw_line}")
+    lines.append("};")
+    return "\n".join(lines) + "\n"
+
+
+# -- type table construction -------------------------------------------------
+
+
+def _build_type_table(sid) -> Tuple[List[Tuple[str, SidlType]], Dict[int, str]]:
+    """All constructed types the source must define, in discovery order.
+
+    Returns the (name, type) list plus an identity → name map used when
+    emitting references.  Anonymous constructed types reachable from the
+    declared table or the interface are hoisted under fresh names.
+    """
+    table: List[Tuple[str, SidlType]] = []
+    by_id: Dict[int, str] = {}
+    used_names: set = set()
+
+    def fresh_name(base: str) -> str:
+        candidate = base or "Anon_t"
+        suffix = 1
+        while candidate in used_names:
+            suffix += 1
+            candidate = f"{base}_{suffix}"
+        used_names.add(candidate)
+        return candidate
+
+    def hoist(sidl_type: SidlType) -> None:
+        if id(sidl_type) in by_id:
+            return
+        if isinstance(sidl_type, SequenceType):
+            hoist(sidl_type.element)
+            return
+        if not isinstance(sidl_type, _CONSTRUCTED):
+            return
+        # children first, so the recorded order is already emittable
+        if isinstance(sidl_type, StructType):
+            for __, field_type in sidl_type.fields:
+                hoist(field_type)
+        elif isinstance(sidl_type, UnionType):
+            hoist(sidl_type.discriminator)
+            for __, __arm, arm_type in sidl_type.cases:
+                hoist(arm_type)
+        name = fresh_name(getattr(sidl_type, "name", "") or "Anon_t")
+        by_id[id(sidl_type)] = name
+        table.append((name, sidl_type))
+
+    # Declared types keep their declared names (registered before walking
+    # so self-references resolve); their children may still need hoisting.
+    for declared_name, declared in sid.types.items():
+        if isinstance(declared, _CONSTRUCTED) and id(declared) not in by_id:
+            used_names.add(declared_name)
+            by_id[id(declared)] = declared_name
+    for declared_name, declared in sid.types.items():
+        if isinstance(declared, StructType):
+            for __, field_type in declared.fields:
+                hoist(field_type)
+        elif isinstance(declared, UnionType):
+            hoist(declared.discriminator)
+            for __, __a, arm_type in declared.cases:
+                hoist(arm_type)
+        elif isinstance(declared, SequenceType):
+            hoist(declared.element)
+        if isinstance(declared, _CONSTRUCTED):
+            table.append((declared_name, declared))
+        else:
+            # aliases (sequence/string/primitive typedefs) keep their name
+            used_names.add(declared_name)
+            table.append((declared_name, declared))
+    for operation in sid.interface.operations.values():
+        for __, __direction, param_type in operation.params:
+            hoist(param_type)
+        hoist(operation.result)
+    return table, by_id
+
+
+def _emit_definition(
+    name: str,
+    sidl_type: SidlType,
+    by_id: Dict[int, str],
+    emitted: set,
+    lines: List[str],
+) -> None:
+    if name in emitted:
+        return
+    emitted.add(name)
+    if isinstance(sidl_type, EnumType):
+        lines.append(f"  enum {name} {{ {', '.join(sidl_type.labels)} }};")
+        return
+    if isinstance(sidl_type, StructType):
+        lines.append(f"  struct {name} {{")
+        for field_name, field_type in sidl_type.fields:
+            lines.append(f"    {_type_ref(field_type, by_id)} {field_name};")
+        lines.append("  };")
+        return
+    if isinstance(sidl_type, UnionType):
+        disc = _type_ref(sidl_type.discriminator, by_id)
+        lines.append(f"  union {name} switch ({disc}) {{")
+        for label, arm_name, arm_type in sidl_type.cases:
+            case = "default" if label is None else f"case {label}"
+            lines.append(f"    {case}: {_type_ref(arm_type, by_id)} {arm_name};")
+        lines.append("  };")
+        return
+    # alias of a primitive/sequence/bounded string
+    lines.append(f"  typedef {_type_ref(sidl_type, by_id, alias_of=name)} {name};")
+
+
+def _interface_lines(interface, by_id: Dict[int, str]) -> List[str]:
+    lines = [f"  interface {interface.name} {{"]
+    for operation in interface.operations.values():
+        params = ", ".join(
+            f"{direction} {_type_ref(param_type, by_id)} {param_name}"
+            for param_name, direction, param_type in operation.params
+        )
+        prefix = "oneway " if operation.oneway else ""
+        lines.append(
+            f"    {prefix}{_type_ref(operation.result, by_id)} "
+            f"{operation.name}({params});"
+        )
+    lines.append("  };")
+    return lines
+
+
+def _type_ref(sidl_type: SidlType, by_id: Dict[int, str], alias_of: str = "") -> str:
+    name = by_id.get(id(sidl_type))
+    if name is not None and name != alias_of:
+        return name
+    if isinstance(sidl_type, SequenceType):
+        inner = _type_ref(sidl_type.element, by_id)
+        if sidl_type.bound is not None:
+            return f"sequence<{inner}, {sidl_type.bound}>"
+        return f"sequence<{inner}>"
+    if isinstance(sidl_type, StringType) and sidl_type.bound is not None:
+        return f"string<{sidl_type.bound}>"
+    return getattr(sidl_type, "name", "any")
+
+
+def _const_type(value: Any) -> str:
+    if value is True or value is False:
+        return "boolean"
+    if isinstance(value, int):
+        return "long"
+    if isinstance(value, float):
+        return "float"
+    return "string"
+
+
+def _literal(value: Any) -> str:
+    if value is True:
+        return "TRUE"
+    if value is False:
+        return "FALSE"
+    if isinstance(value, str):
+        return _quote(value)
+    if isinstance(value, float) and value == int(value):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'

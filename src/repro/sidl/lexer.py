@@ -1,0 +1,200 @@
+"""Hand-written lexer for SIDL source text."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sidl.errors import SidlParseError
+from repro.sidl.tokens import (
+    EOF,
+    FLOAT,
+    IDENT,
+    INT,
+    KEYWORD,
+    KEYWORDS,
+    PUNCT,
+    PUNCTUATION,
+    STRING,
+    Token,
+)
+
+_IDENT_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789") | {"-"}
+_DIGITS = frozenset("0123456789")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convert SIDL source into a token list ending with an EOF token.
+
+    Supports ``//`` line comments and ``/* ... */`` block comments.
+    Identifiers may contain ``-`` after the first character (the paper
+    writes ``FIAT-Uno``), but a ``-`` followed by ``>`` always lexes as
+    the ``->`` transition arrow.
+    """
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    length = len(source)
+
+    def error(message: str) -> SidlParseError:
+        return SidlParseError(message, line, column)
+
+    while i < length:
+        ch = source[i]
+
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+
+        # Comments
+        if ch == "/" and i + 1 < length:
+            if source[i + 1] == "/":
+                while i < length and source[i] != "\n":
+                    i += 1
+                continue
+            if source[i + 1] == "*":
+                start_line, start_col = line, column
+                i += 2
+                column += 2
+                while True:
+                    if i + 1 >= length:
+                        raise SidlParseError(
+                            "unterminated block comment", start_line, start_col
+                        )
+                    if source[i] == "*" and source[i + 1] == "/":
+                        i += 2
+                        column += 2
+                        break
+                    if source[i] == "\n":
+                        line += 1
+                        column = 1
+                    else:
+                        column += 1
+                    i += 1
+                continue
+
+        # String literal
+        if ch == '"':
+            start_line, start_col = line, column
+            i += 1
+            column += 1
+            chunk: List[str] = []
+            while True:
+                if i >= length:
+                    raise SidlParseError("unterminated string", start_line, start_col)
+                c = source[i]
+                if c == '"':
+                    i += 1
+                    column += 1
+                    break
+                if c == "\\":
+                    if i + 1 >= length:
+                        raise SidlParseError(
+                            "dangling escape in string", line, column
+                        )
+                    escape = source[i + 1]
+                    mapping = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+                    if escape not in mapping:
+                        raise SidlParseError(f"bad escape \\{escape}", line, column)
+                    chunk.append(mapping[escape])
+                    i += 2
+                    column += 2
+                    continue
+                if c == "\n":
+                    raise SidlParseError("newline in string", line, column)
+                chunk.append(c)
+                i += 1
+                column += 1
+            tokens.append(Token(STRING, "".join(chunk), start_line, start_col))
+            continue
+
+        # Numbers (with optional leading sign handled by the parser; here
+        # we lex a leading '-' as part of the number when a digit follows
+        # and the previous token cannot end an expression).
+        if ch in _DIGITS or (
+            ch == "-"
+            and i + 1 < length
+            and source[i + 1] in _DIGITS
+            and not _prev_ends_value(tokens)
+        ):
+            start_line, start_col = line, column
+            j = i + 1 if ch == "-" else i
+            while j < length and source[j] in _DIGITS:
+                j += 1
+            is_float = False
+            if j < length and source[j] == "." and j + 1 < length and source[j + 1] in _DIGITS:
+                is_float = True
+                j += 1
+                while j < length and source[j] in _DIGITS:
+                    j += 1
+            if j < length and source[j] in "eE":
+                k = j + 1
+                if k < length and source[k] in "+-":
+                    k += 1
+                if k < length and source[k] in _DIGITS:
+                    is_float = True
+                    j = k
+                    while j < length and source[j] in _DIGITS:
+                        j += 1
+            text = source[i:j]
+            column += j - i
+            i = j
+            tokens.append(
+                Token(FLOAT if is_float else INT, text, start_line, start_col)
+            )
+            continue
+
+        # Identifiers / keywords
+        if ch in _IDENT_START:
+            start_line, start_col = line, column
+            j = i + 1
+            while j < length and source[j] in _IDENT_CONT:
+                # '-' is part of the identifier unless it starts '->'.
+                if source[j] == "-" and j + 1 < length and source[j + 1] == ">":
+                    break
+                # A trailing '-' (e.g. before whitespace) ends the identifier.
+                if source[j] == "-" and (
+                    j + 1 >= length or source[j + 1] not in _IDENT_CONT
+                ):
+                    break
+                j += 1
+            text = source[i:j]
+            column += j - i
+            i = j
+            kind = KEYWORD if text in KEYWORDS else IDENT
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+
+        # Punctuation (longest match first)
+        for punct in PUNCTUATION:
+            if source.startswith(punct, i):
+                tokens.append(Token(PUNCT, punct, line, column))
+                i += len(punct)
+                column += len(punct)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(EOF, "", line, column))
+    return tokens
+
+
+def _prev_ends_value(tokens: List[Token]) -> bool:
+    """True when the previous token could end a value expression.
+
+    Used to decide whether ``-`` begins a negative literal or is an
+    operator/separator.  In SIDL the only ``-`` uses are negative literals
+    and the ``->`` arrow, so this only needs to reject identifier/number
+    adjacency.
+    """
+    if not tokens:
+        return False
+    prev = tokens[-1]
+    return prev.kind in (IDENT, INT, FLOAT, STRING) or prev.value in (")", "]", ">")

@@ -1,0 +1,558 @@
+"""Recursive-descent parser for SIDL.
+
+Accepts standard CORBA-IDL declaration order *and* the paper's variants
+(``typedef CarModel_t enum {...};``, bracketed parameter directions
+``([in] SelectCar_t selection)``, identifiers such as ``FIAT-Uno``).
+
+**Lenient mode** (default) implements §4.1's forward-compatibility rule:
+a declaration the parser cannot understand is *skipped* up to its
+terminating ``;`` (brace-balanced) and preserved as a
+:class:`~repro.sidl.ast_nodes.SkippedDecl`, so older components keep
+working when SIDs grow new descriptional elements.  ``lenient=False``
+turns every unknown construct into a :class:`SidlParseError` (the ablation
+baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.sidl.ast_nodes import (
+    AnnotationDecl,
+    AttributeDecl,
+    ConstDecl,
+    EnumDecl,
+    FsmDecl,
+    FsmTransitionDecl,
+    InterfaceDecl,
+    ModuleDecl,
+    OperationDecl,
+    ParamDecl,
+    SkippedDecl,
+    StructDecl,
+    TypeRef,
+    TypedefDecl,
+    UnionDecl,
+)
+from repro.sidl.errors import SidlParseError
+from repro.sidl.lexer import tokenize
+from repro.sidl.tokens import EOF, FLOAT, IDENT, INT, KEYWORD, PUNCT, STRING, Token
+
+_PRIMITIVE_TYPE_KEYWORDS = frozenset(
+    {"void", "boolean", "octet", "short", "long", "float", "double", "string", "any"}
+)
+_CONSTRUCTOR_KEYWORDS = frozenset({"enum", "struct", "union"})
+_TYPE_START_KEYWORDS = _PRIMITIVE_TYPE_KEYWORDS | frozenset(
+    {"sequence", "service_reference", "sid"}
+)
+
+
+def parse(source: str, lenient: bool = True) -> List[Any]:
+    """Parse SIDL source into a list of top-level declarations."""
+    return _Parser(tokenize(source), source, lenient).parse_file()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], source: str, lenient: bool) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._lenient = lenient
+        self._pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.kind != EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> SidlParseError:
+        token = token or self._peek()
+        return SidlParseError(f"{message}, found {token.describe()}", token.line, token.column)
+
+    def _expect_punct(self, value: str) -> Token:
+        token = self._peek()
+        if not token.is_punct(value):
+            raise self._error(f"expected {value!r}")
+        return self._next()
+
+    def _expect_keyword(self, value: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(value):
+            raise self._error(f"expected keyword {value!r}")
+        return self._next()
+
+    def _expect_ident(self) -> str:
+        token = self._peek()
+        if token.kind != IDENT:
+            raise self._error("expected identifier")
+        return self._next().value
+
+    def _accept_punct(self, value: str) -> bool:
+        if self._peek().is_punct(value):
+            self._next()
+            return True
+        return False
+
+    def _accept_keyword(self, value: str) -> bool:
+        if self._peek().is_keyword(value):
+            self._next()
+            return True
+        return False
+
+    # -- entry points --------------------------------------------------------
+
+    def parse_file(self) -> List[Any]:
+        declarations: List[Any] = []
+        while self._peek().kind != EOF:
+            declarations.append(self._parse_declaration())
+        return declarations
+
+    # -- declarations ----------------------------------------------------
+
+    def _parse_declaration(self) -> Any:
+        start = self._pos
+        try:
+            return self._parse_declaration_strict()
+        except SidlParseError:
+            if not self._lenient:
+                raise
+            return self._skip_declaration(start)
+
+    def _parse_declaration_strict(self) -> Any:
+        token = self._peek()
+        if token.is_keyword("module"):
+            return self._parse_module()
+        if token.is_keyword("interface"):
+            return self._parse_interface()
+        if token.is_keyword("typedef"):
+            return self._parse_typedef()
+        if token.is_keyword("enum"):
+            return self._parse_enum()
+        if token.is_keyword("struct"):
+            return self._parse_struct()
+        if token.is_keyword("union"):
+            return self._parse_union()
+        if token.is_keyword("const"):
+            return self._parse_const()
+        if token.is_keyword("state"):
+            return self._parse_fsm_states()
+        if token.is_keyword("initial"):
+            return self._parse_fsm_initial()
+        if token.is_keyword("transition"):
+            return self._parse_fsm_transition()
+        if token.is_keyword("annotation"):
+            return self._parse_annotation()
+        raise self._error("expected a declaration")
+
+    def _skip_declaration(self, start: int) -> SkippedDecl:
+        """Skip a brace-balanced declaration through its ';' (§4.1)."""
+        self._pos = start
+        first = self._peek()
+        depth = 0
+        pieces: List[str] = []
+        while True:
+            token = self._next()
+            if token.kind == EOF:
+                break
+            pieces.append(_token_text(token))
+            if token.is_punct("{") or token.is_punct("(") or token.is_punct("["):
+                depth += 1
+            elif token.is_punct("}") or token.is_punct(")") or token.is_punct("]"):
+                depth -= 1
+            if token.is_punct(";") and depth <= 0:
+                break
+        return SkippedDecl(raw_text=" ".join(pieces), line=first.line)
+
+    def _parse_module(self) -> ModuleDecl:
+        self._expect_keyword("module")
+        name = self._expect_ident()
+        self._expect_punct("{")
+        body: List[Any] = []
+        while not self._peek().is_punct("}"):
+            if self._peek().kind == EOF:
+                raise self._error("unterminated module body")
+            body.append(self._parse_declaration())
+        self._expect_punct("}")
+        self._accept_punct(";")
+        return ModuleDecl(name=name, body=_fold_fsm(body))
+
+    def _parse_interface(self) -> InterfaceDecl:
+        self._expect_keyword("interface")
+        name = self._expect_ident()
+        bases: List[str] = []
+        if self._accept_punct(":"):
+            bases.append(self._parse_scoped_name())
+            while self._accept_punct(","):
+                bases.append(self._parse_scoped_name())
+        self._expect_punct("{")
+        interface = InterfaceDecl(name=name, bases=bases)
+        while not self._peek().is_punct("}"):
+            if self._peek().kind == EOF:
+                raise self._error("unterminated interface body")
+            readonly = self._accept_keyword("readonly")
+            if readonly or self._peek().is_keyword("attribute"):
+                self._expect_keyword("attribute")
+                type_ref = self._parse_type_ref()
+                attr_name = self._expect_ident()
+                self._expect_punct(";")
+                interface.attributes.append(AttributeDecl(attr_name, type_ref, readonly))
+                continue
+            interface.operations.append(self._parse_operation())
+        self._expect_punct("}")
+        self._accept_punct(";")
+        return interface
+
+    def _parse_operation(self) -> OperationDecl:
+        oneway = self._accept_keyword("oneway")
+        result = self._parse_type_ref()
+        name = self._expect_ident()
+        self._expect_punct("(")
+        params: List[ParamDecl] = []
+        if not self._peek().is_punct(")"):
+            params.append(self._parse_param())
+            while self._accept_punct(","):
+                params.append(self._parse_param())
+        self._expect_punct(")")
+        self._expect_punct(";")
+        return OperationDecl(name=name, result=result, params=params, oneway=oneway)
+
+    def _parse_param(self) -> ParamDecl:
+        direction = "in"
+        if self._accept_punct("["):  # the paper writes [in]
+            direction = self._parse_direction()
+            self._expect_punct("]")
+        elif self._peek().value in ("in", "out", "inout") and self._peek().kind == KEYWORD:
+            direction = self._next().value
+        type_ref = self._parse_type_ref()
+        name = ""
+        if self._peek().kind == IDENT:
+            name = self._next().value
+        return ParamDecl(direction=direction, type_ref=type_ref, name=name)
+
+    def _parse_direction(self) -> str:
+        token = self._peek()
+        if token.value in ("in", "out", "inout"):
+            self._next()
+            return token.value
+        raise self._error("expected parameter direction in/out/inout")
+
+    def _parse_typedef(self) -> TypedefDecl:
+        self._expect_keyword("typedef")
+        token = self._peek()
+        # Paper order: ``typedef CarModel_t enum { ... };``
+        if token.kind == IDENT and self._peek(1).value in _CONSTRUCTOR_KEYWORDS:
+            name = self._expect_ident()
+            inline = self._parse_anonymous_constructor(name)
+            self._expect_punct(";")
+            return TypedefDecl(name=name, inline=inline)
+        # Paper order with a non-constructed type:
+        # ``typedef EntryList_t sequence<BrowserEntry_t>;``
+        if (
+            token.kind == IDENT
+            and self._peek(1).kind == KEYWORD
+            and self._peek(1).value in _TYPE_START_KEYWORDS
+        ):
+            name = self._expect_ident()
+            type_ref = self._parse_type_ref()
+            self._expect_punct(";")
+            return TypedefDecl(name=name, type_ref=type_ref)
+        # Standard order with an inline constructor: ``typedef enum {...} Name;``
+        if token.value in _CONSTRUCTOR_KEYWORDS and (
+            self._peek(1).is_punct("{") or self._peek(2).is_punct("{")
+            or self._peek(1).is_keyword("switch")
+        ):
+            inline = self._parse_constructor_possibly_named()
+            name = self._expect_ident()
+            self._expect_punct(";")
+            _rename_inline(inline, name)
+            return TypedefDecl(name=name, inline=inline)
+        # Standard alias: ``typedef <type> <name>;``
+        type_ref = self._parse_type_ref()
+        name = self._expect_ident()
+        self._expect_punct(";")
+        return TypedefDecl(name=name, type_ref=type_ref)
+
+    def _parse_anonymous_constructor(self, name: str) -> Any:
+        """Constructor body where the name came first (paper order)."""
+        token = self._peek()
+        if token.is_keyword("enum"):
+            self._next()
+            return EnumDecl(name=name, labels=self._parse_enum_body())
+        if token.is_keyword("struct"):
+            self._next()
+            return StructDecl(name=name, fields=self._parse_struct_body())
+        if token.is_keyword("union"):
+            self._next()
+            return self._parse_union_body(name)
+        raise self._error("expected enum/struct/union")
+
+    def _parse_constructor_possibly_named(self) -> Any:
+        token = self._peek()
+        if token.is_keyword("enum"):
+            self._next()
+            name = self._expect_ident() if self._peek().kind == IDENT else ""
+            return EnumDecl(name=name, labels=self._parse_enum_body())
+        if token.is_keyword("struct"):
+            self._next()
+            name = self._expect_ident() if self._peek().kind == IDENT else ""
+            return StructDecl(name=name, fields=self._parse_struct_body())
+        if token.is_keyword("union"):
+            self._next()
+            name = self._expect_ident() if self._peek().kind == IDENT else ""
+            return self._parse_union_body(name)
+        raise self._error("expected enum/struct/union")
+
+    def _parse_enum(self) -> EnumDecl:
+        self._expect_keyword("enum")
+        name = self._expect_ident()
+        labels = self._parse_enum_body()
+        self._expect_punct(";")
+        return EnumDecl(name=name, labels=labels)
+
+    def _parse_enum_body(self) -> List[str]:
+        self._expect_punct("{")
+        labels: List[str] = []
+        if not self._peek().is_punct("}"):
+            labels.append(self._expect_ident())
+            while self._accept_punct(","):
+                if self._peek().is_punct("}"):
+                    break  # tolerate trailing comma
+                labels.append(self._expect_ident())
+        self._expect_punct("}")
+        return labels
+
+    def _parse_struct(self) -> StructDecl:
+        self._expect_keyword("struct")
+        name = self._expect_ident()
+        fields = self._parse_struct_body()
+        self._expect_punct(";")
+        return StructDecl(name=name, fields=fields)
+
+    def _parse_struct_body(self) -> List:
+        self._expect_punct("{")
+        fields = []
+        while not self._peek().is_punct("}"):
+            if self._peek().kind == EOF:
+                raise self._error("unterminated struct body")
+            # The paper writes ``enum CarModel;`` for a field of the
+            # previously declared enum: field name doubles as type name.
+            if (
+                self._peek().value in _CONSTRUCTOR_KEYWORDS
+                and self._peek(1).kind == IDENT
+                and self._peek(2).is_punct(";")
+            ):
+                self._next()
+                field_name = self._expect_ident()
+                self._expect_punct(";")
+                fields.append((field_name, TypeRef(field_name)))
+                continue
+            type_ref = self._parse_type_ref()
+            field_name = self._expect_ident()
+            fields.append((field_name, type_ref))
+            while self._accept_punct(","):
+                fields.append((self._expect_ident(), type_ref))
+            self._expect_punct(";")
+        self._expect_punct("}")
+        return fields
+
+    def _parse_union(self) -> UnionDecl:
+        self._expect_keyword("union")
+        name = self._expect_ident()
+        decl = self._parse_union_body(name)
+        self._expect_punct(";")
+        return decl
+
+    def _parse_union_body(self, name: str) -> UnionDecl:
+        self._expect_keyword("switch")
+        self._expect_punct("(")
+        discriminator = self._parse_type_ref()
+        self._expect_punct(")")
+        self._expect_punct("{")
+        cases = []
+        while not self._peek().is_punct("}"):
+            if self._accept_keyword("default"):
+                label = None
+            else:
+                self._expect_keyword("case")
+                label = self._parse_literal()
+            self._expect_punct(":")
+            arm_type = self._parse_type_ref()
+            arm_name = self._expect_ident()
+            self._expect_punct(";")
+            cases.append((label, arm_name, arm_type))
+        self._expect_punct("}")
+        return UnionDecl(name=name, discriminator=discriminator, cases=cases)
+
+    def _parse_const(self) -> ConstDecl:
+        self._expect_keyword("const")
+        type_ref = self._parse_type_ref()
+        name = self._expect_ident()
+        self._expect_punct("=")
+        value = self._parse_literal()
+        self._expect_punct(";")
+        return ConstDecl(name=name, type_ref=type_ref, value=value)
+
+    # -- FSM & annotations (COSM extensions) -------------------------------
+
+    def _parse_fsm_states(self) -> FsmDecl:
+        self._expect_keyword("state")
+        states = [self._expect_ident()]
+        while self._accept_punct(","):
+            states.append(self._expect_ident())
+        self._expect_punct(";")
+        return FsmDecl(states=states)
+
+    def _parse_fsm_initial(self) -> FsmDecl:
+        self._expect_keyword("initial")
+        initial = self._expect_ident()
+        self._expect_punct(";")
+        return FsmDecl(initial=initial)
+
+    def _parse_fsm_transition(self) -> FsmDecl:
+        self._expect_keyword("transition")
+        # Tuple form mirroring the paper: transition (INIT, SelectCar, SELECTED);
+        if self._accept_punct("("):
+            source = self._expect_ident()
+            self._expect_punct(",")
+            operation = self._expect_ident()
+            self._expect_punct(",")
+            target = self._expect_ident()
+            self._expect_punct(")")
+            self._expect_punct(";")
+            return FsmDecl(
+                transitions=[FsmTransitionDecl(source, operation, target)]
+            )
+        # Arrow form: transition INIT -> SELECTED on SelectCar;
+        source = self._expect_ident()
+        self._expect_punct("->")
+        target = self._expect_ident()
+        self._expect_keyword("on")
+        operation = self._expect_ident()
+        self._expect_punct(";")
+        return FsmDecl(transitions=[FsmTransitionDecl(source, operation, target)])
+
+    def _parse_annotation(self) -> AnnotationDecl:
+        self._expect_keyword("annotation")
+        subject = self._parse_scoped_name()
+        token = self._peek()
+        if token.kind != STRING:
+            raise self._error("expected annotation text string")
+        self._next()
+        self._expect_punct(";")
+        return AnnotationDecl(subject=subject, text=token.value)
+
+    # -- types & literals --------------------------------------------------
+
+    def _parse_type_ref(self) -> TypeRef:
+        token = self._peek()
+        if token.is_keyword("sequence"):
+            self._next()
+            self._expect_punct("<")
+            element = self._parse_type_ref()
+            bound = None
+            if self._accept_punct(","):
+                bound_token = self._peek()
+                if bound_token.kind != INT:
+                    raise self._error("expected sequence bound")
+                self._next()
+                bound = int(bound_token.value)
+            self._expect_punct(">")
+            return TypeRef("sequence", element=element, bound=bound)
+        if token.is_keyword("string"):
+            self._next()
+            bound = None
+            if self._accept_punct("<"):
+                bound_token = self._peek()
+                if bound_token.kind != INT:
+                    raise self._error("expected string bound")
+                self._next()
+                bound = int(bound_token.value)
+                self._expect_punct(">")
+            return TypeRef("string", bound=bound)
+        if token.is_keyword("long"):
+            self._next()
+            if self._peek().is_keyword("long"):
+                self._next()
+                return TypeRef("long long")
+            return TypeRef("long")
+        if token.kind == KEYWORD and token.value in _PRIMITIVE_TYPE_KEYWORDS:
+            self._next()
+            return TypeRef(token.value)
+        if token.is_keyword("service_reference") or token.is_keyword("sid"):
+            self._next()
+            return TypeRef(token.value)
+        if token.kind == IDENT:
+            return TypeRef(self._parse_scoped_name())
+        raise self._error("expected a type")
+
+    def _parse_scoped_name(self) -> str:
+        parts = [self._expect_ident()]
+        while self._peek().is_punct("::"):
+            self._next()
+            parts.append(self._expect_ident())
+        return "::".join(parts)
+
+    def _parse_literal(self) -> Any:
+        token = self._peek()
+        if token.kind == INT:
+            self._next()
+            return int(token.value)
+        if token.kind == FLOAT:
+            self._next()
+            return float(token.value)
+        if token.kind == STRING:
+            self._next()
+            return token.value
+        if token.is_keyword("TRUE"):
+            self._next()
+            return True
+        if token.is_keyword("FALSE"):
+            self._next()
+            return False
+        if token.kind == IDENT:
+            # enum label reference, e.g. ``FIAT-Uno`` or ``USD``
+            self._next()
+            return token.value
+        raise self._error("expected a literal value")
+
+
+def _token_text(token: Token) -> str:
+    if token.kind == STRING:
+        escaped = token.value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return token.value
+
+
+def _fold_fsm(body: List[Any]) -> List[Any]:
+    """Merge consecutive partial FsmDecls in a module into one."""
+    fsm_parts = [decl for decl in body if isinstance(decl, FsmDecl)]
+    if len(fsm_parts) <= 1:
+        return body
+    merged = FsmDecl()
+    for part in fsm_parts:
+        merged.states.extend(part.states)
+        if part.initial:
+            merged.initial = part.initial
+        merged.transitions.extend(part.transitions)
+    folded: List[Any] = []
+    inserted = False
+    for decl in body:
+        if isinstance(decl, FsmDecl):
+            if not inserted:
+                folded.append(merged)
+                inserted = True
+            continue
+        folded.append(decl)
+    return folded
+
+
+def _rename_inline(inline: Any, name: str) -> None:
+    """Give an anonymous inline constructor the typedef's name."""
+    if hasattr(inline, "name") and not inline.name:
+        inline.name = name

@@ -1,0 +1,54 @@
+"""Interface repository: a store of SIDs, CORBA-IR style.
+
+Backs the "Interface Manager" of the Service Support Level (Fig. 6) and
+the browser's registration store.  Repositories are local data structures;
+the networked service wrapper lives in :mod:`repro.naming` / the browser.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import LookupFailure
+from repro.sidl.sid import ServiceDescription
+
+
+class InterfaceRepository:
+    """Stores service descriptions under stable repository ids."""
+
+    def __init__(self) -> None:
+        self._by_id: Dict[str, ServiceDescription] = {}
+        self._counter = itertools.count(1)
+
+    def store(self, sid: ServiceDescription, repository_id: Optional[str] = None) -> str:
+        """Insert or replace; returns the repository id."""
+        if repository_id is None:
+            repository_id = f"IR:{sid.name}:{next(self._counter)}"
+        self._by_id[repository_id] = sid
+        return repository_id
+
+    def fetch(self, repository_id: str) -> ServiceDescription:
+        sid = self._by_id.get(repository_id)
+        if sid is None:
+            raise LookupFailure(f"no SID under repository id {repository_id!r}")
+        return sid
+
+    def remove(self, repository_id: str) -> bool:
+        return self._by_id.pop(repository_id, None) is not None
+
+    def ids(self) -> List[str]:
+        return sorted(self._by_id)
+
+    def find_by_name(self, name: str) -> List[ServiceDescription]:
+        return [sid for sid in self._by_id.values() if sid.name == name]
+
+    def find_conforming(self, base: ServiceDescription) -> List[ServiceDescription]:
+        """All stored SIDs usable wherever ``base`` is expected (§3.1)."""
+        return [sid for sid in self._by_id.values() if sid.conforms_to(base)]
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterable[ServiceDescription]:
+        return iter(list(self._by_id.values()))

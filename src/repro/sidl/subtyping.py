@@ -1,0 +1,172 @@
+"""Structural subtyping for SIDL types (§3.1).
+
+The paper grounds SID extensibility in record-calculus subtyping (Quest,
+Tycoon TL): a subtype record contains *at least* the elements of its base
+and remains usable wherever the base is expected.  This module implements
+the relation for every SIDL type constructor:
+
+* records (structs): width + depth subtyping, covariant fields,
+* enums/unions: treated as variants — a subtype has a *subset* of labels
+  (its values are always understood by base-type consumers),
+* sequences: covariant elements, bounds may only tighten,
+* integers/floats: safe widening (``short <: long <: long long``,
+  ``float <: double``, integers widen into floats),
+* operations: contravariant in-parameters (matched by name), covariant
+  results,
+* interfaces: width subtyping over operations.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from repro.sidl.types import (
+    AnyType,
+    BooleanType,
+    EnumType,
+    FloatType,
+    IntegerType,
+    InterfaceType,
+    OctetsType,
+    OperationType,
+    SequenceType,
+    ServiceReferenceType,
+    SidValueType,
+    SidlType,
+    StringType,
+    StructType,
+    UnionType,
+    VoidType,
+)
+
+_Pair = Tuple[int, int]
+
+
+def is_subtype(sub: SidlType, sup: SidlType) -> bool:
+    """True when every value of ``sub`` is a valid value of ``sup``."""
+    return _is_subtype(sub, sup, set())
+
+
+def _is_subtype(sub: SidlType, sup: SidlType, seen: Set[_Pair]) -> bool:
+    if sub is sup:
+        return True
+    pair = (id(sub), id(sup))
+    if pair in seen:
+        return True  # coinductive: assume holds inside the cycle
+    seen.add(pair)
+
+    if isinstance(sup, AnyType):
+        return True
+    if isinstance(sub, AnyType):
+        return False
+
+    if isinstance(sub, VoidType):
+        return isinstance(sup, VoidType)
+    if isinstance(sub, BooleanType):
+        return isinstance(sup, BooleanType)
+
+    if isinstance(sub, IntegerType):
+        if isinstance(sup, IntegerType):
+            return sup.minimum <= sub.minimum and sub.maximum <= sup.maximum
+        return isinstance(sup, FloatType)
+    if isinstance(sub, FloatType):
+        if not isinstance(sup, FloatType):
+            return False
+        return not (sub.name == "double" and sup.name == "float")
+
+    if isinstance(sub, StringType):
+        if not isinstance(sup, StringType):
+            return False
+        if sup.bound is None:
+            return True
+        return sub.bound is not None and sub.bound <= sup.bound
+
+    if isinstance(sub, OctetsType):
+        return isinstance(sup, OctetsType)
+
+    if isinstance(sub, EnumType):
+        if not isinstance(sup, EnumType):
+            return False
+        return set(sub.labels) <= set(sup.labels)
+
+    if isinstance(sub, StructType):
+        if not isinstance(sup, StructType):
+            return False
+        for field_name, sup_field in sup.fields:
+            sub_field = sub.field_type(field_name)
+            if sub_field is None or not _is_subtype(sub_field, sup_field, seen):
+                return False
+        return True
+
+    if isinstance(sub, SequenceType):
+        if not isinstance(sup, SequenceType):
+            return False
+        if not _is_subtype(sub.element, sup.element, seen):
+            return False
+        if sup.bound is None:
+            return True
+        return sub.bound is not None and sub.bound <= sup.bound
+
+    if isinstance(sub, UnionType):
+        if not isinstance(sup, UnionType):
+            return False
+        if not _is_subtype(sub.discriminator, sup.discriminator, seen):
+            return False
+        for label, __, arm_type in sub.cases:
+            try:
+                __, sup_arm = sup.arm_for(label) if label is not None else sup._arms[None]
+            except Exception:  # noqa: BLE001 - missing arm means not a subtype
+                return False
+            if not _is_subtype(arm_type, sup_arm, seen):
+                return False
+        return True
+
+    if isinstance(sub, ServiceReferenceType):
+        return isinstance(sup, ServiceReferenceType)
+    if isinstance(sub, SidValueType):
+        return isinstance(sup, SidValueType)
+
+    return False
+
+
+def operation_conforms(sub: OperationType, sup: OperationType) -> bool:
+    """True when ``sub`` can serve every call valid for ``sup``.
+
+    In-parameters are matched by name and are contravariant; the result is
+    covariant.  ``sub`` may not *require* parameters that ``sup`` does not
+    declare (a base-type caller would never supply them).
+    """
+    if sub.oneway != sup.oneway:
+        return False
+    sup_params = dict(sup.in_params())
+    sub_params = dict(sub.in_params())
+    for name, sub_type in sub_params.items():
+        if name not in sup_params:
+            return False
+        if not is_subtype(sup_params[name], sub_type):
+            return False
+    if set(sup_params) != set(sub_params):
+        return False
+    return is_subtype(sub.result, sup.result)
+
+
+def interface_conforms(sub: InterfaceType, sup: InterfaceType) -> bool:
+    """Width subtyping over operations: ``sub`` offers at least ``sup``'s."""
+    for name, sup_operation in sup.operations.items():
+        sub_operation = sub.operations.get(name)
+        if sub_operation is None:
+            return False
+        if not operation_conforms(sub_operation, sup_operation):
+            return False
+    return True
+
+
+def conforms(sub, sup) -> bool:
+    """Dispatching front door: types, operations, or interfaces."""
+    if isinstance(sub, InterfaceType) and isinstance(sup, InterfaceType):
+        return interface_conforms(sub, sup)
+    if isinstance(sub, OperationType) and isinstance(sup, OperationType):
+        return operation_conforms(sub, sup)
+    if isinstance(sub, SidlType) and isinstance(sup, SidlType):
+        return is_subtype(sub, sup)
+    raise TypeError(f"cannot compare {type(sub).__name__} with {type(sup).__name__}")

@@ -1,0 +1,94 @@
+"""Token definitions for the SIDL lexer."""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+# Token kinds
+IDENT = "IDENT"
+KEYWORD = "KEYWORD"
+INT = "INT"
+FLOAT = "FLOAT"
+STRING = "STRING"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+KEYWORDS = frozenset(
+    {
+        # CORBA IDL core
+        "module",
+        "interface",
+        "typedef",
+        "struct",
+        "union",
+        "switch",
+        "case",
+        "default",
+        "enum",
+        "sequence",
+        "const",
+        "void",
+        "boolean",
+        "octet",
+        "short",
+        "long",
+        "float",
+        "double",
+        "string",
+        "in",
+        "out",
+        "inout",
+        "oneway",
+        "readonly",
+        "attribute",
+        "TRUE",
+        "FALSE",
+        # COSM/SIDL extensions
+        "state",
+        "initial",
+        "transition",
+        "on",
+        "annotation",
+        "service_reference",
+        "sid",
+        "any",
+    }
+)
+
+PUNCTUATION = (
+    "::",
+    "->",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    "<",
+    ">",
+    ";",
+    ",",
+    ":",
+    "=",
+    "*",
+)
+
+
+class Token(NamedTuple):
+    """One lexical token with its source position (1-based)."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def is_punct(self, value: str) -> bool:
+        return self.kind == PUNCT and self.value == value
+
+    def is_keyword(self, value: str) -> bool:
+        return self.kind == KEYWORD and self.value == value
+
+    def describe(self) -> str:
+        if self.kind == EOF:
+            return "end of input"
+        return f"{self.kind.lower()} {self.value!r}"

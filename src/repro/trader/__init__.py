@@ -1,0 +1,68 @@
+"""ODP trader (§2): service types, offers, constraints, import/export.
+
+The trader matches importer requests against exported service offers
+(Fig. 1).  Its pieces:
+
+* :mod:`repro.trader.service_types` — service types: an interface
+  signature plus characterising attribute types (§2.1),
+* :mod:`repro.trader.type_manager` — the type manager [5]: a registry
+  with subtype relationships and standardisation bookkeeping,
+* :mod:`repro.trader.offers` — the offer store,
+* :mod:`repro.trader.constraints` — the importer constraint language,
+* :mod:`repro.trader.policies` — preference/selection policies
+  ("best possible" per given criteria),
+* :mod:`repro.trader.trader` — the local trader plus its RPC service and
+  client stubs,
+* :mod:`repro.trader.federation` — trader-to-trader links with hop-limited
+  query forwarding (the trader federation of §2.2).
+"""
+
+from repro.trader.constraints import Constraint, parse_constraint
+from repro.trader.dynamic import BindingEvaluator, dynamic_property, is_dynamic
+from repro.trader.errors import (
+    ConstraintSyntaxError,
+    DuplicateServiceType,
+    InvalidOfferProperties,
+    OfferNotFound,
+    TraderError,
+    UnknownServiceType,
+)
+from repro.trader.federation import TraderLink
+from repro.trader.offers import OfferStore, ServiceOffer
+from repro.trader.policies import Preference, parse_preference
+from repro.trader.service_types import ServiceType, service_type_from_sid
+from repro.trader.trader import (
+    ImportRequest,
+    LocalTrader,
+    TRADER_PROGRAM,
+    TraderClient,
+    TraderService,
+)
+from repro.trader.type_manager import TypeManager
+
+__all__ = [
+    "BindingEvaluator",
+    "Constraint",
+    "ConstraintSyntaxError",
+    "dynamic_property",
+    "is_dynamic",
+    "DuplicateServiceType",
+    "ImportRequest",
+    "InvalidOfferProperties",
+    "LocalTrader",
+    "OfferNotFound",
+    "OfferStore",
+    "Preference",
+    "ServiceOffer",
+    "ServiceType",
+    "TRADER_PROGRAM",
+    "TraderClient",
+    "TraderError",
+    "TraderLink",
+    "TraderService",
+    "TypeManager",
+    "UnknownServiceType",
+    "parse_constraint",
+    "parse_preference",
+    "service_type_from_sid",
+]

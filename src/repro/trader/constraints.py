@@ -1,0 +1,314 @@
+"""The importer's constraint language.
+
+A small, total expression language evaluated over an offer's property
+dict, in the spirit of the ODP trader constraint language::
+
+    ChargePerDay < 90 and ChargeCurrency == 'USD'
+    CarModel in ['AUDI', 'VW-Golf'] or not exist Discount
+    AverageMilage * 1.6 <= 20000
+
+Semantics are *matching-oriented*: referencing a property the offer does
+not carry makes the enclosing comparison false (never an error), and type
+mismatches compare unequal instead of raising — a malformed offer should
+fail to match, not take the trader down.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+from repro.trader.errors import ConstraintSyntaxError
+
+
+class _Missing:
+    """Sentinel for properties absent from the offer."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<missing>"
+
+
+MISSING = _Missing()
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<op><=|>=|==|!=|<|>|\(|\)|\[|\]|,|\+|-|\*|/)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "not", "in", "exist", "true", "false"}
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ConstraintSyntaxError(
+                f"bad character {text[position]!r} at offset {position}"
+            )
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        tokens.append(match.group())
+    tokens.append("\0")
+    return tokens
+
+
+class Constraint:
+    """A parsed constraint; evaluate against property dicts."""
+
+    def __init__(self, source: str, root) -> None:
+        self.source = source
+        self._root = root
+
+    def evaluate(self, properties: Dict[str, Any]) -> bool:
+        """True when the offer's properties satisfy the constraint."""
+        return _truth(self._root(properties))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Constraint {self.source!r}>"
+
+
+_ALWAYS_TRUE = Constraint("", lambda properties: True)
+
+
+def parse_constraint(text: Optional[str]) -> Constraint:
+    """Parse constraint text; ``None``/blank matches every offer."""
+    if text is None or not text.strip():
+        return _ALWAYS_TRUE
+    parser = _Parser(_tokenize(text))
+    root = parser.parse_or()
+    parser.expect("\0")
+    return Constraint(text, root)
+
+
+def _truth(value: Any) -> bool:
+    if value is MISSING:
+        return False
+    return bool(value)
+
+
+class _Parser:
+    """Recursive descent over the token list; builds evaluator closures."""
+
+    def __init__(self, tokens: List[str]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self) -> str:
+        return self._tokens[self._pos]
+
+    def advance(self) -> str:
+        token = self._tokens[self._pos]
+        if token != "\0":
+            self._pos += 1
+        return token
+
+    def accept(self, token: str) -> bool:
+        if self.peek() == token:
+            self.advance()
+            return True
+        return False
+
+    def expect(self, token: str) -> None:
+        if not self.accept(token):
+            want = "end of input" if token == "\0" else repr(token)
+            raise ConstraintSyntaxError(f"expected {want}, found {self.peek()!r}")
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse_or(self):
+        left = self.parse_and()
+        while self.accept("or"):
+            right = self.parse_and()
+            left = _make_or(left, right)
+        return left
+
+    def parse_and(self):
+        left = self.parse_not()
+        while self.accept("and"):
+            right = self.parse_not()
+            left = _make_and(left, right)
+        return left
+
+    def parse_not(self):
+        if self.accept("not"):
+            inner = self.parse_not()
+            return lambda props: not _truth(inner(props))
+        return self.parse_comparison()
+
+    def parse_comparison(self):
+        if self.accept("exist"):
+            token = self.advance()
+            if not _is_ident(token):
+                raise ConstraintSyntaxError(f"exist needs a property name, found {token!r}")
+            return lambda props, name=token: name in props
+        left = self.parse_sum()
+        operator = self.peek()
+        if operator in ("==", "!=", "<", "<=", ">", ">="):
+            self.advance()
+            right = self.parse_sum()
+            return _make_comparison(left, operator, right)
+        if operator == "in":
+            self.advance()
+            right = self.parse_sum()
+            return _make_in(left, right)
+        return left
+
+    def parse_sum(self):
+        left = self.parse_term()
+        while self.peek() in ("+", "-"):
+            operator = self.advance()
+            right = self.parse_term()
+            left = _make_arith(left, operator, right)
+        return left
+
+    def parse_term(self):
+        left = self.parse_factor()
+        while self.peek() in ("*", "/"):
+            operator = self.advance()
+            right = self.parse_factor()
+            left = _make_arith(left, operator, right)
+        return left
+
+    def parse_factor(self):
+        token = self.peek()
+        if token == "(":
+            self.advance()
+            inner = self.parse_or()
+            self.expect(")")
+            return inner
+        if token == "[":
+            self.advance()
+            items = []
+            if self.peek() != "]":
+                items.append(self.parse_sum())
+                while self.accept(","):
+                    items.append(self.parse_sum())
+            self.expect("]")
+            return _make_list(items)
+        if token == "-":
+            self.advance()
+            inner = self.parse_factor()
+            return _make_negate(inner)
+        if re.fullmatch(r"\d+\.\d+", token):
+            self.advance()
+            value = float(token)
+            return lambda props, v=value: v
+        if re.fullmatch(r"\d+", token):
+            self.advance()
+            value = int(token)
+            return lambda props, v=value: v
+        if token and token[0] in "'\"":
+            self.advance()
+            value = token[1:-1]
+            return lambda props, v=value: v
+        if token == "true":
+            self.advance()
+            return lambda props: True
+        if token == "false":
+            self.advance()
+            return lambda props: False
+        if _is_ident(token):
+            self.advance()
+            return lambda props, name=token: props.get(name, MISSING)
+        raise ConstraintSyntaxError(f"unexpected token {token!r}")
+
+
+def _is_ident(token: str) -> bool:
+    return bool(re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", token)) and token not in _KEYWORDS
+
+
+def _make_or(left, right):
+    return lambda props: _truth(left(props)) or _truth(right(props))
+
+
+def _make_and(left, right):
+    return lambda props: _truth(left(props)) and _truth(right(props))
+
+
+def _make_comparison(left, operator: str, right):
+    def compare(props):
+        lhs = left(props)
+        rhs = right(props)
+        if lhs is MISSING or rhs is MISSING:
+            return False
+        try:
+            if operator == "==":
+                return lhs == rhs
+            if operator == "!=":
+                return lhs != rhs
+            if operator == "<":
+                return lhs < rhs
+            if operator == "<=":
+                return lhs <= rhs
+            if operator == ">":
+                return lhs > rhs
+            return lhs >= rhs
+        except TypeError:
+            return False
+
+    return compare
+
+
+def _make_in(left, right):
+    def contains(props):
+        lhs = left(props)
+        rhs = right(props)
+        if lhs is MISSING or rhs is MISSING:
+            return False
+        try:
+            return lhs in rhs
+        except TypeError:
+            return False
+
+    return contains
+
+
+def _make_arith(left, operator: str, right):
+    def apply(props):
+        lhs = left(props)
+        rhs = right(props)
+        if lhs is MISSING or rhs is MISSING:
+            return MISSING
+        try:
+            if operator == "+":
+                return lhs + rhs
+            if operator == "-":
+                return lhs - rhs
+            if operator == "*":
+                return lhs * rhs
+            if isinstance(rhs, (int, float)) and rhs == 0:
+                return MISSING
+            return lhs / rhs
+        except TypeError:
+            return MISSING
+
+    return apply
+
+
+def _make_negate(inner):
+    def negate(props):
+        value = inner(props)
+        if value is MISSING or not isinstance(value, (int, float)):
+            return MISSING
+        return -value
+
+    return negate
+
+
+def _make_list(items):
+    def build(props):
+        values = [item(props) for item in items]
+        if any(value is MISSING for value in values):
+            return MISSING
+        return values
+
+    return build

@@ -1,0 +1,98 @@
+"""Dynamic service properties — ODP-trader style late-bound attributes.
+
+§2.1's trader selects "a best-fitting service according to some given
+criteria"; for volatile attributes (current charge, current load) a
+static exported value goes stale.  A *dynamic property* is exported as a
+marker instead of a value::
+
+    {"__cosm__": "dynamic_property", "ref": <service ref>, "operation": "CurrentCharge"}
+
+At import time the trader resolves it by invoking the named operation on
+the exporting service (through the uniform COSM protocol), then runs
+constraints and preferences over the fresh values.  Unresolvable dynamic
+properties evaluate to *missing*, so such offers fail constraints rather
+than failing the import.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Union
+
+from repro.naming.binder import Binder
+from repro.naming.refs import ServiceRef
+
+DYNAMIC_MARKER = "dynamic_property"
+_MARKER_KEY = "__cosm__"
+
+Evaluator = Callable[[Dict[str, Any]], Any]
+
+
+def dynamic_property(
+    ref: Union[ServiceRef, Dict[str, Any]],
+    operation: str,
+    arguments: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build the exportable marker for a dynamic property."""
+    ref_wire = ref.to_wire() if isinstance(ref, ServiceRef) else dict(ref)
+    return {
+        _MARKER_KEY: DYNAMIC_MARKER,
+        "ref": ref_wire,
+        "operation": operation,
+        "arguments": dict(arguments or {}),
+    }
+
+
+def is_dynamic(value: Any) -> bool:
+    return isinstance(value, dict) and value.get(_MARKER_KEY) == DYNAMIC_MARKER
+
+
+def resolve_properties(
+    properties: Dict[str, Any],
+    evaluator: Optional[Evaluator],
+) -> Dict[str, Any]:
+    """Materialise dynamic markers; static values pass through untouched.
+
+    With no evaluator configured, or when evaluation fails, the property
+    is dropped from the resolved dict (missing -> constraint false).
+    """
+    if not any(is_dynamic(value) for value in properties.values()):
+        return properties
+    resolved: Dict[str, Any] = {}
+    for key, value in properties.items():
+        if not is_dynamic(value):
+            resolved[key] = value
+            continue
+        if evaluator is None:
+            continue
+        try:
+            resolved[key] = evaluator(value)
+        except Exception:  # noqa: BLE001 - a dead exporter just fails to match
+            continue
+    return resolved
+
+
+class BindingEvaluator:
+    """Default evaluator: invoke the property operation over COSM bindings.
+
+    Bindings to exporters are cached per service id, so one import over
+    many offers of the same service pays one BIND.
+    """
+
+    def __init__(self, client) -> None:
+        self._binder = Binder(client)
+        self._bindings: Dict[str, Any] = {}
+        self.evaluations = 0
+
+    def __call__(self, marker: Dict[str, Any]) -> Any:
+        ref = ServiceRef.from_wire(marker["ref"])
+        binding = self._bindings.get(ref.service_id)
+        if binding is None or not binding.bound:
+            binding = self._binder.bind(ref)
+            self._bindings[ref.service_id] = binding
+        self.evaluations += 1
+        return binding.invoke(marker["operation"], marker.get("arguments") or {})
+
+    def close(self) -> None:
+        for binding in self._bindings.values():
+            binding.unbind()
+        self._bindings.clear()

@@ -1,0 +1,29 @@
+"""Trader error hierarchy."""
+
+from __future__ import annotations
+
+from repro.errors import CosmError, LookupFailure
+
+
+class TraderError(CosmError):
+    """Base class for trading failures."""
+
+
+class UnknownServiceType(TraderError, LookupFailure):
+    """The request names a service type the type manager does not hold."""
+
+
+class DuplicateServiceType(TraderError):
+    """A service type with this name is already registered."""
+
+
+class OfferNotFound(TraderError, LookupFailure):
+    """No offer is stored under the given offer id."""
+
+
+class InvalidOfferProperties(TraderError):
+    """An exported offer's properties do not match its service type."""
+
+
+class ConstraintSyntaxError(TraderError):
+    """The importer's constraint expression could not be parsed."""

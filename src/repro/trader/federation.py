@@ -1,0 +1,33 @@
+"""Trader federation (§2.2): links between traders with hop-limited search.
+
+A link names a peer trader and a *forwarder* — any callable taking an
+import-request wire dict and returning a list of offer wire dicts.  For
+co-located traders the forwarder calls the peer's
+:meth:`~repro.trader.trader.LocalTrader.import_wire` directly; for
+networked federation :meth:`repro.trader.trader.TraderService.link_to`
+installs a forwarder that issues the IMPORT RPC.  Loops are broken by the
+``visited`` trader-id list each request accumulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+Forwarder = Callable[[Dict[str, Any]], List[Dict[str, Any]]]
+
+
+@dataclass
+class TraderLink:
+    """One edge of the trading graph."""
+
+    name: str
+    forwarder: Forwarder
+    # A link may cap how deep queries travel onward from here, on top of
+    # the request's own hop limit (the ODP notion of link scope).
+    max_hops: int = 8
+
+    def forward(self, request_wire: Dict[str, Any]) -> List[Dict[str, Any]]:
+        capped = dict(request_wire)
+        capped["hop_limit"] = min(capped.get("hop_limit", 0), self.max_hops)
+        return self.forwarder(capped)

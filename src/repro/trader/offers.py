@@ -1,0 +1,110 @@
+"""Service offers and the trader's offer store."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional  # noqa: F401
+
+from repro.naming.refs import ServiceRef
+from repro.trader.errors import OfferNotFound
+
+
+@dataclass
+class ServiceOffer:
+    """One exported offer: a reference plus characterising properties.
+
+    ``expires_at`` implements offer lifetimes: an expired offer never
+    matches an import and is reaped by the trader's purge sweep.  ``None``
+    means the offer lives until withdrawn.
+    """
+
+    offer_id: str
+    service_type: str
+    ref: Dict[str, Any]  # ServiceRef wire form (kept marshallable)
+    properties: Dict[str, Any] = field(default_factory=dict)
+    exported_at: float = 0.0
+    expires_at: Optional[float] = None
+
+    def service_ref(self) -> ServiceRef:
+        return ServiceRef.from_wire(self.ref)
+
+    def expired(self, now: float) -> bool:
+        return self.expires_at is not None and now >= self.expires_at
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "offer_id": self.offer_id,
+            "service_type": self.service_type,
+            "ref": dict(self.ref),
+            "properties": dict(self.properties),
+            "exported_at": self.exported_at,
+            "expires_at": self.expires_at,
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any]) -> "ServiceOffer":
+        return cls(
+            offer_id=data["offer_id"],
+            service_type=data["service_type"],
+            ref=data["ref"],
+            properties=data.get("properties", {}),
+            exported_at=data.get("exported_at", 0.0),
+            expires_at=data.get("expires_at"),
+        )
+
+
+class OfferStore:
+    """Offers indexed by id and by service type."""
+
+    def __init__(self, prefix: str = "offer") -> None:
+        self._prefix = prefix
+        self._by_id: Dict[str, ServiceOffer] = {}
+        self._by_type: Dict[str, Dict[str, ServiceOffer]] = {}
+        self._counter = itertools.count(1)
+
+    def new_offer_id(self, service_type: str) -> str:
+        # skip ids already present (e.g. after a snapshot restore)
+        while True:
+            candidate = f"{self._prefix}:{service_type}:{next(self._counter)}"
+            if candidate not in self._by_id:
+                return candidate
+
+    def add(self, offer: ServiceOffer) -> None:
+        self._by_id[offer.offer_id] = offer
+        self._by_type.setdefault(offer.service_type, {})[offer.offer_id] = offer
+
+    def get(self, offer_id: str) -> ServiceOffer:
+        offer = self._by_id.get(offer_id)
+        if offer is None:
+            raise OfferNotFound(f"no offer {offer_id!r}")
+        return offer
+
+    def remove(self, offer_id: str) -> ServiceOffer:
+        offer = self.get(offer_id)
+        del self._by_id[offer_id]
+        per_type = self._by_type.get(offer.service_type, {})
+        per_type.pop(offer_id, None)
+        if not per_type:
+            self._by_type.pop(offer.service_type, None)
+        return offer
+
+    def replace_properties(self, offer_id: str, properties: Dict[str, Any]) -> ServiceOffer:
+        offer = self.get(offer_id)
+        offer.properties = dict(properties)
+        return offer
+
+    def of_types(self, type_names: Iterable[str]) -> List[ServiceOffer]:
+        offers: List[ServiceOffer] = []
+        for type_name in type_names:
+            offers.extend(self._by_type.get(type_name, {}).values())
+        return offers
+
+    def all(self) -> List[ServiceOffer]:
+        return list(self._by_id.values())
+
+    def count_for_type(self, type_name: str) -> int:
+        return len(self._by_type.get(type_name, {}))
+
+    def __len__(self) -> int:
+        return len(self._by_id)

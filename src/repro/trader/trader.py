@@ -1,0 +1,386 @@
+"""The trader: export, withdraw, modify, import — plus the RPC service.
+
+Implements the compound ODP trader of §2.1: a computational interface for
+exporters and importers, a management interface for the service-type
+domain, and (via :mod:`repro.trader.federation`) links to peer traders.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.naming.refs import ServiceRef
+from repro.net.endpoints import Address
+from repro.rpc.client import RpcClient
+from repro.rpc.server import RpcProgram, RpcServer
+from repro.trader.constraints import parse_constraint
+from repro.trader.dynamic import resolve_properties
+from repro.trader.errors import TraderError
+from repro.trader.federation import TraderLink
+from repro.trader.offers import OfferStore, ServiceOffer
+from repro.trader.policies import parse_preference
+from repro.trader.service_types import ServiceType
+from repro.trader.type_manager import TypeManager
+
+TRADER_PROGRAM = 100200
+
+_PROC_EXPORT = 1
+_PROC_WITHDRAW = 2
+_PROC_MODIFY = 3
+_PROC_IMPORT = 4
+_PROC_ADD_TYPE = 5
+_PROC_REMOVE_TYPE = 6
+_PROC_LIST_TYPES = 7
+_PROC_GET_TYPE = 8
+_PROC_LIST_OFFERS = 9
+_PROC_MASK_TYPE = 10
+
+
+@dataclass
+class ImportRequest:
+    """An importer's query (step 2 of Fig. 1)."""
+
+    service_type: str
+    constraint: str = ""
+    preference: str = ""
+    max_matches: int = 0  # 0 = unlimited
+    structural: bool = False  # also match structurally conforming types
+    hop_limit: int = 0  # 0 = this trader only
+    visited: List[str] = field(default_factory=list)
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "service_type": self.service_type,
+            "constraint": self.constraint,
+            "preference": self.preference,
+            "max_matches": self.max_matches,
+            "structural": self.structural,
+            "hop_limit": self.hop_limit,
+            "visited": list(self.visited),
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any]) -> "ImportRequest":
+        return cls(
+            service_type=data["service_type"],
+            constraint=data.get("constraint", ""),
+            preference=data.get("preference", ""),
+            max_matches=data.get("max_matches", 0),
+            structural=data.get("structural", False),
+            hop_limit=data.get("hop_limit", 0),
+            visited=list(data.get("visited", [])),
+        )
+
+
+class LocalTrader:
+    """The trader's logic, independent of any transport."""
+
+    def __init__(
+        self,
+        trader_id: str = "trader",
+        type_manager: Optional[TypeManager] = None,
+        seed: int = 0,
+        dynamic_evaluator=None,
+    ) -> None:
+        self.trader_id = trader_id
+        self.types = type_manager or TypeManager()
+        self.offers = OfferStore(prefix=trader_id)
+        self.links: Dict[str, TraderLink] = {}
+        self.rng = random.Random(seed)
+        # resolves dynamic-property markers at import time (ODP-style
+        # late-bound attributes); None = dynamic properties never match
+        self.dynamic_evaluator = dynamic_evaluator
+        self.exports_accepted = 0
+        self.imports_served = 0
+
+    # -- management interface ------------------------------------------------
+
+    def add_type(self, service_type: ServiceType, now: float = 0.0) -> None:
+        self.types.add(service_type, now)
+
+    def remove_type(self, name: str) -> bool:
+        return self.types.remove(name)
+
+    def mask_type(self, name: str) -> None:
+        self.types.mask(name)
+
+    # -- exporter interface (step 1 of Fig. 1) ---------------------------------
+
+    def export(
+        self,
+        service_type: str,
+        ref: Union[ServiceRef, Dict[str, Any]],
+        properties: Dict[str, Any],
+        now: float = 0.0,
+        lifetime: Optional[float] = None,
+    ) -> str:
+        """Register a service offer; returns the offer id.
+
+        ``lifetime`` (in the trader's time unit) makes the offer expire:
+        it stops matching at ``now + lifetime`` and is reaped by
+        :meth:`purge_expired` — exporters of volatile services refresh by
+        re-exporting instead of leaving stale offers behind.
+        """
+        declared = self.types.get(service_type)
+        checked = declared.check_properties(properties)
+        ref_wire = ref.to_wire() if isinstance(ref, ServiceRef) else dict(ref)
+        offer = ServiceOffer(
+            offer_id=self.offers.new_offer_id(service_type),
+            service_type=service_type,
+            ref=ref_wire,
+            properties=checked,
+            exported_at=now,
+            expires_at=None if lifetime is None else now + lifetime,
+        )
+        self.offers.add(offer)
+        self.exports_accepted += 1
+        return offer.offer_id
+
+    def purge_expired(self, now: float) -> int:
+        """Remove expired offers; returns how many were reaped."""
+        expired = [o.offer_id for o in self.offers.all() if o.expired(now)]
+        for offer_id in expired:
+            self.offers.remove(offer_id)
+        return len(expired)
+
+    def withdraw(self, offer_id: str) -> ServiceOffer:
+        return self.offers.remove(offer_id)
+
+    def modify(self, offer_id: str, properties: Dict[str, Any]) -> ServiceOffer:
+        offer = self.offers.get(offer_id)
+        declared = self.types.get(offer.service_type)
+        checked = declared.check_properties(properties)
+        return self.offers.replace_properties(offer_id, checked)
+
+    # -- importer interface (steps 2-3 of Fig. 1) -------------------------------
+
+    def import_(self, request: ImportRequest, now: float = 0.0) -> List[ServiceOffer]:
+        """Match offers; forward to linked traders within the hop limit."""
+        self.imports_served += 1
+        constraint = parse_constraint(request.constraint)
+        preference = parse_preference(request.preference)
+        type_names = self.types.matching_types(
+            request.service_type, structural=request.structural
+        )
+        matched = []
+        for offer in self.offers.of_types(type_names):
+            if offer.expired(now):
+                continue
+            resolved = resolve_properties(offer.properties, self.dynamic_evaluator)
+            if constraint.evaluate(resolved):
+                if resolved is not offer.properties:
+                    # importers see the fresh values, the store keeps markers
+                    offer = ServiceOffer(
+                        offer.offer_id, offer.service_type, offer.ref,
+                        resolved, offer.exported_at,
+                    )
+                matched.append(offer)
+        matched.extend(self._federated_matches(request))
+        unique: Dict[str, ServiceOffer] = {}
+        for offer in matched:
+            unique.setdefault(offer.offer_id, offer)
+        ordered = preference.apply(list(unique.values()), self.rng)
+        if request.max_matches > 0:
+            ordered = ordered[: request.max_matches]
+        return ordered
+
+    def select_best(self, request: ImportRequest) -> Optional[ServiceOffer]:
+        """The "best possible" single offer, or None."""
+        narrowed = ImportRequest(**{**request.__dict__, "max_matches": 1})
+        offers = self.import_(narrowed)
+        return offers[0] if offers else None
+
+    def import_wire(
+        self, request_wire: Dict[str, Any], now: float = 0.0
+    ) -> List[Dict[str, Any]]:
+        """Wire-dict façade used by RPC handlers and federation links."""
+        try:
+            offers = self.import_(ImportRequest.from_wire(request_wire), now)
+        except TraderError:
+            # A peer may ask about types this trader never standardised.
+            return []
+        return [offer.to_wire() for offer in offers]
+
+    def _federated_matches(self, request: ImportRequest) -> List[ServiceOffer]:
+        if request.hop_limit <= 0 or not self.links:
+            return []
+        if self.trader_id in request.visited:
+            return []
+        forwarded = request.to_wire()
+        forwarded["hop_limit"] = request.hop_limit - 1
+        forwarded["visited"] = list(request.visited) + [self.trader_id]
+        forwarded["preference"] = ""  # peers return raw matches; we order
+        forwarded["max_matches"] = 0
+        gathered: List[ServiceOffer] = []
+        for link in self.links.values():
+            try:
+                results = link.forward(forwarded)
+            except Exception:  # noqa: BLE001 - unreachable peers are skipped
+                continue
+            gathered.extend(ServiceOffer.from_wire(item) for item in results)
+        return gathered
+
+    # -- federation ------------------------------------------------------------
+
+    def link(self, link: TraderLink) -> None:
+        self.links[link.name] = link
+
+    def link_local(self, peer: "LocalTrader", max_hops: int = 8) -> None:
+        """Convenience: federate with a co-located trader instance."""
+        self.link(TraderLink(peer.trader_id, peer.import_wire, max_hops))
+
+    def unlink(self, name: str) -> bool:
+        return self.links.pop(name, None) is not None
+
+
+class TraderService:
+    """RPC wrapper exposing a :class:`LocalTrader` (the Fig. 6 box)."""
+
+    def __init__(
+        self,
+        server: RpcServer,
+        trader: Optional[LocalTrader] = None,
+        client: Optional[RpcClient] = None,
+        now=lambda: 0.0,
+    ) -> None:
+        self.trader = trader or LocalTrader()
+        self._client = client
+        self._now = now
+        if client is not None and self.trader.dynamic_evaluator is None:
+            from repro.trader.dynamic import BindingEvaluator
+
+            self.trader.dynamic_evaluator = BindingEvaluator(client)
+        program = RpcProgram(TRADER_PROGRAM, 1, "trader")
+        program.register(_PROC_EXPORT, self._export, "export")
+        program.register(_PROC_WITHDRAW, self._withdraw, "withdraw")
+        program.register(_PROC_MODIFY, self._modify, "modify")
+        program.register(_PROC_IMPORT, self._import, "import")
+        program.register(_PROC_ADD_TYPE, self._add_type, "add_type")
+        program.register(_PROC_REMOVE_TYPE, self._remove_type, "remove_type")
+        program.register(_PROC_LIST_TYPES, self._list_types, "list_types")
+        program.register(_PROC_GET_TYPE, self._get_type, "get_type")
+        program.register(_PROC_LIST_OFFERS, self._list_offers, "list_offers")
+        program.register(_PROC_MASK_TYPE, self._mask_type, "mask_type")
+        server.serve(program)
+        self.address = server.address
+
+    def link_to(self, peer_address: Address, name: Optional[str] = None) -> None:
+        """Federate with a remote trader over RPC."""
+        if self._client is None:
+            raise TraderError("TraderService needs an RpcClient to federate")
+        client = self._client
+
+        def forward(request_wire: Dict[str, Any]) -> List[Dict[str, Any]]:
+            return client.call(
+                peer_address, TRADER_PROGRAM, 1, _PROC_IMPORT, request_wire
+            )
+
+        link_name = name or f"link:{peer_address.host}:{peer_address.port}"
+        self.trader.link(TraderLink(link_name, forward))
+
+    # -- handlers ---------------------------------------------------------------
+
+    def _export(self, args) -> str:
+        return self.trader.export(
+            args["service_type"],
+            args["ref"],
+            args["properties"],
+            self._now(),
+            args.get("lifetime"),
+        )
+
+    def _withdraw(self, args) -> bool:
+        self.trader.withdraw(args["offer_id"])
+        return True
+
+    def _modify(self, args) -> bool:
+        self.trader.modify(args["offer_id"], args["properties"])
+        return True
+
+    def _import(self, args) -> List[Dict[str, Any]]:
+        return self.trader.import_wire(args, self._now())
+
+    def _add_type(self, args) -> bool:
+        self.trader.add_type(ServiceType.from_wire(args["type"]), self._now())
+        return True
+
+    def _remove_type(self, args) -> bool:
+        return self.trader.remove_type(args["name"])
+
+    def _mask_type(self, args) -> bool:
+        self.trader.mask_type(args["name"])
+        return True
+
+    def _list_types(self, args) -> List[str]:
+        return self.trader.types.names()
+
+    def _get_type(self, args) -> Dict[str, Any]:
+        return self.trader.types.get(args["name"]).to_wire()
+
+    def _list_offers(self, args) -> List[Dict[str, Any]]:
+        return [offer.to_wire() for offer in self.trader.offers.all()]
+
+
+class TraderClient:
+    """Importer/exporter stub for a remote trader."""
+
+    def __init__(self, client: RpcClient, address: Address) -> None:
+        self._client = client
+        self.address = address
+
+    def export(
+        self,
+        service_type: str,
+        ref: Union[ServiceRef, Dict[str, Any]],
+        properties: Dict[str, Any],
+        lifetime: Optional[float] = None,
+    ) -> str:
+        ref_wire = ref.to_wire() if isinstance(ref, ServiceRef) else ref
+        return self._call(
+            _PROC_EXPORT,
+            {
+                "service_type": service_type,
+                "ref": ref_wire,
+                "properties": properties,
+                "lifetime": lifetime,
+            },
+        )
+
+    def withdraw(self, offer_id: str) -> bool:
+        return self._call(_PROC_WITHDRAW, {"offer_id": offer_id})
+
+    def modify(self, offer_id: str, properties: Dict[str, Any]) -> bool:
+        return self._call(_PROC_MODIFY, {"offer_id": offer_id, "properties": properties})
+
+    def import_(self, request: Union[ImportRequest, Dict[str, Any]]) -> List[ServiceOffer]:
+        wire = request.to_wire() if isinstance(request, ImportRequest) else request
+        results = self._call(_PROC_IMPORT, wire)
+        return [ServiceOffer.from_wire(item) for item in results]
+
+    def select_best(self, request: ImportRequest) -> Optional[ServiceOffer]:
+        request = ImportRequest(**{**request.__dict__, "max_matches": 1})
+        offers = self.import_(request)
+        return offers[0] if offers else None
+
+    def add_type(self, service_type: ServiceType) -> bool:
+        return self._call(_PROC_ADD_TYPE, {"type": service_type.to_wire()})
+
+    def remove_type(self, name: str) -> bool:
+        return self._call(_PROC_REMOVE_TYPE, {"name": name})
+
+    def mask_type(self, name: str) -> bool:
+        return self._call(_PROC_MASK_TYPE, {"name": name})
+
+    def list_types(self) -> List[str]:
+        return self._call(_PROC_LIST_TYPES, {})
+
+    def get_type(self, name: str) -> ServiceType:
+        return ServiceType.from_wire(self._call(_PROC_GET_TYPE, {"name": name}))
+
+    def list_offers(self) -> List[ServiceOffer]:
+        return [ServiceOffer.from_wire(item) for item in self._call(_PROC_LIST_OFFERS, {})]
+
+    def _call(self, proc: int, args) -> Any:
+        return self._client.call(self.address, TRADER_PROGRAM, 1, proc, args)

@@ -1,0 +1,116 @@
+"""The type manager: registry of service types with a subtype hierarchy.
+
+Models the type management system for an ODP trader [5]: types are
+registered under unique names, may declare super-types, and import
+requests match any registered subtype of the requested type.  The manager
+also tracks *standardisation* metadata (when a type became available),
+which the market simulation uses to quantify §2.2's time-to-market
+argument.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.trader.errors import DuplicateServiceType, UnknownServiceType
+from repro.trader.service_types import ServiceType
+
+
+class TypeManager:
+    """Stores service types; answers subtype queries."""
+
+    def __init__(self) -> None:
+        self._types: Dict[str, ServiceType] = {}
+        self._registered_at: Dict[str, float] = {}
+        self._masked: Set[str] = set()
+
+    # -- management interface (§2.1: insert/delete service type entries) -----
+
+    def add(self, service_type: ServiceType, now: float = 0.0) -> None:
+        if service_type.name in self._types:
+            raise DuplicateServiceType(
+                f"service type {service_type.name!r} already registered"
+            )
+        for super_name in service_type.super_types:
+            if super_name not in self._types:
+                raise UnknownServiceType(
+                    f"{service_type.name}: unknown super type {super_name!r}"
+                )
+        self._types[service_type.name] = service_type
+        self._registered_at[service_type.name] = now
+
+    def remove(self, name: str) -> bool:
+        self._masked.discard(name)
+        self._registered_at.pop(name, None)
+        return self._types.pop(name, None) is not None
+
+    def mask(self, name: str) -> None:
+        """Hide a type from matching without deleting it (deprecation)."""
+        self.get(name)
+        self._masked.add(name)
+
+    def unmask(self, name: str) -> None:
+        self._masked.discard(name)
+
+    def masked(self, name: str) -> bool:
+        return name in self._masked
+
+    # -- queries ------------------------------------------------------------
+
+    def get(self, name: str) -> ServiceType:
+        service_type = self._types.get(name)
+        if service_type is None:
+            raise UnknownServiceType(f"unknown service type {name!r}")
+        return service_type
+
+    def has(self, name: str) -> bool:
+        return name in self._types
+
+    def names(self) -> List[str]:
+        return sorted(self._types)
+
+    def registered_at(self, name: str) -> Optional[float]:
+        return self._registered_at.get(name)
+
+    def declared_subtypes(self, name: str) -> Set[str]:
+        """Transitive closure of the declared super-type hierarchy."""
+        self.get(name)
+        result: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for candidate in self._types.values():
+                if candidate.name in result:
+                    continue
+                for super_name in candidate.super_types:
+                    if super_name == name or super_name in result:
+                        result.add(candidate.name)
+                        changed = True
+                        break
+        return result
+
+    def matching_types(self, name: str, structural: bool = False) -> List[str]:
+        """Type names whose offers satisfy a request for ``name``.
+
+        Always includes the type itself and its declared subtypes; with
+        ``structural=True`` also any unrelated type that structurally
+        conforms.  Masked types never match.
+        """
+        base = self.get(name)
+        matches = {name} | self.declared_subtypes(name)
+        if structural:
+            for candidate in self._types.values():
+                if candidate.name not in matches and candidate.conforms_to(base):
+                    matches.add(candidate.name)
+        return sorted(m for m in matches if m not in self._masked)
+
+    def is_subtype(self, sub_name: str, super_name: str) -> bool:
+        if sub_name == super_name:
+            return True
+        return sub_name in self.declared_subtypes(super_name)
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def __iter__(self) -> Iterable[ServiceType]:
+        return iter(list(self._types.values()))

@@ -1,0 +1,63 @@
+"""UIMS — user interface management for generic clients (Fig. 7).
+
+The paper's prototype generated X-window forms from SIDs; this package is
+the same mapping with a headless widget model and a text renderer:
+
+* :mod:`repro.uims.widgets` — the widget tree (forms, typed value editors,
+  bind buttons for SERVICEREFERENCE values),
+* :mod:`repro.uims.formgen` — SIDL type/operation → widget generation:
+  "operation-specific value editor forms can be generated automatically",
+* :mod:`repro.uims.controller` — wiring widget activation to remote
+  operation invocations, FSM-aware enabling/disabling,
+* :mod:`repro.uims.render` — text rendering of widget trees,
+* :mod:`repro.uims.session` — scripted interaction (fill/click) used by
+  tests, examples, and benchmarks.
+"""
+
+from repro.uims.controller import OperationController, ServicePanel
+from repro.uims.formgen import form_for_operation, widget_for_type
+from repro.uims.html import render_html, render_panel_html
+from repro.uims.render import render, render_panel
+from repro.uims.session import UiSession
+from repro.uims.widgets import (
+    AnyField,
+    BindButton,
+    Button,
+    CheckBox,
+    ChoiceField,
+    Form,
+    GroupBox,
+    Label,
+    ListEditor,
+    NumberField,
+    ResultPanel,
+    TextField,
+    UnionEditor,
+    Widget,
+)
+
+__all__ = [
+    "AnyField",
+    "BindButton",
+    "Button",
+    "CheckBox",
+    "ChoiceField",
+    "Form",
+    "GroupBox",
+    "Label",
+    "ListEditor",
+    "NumberField",
+    "OperationController",
+    "ResultPanel",
+    "ServicePanel",
+    "TextField",
+    "UiSession",
+    "UnionEditor",
+    "Widget",
+    "form_for_operation",
+    "render",
+    "render_html",
+    "render_panel",
+    "render_panel_html",
+    "widget_for_type",
+]

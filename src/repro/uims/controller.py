@@ -1,0 +1,109 @@
+"""Controllers: wiring generated widgets to remote invocations (§3.2).
+
+"Controller elements (e.g. buttons, list items), that can be activated by
+mouse events are related to respective remote operation invocations" —
+here, clicking a form's submit button collects the typed values, runs the
+generic binding's guarded invoke, displays the result, and turns every
+returned service reference into a live :class:`BindButton` whose click
+opens the next binding in the cascade (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.generic_client import GenericBinding
+from repro.sidl.fsm import FsmViolation
+from repro.uims.formgen import form_for_operation
+from repro.uims.widgets import BindButton, Form, Label
+
+
+class OperationController:
+    """One operation's form, bound to a live service session."""
+
+    def __init__(self, binding: GenericBinding, operation_name: str) -> None:
+        self.binding = binding
+        self.operation = binding.operation(operation_name)
+        self.form: Form = form_for_operation(binding.sid, self.operation)
+        self.form.submit.on_click = self.submit
+        self.last_error: Optional[str] = None
+        self.refresh_enabled()
+
+    def refresh_enabled(self) -> None:
+        """Mirror the FSM: disable the submit button when not allowed."""
+        allowed = self.binding.fsm is None or self.binding.fsm.allows(
+            self.operation.name
+        )
+        self.form.submit.enabled = allowed
+
+    def arguments(self) -> Dict[str, Any]:
+        return {field.label: field.get_value() for field in self.form.fields}
+
+    def submit(self) -> Any:
+        """Collect values, invoke, populate the result panel."""
+        self.last_error = None
+        try:
+            result = self.binding.invoke(self.operation.name, self.arguments())
+        except FsmViolation as violation:
+            self.last_error = str(violation)
+            self.refresh_enabled()
+            raise
+        panel = self.form.result
+        panel.value = result.value
+        panel.state = result.state
+        panel.bind_buttons = [
+            BindButton(
+                f"bind {reference.name}",
+                ref=reference,
+                path=f"{self.form.path}.result.bind.{index}",
+                on_click=(lambda r=reference: self.binding.bind_reference(r)),
+            )
+            for index, reference in enumerate(result.references)
+        ]
+        self.refresh_enabled()
+        return result.value
+
+
+class ServicePanel:
+    """The whole generated user interface for one binding (Fig. 7).
+
+    One :class:`OperationController` per operation, a state label, and the
+    SID's annotations as captions.  Enabled/disabled states track the FSM
+    after every invocation.
+    """
+
+    def __init__(self, binding: GenericBinding) -> None:
+        self.binding = binding
+        self.title = binding.service_name
+        self.controllers: Dict[str, OperationController] = {
+            name: OperationController(binding, name)
+            for name in binding.operations()
+        }
+        self.state_label = Label("state", self._state_text(), path="state")
+
+    def _state_text(self) -> str:
+        state = self.binding.state()
+        return f"communication state: {state}" if state else "stateless service"
+
+    def controller(self, operation_name: str) -> OperationController:
+        return self.controllers[operation_name]
+
+    def forms(self) -> List[Form]:
+        return [controller.form for controller in self.controllers.values()]
+
+    def submit(self, operation_name: str) -> Any:
+        value = self.controllers[operation_name].submit()
+        self.refresh()
+        return value
+
+    def refresh(self) -> None:
+        self.state_label.text = self._state_text()
+        for controller in self.controllers.values():
+            controller.refresh_enabled()
+
+    def enabled_operations(self) -> List[str]:
+        return [
+            name
+            for name, controller in self.controllers.items()
+            if controller.form.submit.enabled
+        ]

@@ -1,0 +1,152 @@
+"""HTML rendering of widget trees — a second UIMS backend.
+
+The paper's claim (§3.2) is the *mapping* from SID elements to UI
+components, independent of the window system.  The text renderer stands
+in for the 1994 X-window output; this module proves backend independence
+by rendering the same widget trees as self-contained HTML (static forms:
+state is shown, interaction stays with the programmatic session).
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import List
+
+from repro.uims.widgets import (
+    AnyField,
+    BindButton,
+    Button,
+    CheckBox,
+    ChoiceField,
+    Form,
+    GroupBox,
+    Label,
+    ListEditor,
+    NumberField,
+    ResultPanel,
+    TextField,
+    UnionEditor,
+    Widget,
+)
+
+_PAGE = """<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{title}</title>
+<style>
+ body {{ font-family: sans-serif; margin: 1.5em; }}
+ fieldset {{ margin-bottom: 1em; border: 1px solid #999; }}
+ legend {{ font-weight: bold; }}
+ .annotation {{ color: #555; font-style: italic; }}
+ .disabled {{ color: #aaa; }}
+ .state {{ color: #064; font-weight: bold; }}
+ .result {{ background: #f4f4f4; padding: .5em; font-family: monospace; }}
+ label {{ display: inline-block; min-width: 10em; }}
+ .widget {{ margin: .25em 0; }}
+</style></head>
+<body>
+<h1>{title}</h1>
+<p class="state">{state}</p>
+{body}
+</body></html>
+"""
+
+
+def escape(text: str) -> str:
+    return _html.escape(str(text), quote=True)
+
+
+def render_html(widget: Widget) -> str:
+    """Render one widget subtree as an HTML fragment."""
+    return "\n".join(_render(widget))
+
+
+def render_panel_html(panel) -> str:
+    """Render a whole :class:`~repro.uims.controller.ServicePanel` page."""
+    body = "\n".join(render_html(form) for form in panel.forms())
+    return _PAGE.format(
+        title=escape(panel.title),
+        state=escape(panel.state_label.text),
+        body=body,
+    )
+
+
+def _render(widget: Widget) -> List[str]:
+    if isinstance(widget, Form):
+        lines = [f'<fieldset id="{escape(widget.path)}"><legend>{escape(widget.label)}</legend>']
+        if widget.annotation:
+            lines.append(f'<p class="annotation">{escape(widget.annotation)}</p>')
+        for field in widget.fields:
+            lines.extend(_render(field))
+        state = "" if widget.submit.enabled else ' class="disabled" disabled'
+        lines.append(f"<button{state}>{escape(widget.label)}</button>")
+        if widget.result.value is not None or widget.result.bind_buttons:
+            lines.extend(_render(widget.result))
+        lines.append("</fieldset>")
+        return lines
+    if isinstance(widget, GroupBox):
+        lines = [f"<fieldset><legend>{escape(widget.label)}</legend>"]
+        for field in widget.fields:
+            lines.extend(_render(field))
+        lines.append("</fieldset>")
+        return lines
+    if isinstance(widget, ListEditor):
+        lines = [f"<fieldset><legend>{escape(widget.label)} ({len(widget.items)})</legend><ol>"]
+        for item in widget.items:
+            lines.append("<li>")
+            lines.extend(_render(item))
+            lines.append("</li>")
+        lines.append("</ol><button>+ add</button></fieldset>")
+        return lines
+    if isinstance(widget, UnionEditor):
+        lines = [f"<fieldset><legend>{escape(widget.label)} (union)</legend>"]
+        lines.extend(_render(widget.tag_field))
+        lines.extend(_render(widget.arm))
+        lines.append("</fieldset>")
+        return lines
+    if isinstance(widget, ChoiceField):
+        options = "".join(
+            f'<option{" selected" if option == widget.value else ""}>'
+            f"{escape(option)}</option>"
+            for option in widget.options
+        )
+        return [
+            f'<div class="widget"><label>{escape(widget.label)}</label>'
+            f"<select>{options}</select></div>"
+        ]
+    if isinstance(widget, TextField):
+        return [
+            f'<div class="widget"><label>{escape(widget.label)}</label>'
+            f'<input type="text" value="{escape(widget.value)}"></div>'
+        ]
+    if isinstance(widget, NumberField):
+        return [
+            f'<div class="widget"><label>{escape(widget.label)}</label>'
+            f'<input type="number" value="{escape(widget.value)}"></div>'
+        ]
+    if isinstance(widget, CheckBox):
+        checked = " checked" if widget.value else ""
+        return [
+            f'<div class="widget"><label>{escape(widget.label)}</label>'
+            f'<input type="checkbox"{checked}></div>'
+        ]
+    if isinstance(widget, BindButton):
+        name = widget.ref.name if widget.ref is not None else "?"
+        state = "" if widget.enabled else ' class="disabled" disabled'
+        return [f"<button{state}>bind &rarr; {escape(name)}</button>"]
+    if isinstance(widget, Button):
+        state = "" if widget.enabled else ' class="disabled" disabled'
+        return [f"<button{state}>{escape(widget.label)}</button>"]
+    if isinstance(widget, ResultPanel):
+        lines = [f'<div class="result">{escape(repr(widget.value))}</div>']
+        if widget.state is not None:
+            lines.append(f'<p class="state">state: {escape(widget.state)}</p>')
+        for button in widget.bind_buttons:
+            lines.extend(_render(button))
+        return lines
+    if isinstance(widget, Label):
+        return [f"<p>{escape(widget.text)}</p>"]
+    if isinstance(widget, AnyField):
+        return [
+            f'<div class="widget"><label>{escape(widget.label)}</label>'
+            f"<code>{escape(repr(widget.value))}</code></div>"
+        ]
+    return [f"<!-- {escape(type(widget).__name__)} -->"]

@@ -1,0 +1,167 @@
+"""Tests for the mediator and the §4.1 trading/mediation integration."""
+
+import pytest
+
+from repro.core import BrowserService, CosmMediator, make_tradable
+from repro.core.integration import export_properties
+from repro.errors import CosmError, LookupFailure
+from repro.sidl.builder import load_service_description
+from repro.services.car_rental import make_car_rental_sid, start_car_rental
+from repro.services.stock_quotes import start_stock_quotes
+from repro.trader.trader import ImportRequest, LocalTrader, TraderClient, TraderService
+from tests.conftest import SELECTION
+
+
+@pytest.fixture
+def world(make_server, make_client):
+    """Browser + trader + two rentals (one cheap) + one innovative service."""
+    browser = BrowserService(make_server("browser"))
+    trader_service = TraderService(make_server("trader"))
+    standard = start_car_rental(make_server("rental-std"))
+    cheap_sid = make_car_rental_sid(charge_per_day=55.0, service_id=4712)
+    cheap = start_car_rental(make_server("rental-cheap"), sid=cheap_sid)
+    quotes = start_stock_quotes(make_server("quotes"))
+    for runtime in (standard, cheap, quotes):
+        browser.register_local(runtime)
+    trader_client = TraderClient(make_client(), trader_service.address)
+    make_tradable(standard.sid, standard.ref, trader_client)
+    make_tradable(cheap.sid, cheap.ref, trader_client)
+    mediator = CosmMediator(
+        make_client(), trader_address=trader_service.address, browser_refs=[browser.ref]
+    )
+    return {
+        "mediator": mediator,
+        "browser": browser,
+        "standard": standard,
+        "cheap": cheap,
+        "quotes": quotes,
+        "trader_client": trader_client,
+    }
+
+
+# -- make_tradable (§4.1) -------------------------------------------------------------
+
+
+def test_make_tradable_registers_type_once(world):
+    assert world["trader_client"].list_types() == ["CarRentalService"]
+
+
+def test_make_tradable_exports_attribute_values(world):
+    offers = world["trader_client"].import_(ImportRequest("CarRentalService"))
+    charges = sorted(o.properties["ChargePerDay"] for o in offers)
+    assert charges == [55.0, 80.0]
+
+
+def test_export_properties_strips_reserved_keys(world):
+    properties = export_properties(world["standard"].sid)
+    assert "ServiceID" not in properties
+    assert "TOD" not in properties
+    assert "ChargePerDay" in properties
+
+
+def test_make_tradable_requires_export_embedding(make_server):
+    quotes = start_stock_quotes(make_server())
+    with pytest.raises(CosmError):
+        make_tradable(quotes.sid, quotes.ref, LocalTrader())
+
+
+def test_make_tradable_with_local_trader():
+    sid = make_car_rental_sid()
+    from repro.naming.refs import ServiceRef
+    from repro.net.endpoints import Address
+
+    trader = LocalTrader()
+    ref = ServiceRef.create("r", Address("h", 1), 4711)
+    offer_id = make_tradable(sid, ref, trader, now=5.0)
+    offers = trader.import_(ImportRequest("CarRentalService"))
+    assert [o.offer_id for o in offers] == [offer_id]
+    assert offers[0].exported_at == 5.0
+
+
+# -- trader path --------------------------------------------------------------------------
+
+
+def test_import_from_trader_with_constraint(world):
+    hits = world["mediator"].import_from_trader(
+        "CarRentalService", "ChargePerDay < 60"
+    )
+    assert len(hits) == 1
+    assert hits[0].via == "trader"
+
+
+def test_bind_best_selects_cheapest(world):
+    binding = world["mediator"].bind_best(
+        "CarRentalService", preference="min ChargePerDay"
+    )
+    assert binding.ref.service_id == world["cheap"].ref.service_id
+    result = binding.invoke("SelectCar", {"selection": SELECTION})
+    assert result.value["charge"] == 110.0  # 2 days at 55
+
+
+def test_bind_best_without_match_raises(world):
+    with pytest.raises(LookupFailure):
+        world["mediator"].bind_best("CarRentalService", "ChargePerDay < 1")
+
+
+def test_mediator_without_trader_raises(make_client):
+    mediator = CosmMediator(make_client())
+    with pytest.raises(LookupFailure):
+        mediator.import_from_trader("Anything")
+
+
+# -- browser path ---------------------------------------------------------------------------
+
+
+def test_browse_lists_everything(world):
+    hits = world["mediator"].browse()
+    assert len(hits) == 3
+    assert all(hit.via == "browser" for hit in hits)
+
+
+def test_browse_with_query(world):
+    hits = world["mediator"].browse("quote")
+    assert [hit.ref.name for hit in hits] == ["StockQuotes"]
+
+
+def test_browse_merges_multiple_browsers(world, make_server, make_client):
+    second = BrowserService(make_server("browser-2"))
+    second.register_local(world["quotes"])
+    world["mediator"].add_browser(second.ref)
+    hits = world["mediator"].browse("quote")
+    # same service via two browsers collapses to one hit
+    assert len(hits) == 1
+
+
+def test_innovative_service_only_via_browser(world):
+    """StockQuotes has no service type: trader import cannot find it,
+    browsing can — the §3.3 'pre-standardised stage'."""
+    trader_hits = world["trader_client"].list_types()
+    assert "StockQuotes" not in trader_hits
+    hits = world["mediator"].discover("stock")
+    assert [hit.via for hit in hits] == ["browser"]
+    binding = world["mediator"].bind(hits[0])
+    assert binding.invoke("GetQuote", {"symbol": "SIE"}).value["symbol"] == "SIE"
+
+
+# -- integrated discovery ------------------------------------------------------------------------
+
+
+def test_discover_prefers_trader_and_collapses_duplicates(world):
+    hits = world["mediator"].discover("rental", service_type="CarRentalService")
+    # both rentals found via trader; the browser copies collapse
+    assert sorted(hit.via for hit in hits) == ["trader", "trader"]
+    assert len({hit.ref.service_id for hit in hits}) == 2
+
+
+def test_discover_unknown_type_falls_back_to_browse(world):
+    hits = world["mediator"].discover("quote", service_type="NoSuchType")
+    assert [hit.via for hit in hits] == ["browser"]
+
+
+def test_service_stays_browsable_after_becoming_tradable(world):
+    """§4.1: 'such a service shall also remain accessible for generic
+    clients in the more general service mediation environment'."""
+    browser_hits = world["mediator"].browse("rental")
+    assert len(browser_hits) == 2
+    binding = world["mediator"].bind(browser_hits[0])
+    assert binding.invoke("SelectCar", {"selection": SELECTION}).value["available"]

@@ -1,0 +1,103 @@
+"""Tests for the networked interface manager and conformance browsing."""
+
+import pytest
+
+from repro.core.browser import BrowserClient, BrowserService
+from repro.naming.interface_manager import InterfaceManagerClient, InterfaceManagerService
+from repro.rpc.errors import RemoteFault
+from repro.sidl.builder import load_service_description
+from repro.services.car_rental import CAR_RENTAL_SIDL
+from repro.services.stock_quotes import start_stock_quotes
+
+BASE = """
+module Svc {
+  interface COSM_Operations { boolean Ping(); };
+};
+"""
+
+RICHER = """
+module Svc {
+  interface COSM_Operations { boolean Ping(); long Extra(); };
+};
+"""
+
+
+@pytest.fixture
+def manager(make_server, make_client):
+    service = InterfaceManagerService(make_server("ifmgr"))
+    client = InterfaceManagerClient(make_client(), service.address)
+    return service, client
+
+
+def test_store_and_fetch(manager, car_sid):
+    __, client = manager
+    rid = client.store(car_sid)
+    assert client.fetch(rid) == car_sid
+
+
+def test_store_under_explicit_id(manager, car_sid):
+    __, client = manager
+    assert client.store(car_sid, "IR:cars") == "IR:cars"
+    assert "IR:cars" in client.list()
+
+
+def test_remove(manager, car_sid):
+    __, client = manager
+    rid = client.store(car_sid)
+    assert client.remove(rid)
+    assert not client.remove(rid)
+    with pytest.raises(RemoteFault):
+        client.fetch(rid)
+
+
+def test_find_by_name(manager, car_sid):
+    __, client = manager
+    client.store(car_sid)
+    client.store(load_service_description(BASE))
+    found = client.find_by_name("CarRentalService")
+    assert len(found) == 1
+    assert found[0].operation_names() == car_sid.operation_names()
+
+
+def test_find_conforming_over_the_wire(manager):
+    __, client = manager
+    base = load_service_description(BASE)
+    richer = load_service_description(RICHER)
+    client.store(base)
+    client.store(richer)
+    conforming = client.find_conforming(base)
+    assert len(conforming) == 2
+    conforming_to_richer = client.find_conforming(richer)
+    assert len(conforming_to_richer) == 1
+    assert "Extra" in conforming_to_richer[0].operation_names()
+
+
+# -- browser FindConforming (structural browsing) --------------------------------
+
+
+def test_browser_find_conforming(make_server, make_client, rental):
+    browser = BrowserService(make_server())
+    browser.register_local(rental)
+    browser.register_local(start_stock_quotes(make_server()))
+    client = BrowserClient(make_client(), browser.ref)
+
+    # a client that only knows "something with SelectCar(selection)":
+    base = load_service_description(
+        """
+        module AnyRental {
+          typedef CarModel_t enum { AUDI, FIAT-Uno, VW-Golf };
+          typedef SelectCar_t struct { CarModel_t CarModel; string BookingDate; long Days; };
+          typedef SelectCarReturn_t struct { boolean available; };
+          interface COSM_Operations {
+            SelectCarReturn_t SelectCar(in SelectCar_t selection);
+          };
+        };
+        """
+    )
+    entries = client.find_conforming(base)
+    assert [entry.name for entry in entries] == ["CarRentalService"]
+    # nothing conforms to a description demanding an operation nobody has
+    impossible = load_service_description(
+        "module X { interface COSM_Operations { void Teleport(); }; };"
+    )
+    assert client.find_conforming(impossible) == []

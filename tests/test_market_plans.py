@@ -1,0 +1,71 @@
+"""Unit tests for the market simulation's per-mode provider plans."""
+
+import pytest
+
+from repro.market import ClientDemand, CostModel, MarketSimulation, ProviderSpec
+
+COSTS = CostModel()
+PIONEER = ProviderSpec("pioneer", "fam", enter_time=0.0, charge=1.0)
+FOLLOWER = ProviderSpec("follower", "fam", enter_time=50.0, charge=0.9)
+
+
+def plan_for(mode):
+    simulation = MarketSimulation(mode, [PIONEER, FOLLOWER], [], COSTS)
+    return {outcome.name: outcome for outcome in simulation._provider_plan()}
+
+
+def test_trading_pioneer_waits_for_standardisation():
+    plan = plan_for("trading")
+    # type ready at 0 + 180 + 5; offer registration adds 1
+    assert plan["pioneer"].available_time == 186.0
+    assert plan["pioneer"].transition_effort == pytest.approx(106.0)
+
+
+def test_trading_follower_rides_the_existing_type():
+    plan = plan_for("trading")
+    # the follower still cannot be available before the type exists
+    assert plan["follower"].available_time == 186.0
+    # but pays only the offer registration effort
+    assert plan["follower"].transition_effort == pytest.approx(1.0)
+
+
+def test_trading_follower_after_type_ready_is_fast():
+    late = ProviderSpec("late", "fam", enter_time=300.0, charge=1.0)
+    simulation = MarketSimulation("trading", [PIONEER, late], [], COSTS)
+    plan = {o.name: o for o in simulation._provider_plan()}
+    assert plan["late"].available_time == 301.0  # enter + offer registration
+    assert plan["late"].time_to_market == 1.0
+
+
+def test_mediation_everyone_is_fast_and_cheap():
+    plan = plan_for("mediation")
+    for outcome in plan.values():
+        assert outcome.time_to_market == pytest.approx(2.1)
+        assert outcome.transition_effort == pytest.approx(3.5)
+
+
+def test_integrated_availability_is_mediation_effort_is_both():
+    plan = plan_for("integrated")
+    assert plan["pioneer"].time_to_market == pytest.approx(2.1)
+    # pioneer pays mediation + eventual standardisation + offer export
+    assert plan["pioneer"].transition_effort == pytest.approx(3.5 + 105.0 + 1.0)
+    assert plan["follower"].transition_effort == pytest.approx(3.5 + 1.0)
+
+
+def test_integrated_skips_standardisation_cost_beyond_horizon():
+    simulation = MarketSimulation(
+        "integrated", [PIONEER], [], COSTS, horizon=100.0
+    )
+    plan = simulation._provider_plan()[0]
+    # the type never standardises within 100 days; no trading effort paid
+    assert plan.transition_effort == pytest.approx(3.5)
+
+
+def test_demand_outside_known_families_is_unserved():
+    simulation = MarketSimulation(
+        "mediation", [PIONEER], [ClientDemand("other-family", 1.0)], COSTS,
+        horizon=50.0,
+    )
+    outcome = simulation.run()
+    assert outcome.requests_served == 0
+    assert outcome.requests_unserved == outcome.requests_total > 0

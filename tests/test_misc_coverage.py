@@ -1,0 +1,99 @@
+"""Edge-branch tests across small helpers (dispatcher, renderers, misc)."""
+
+import pytest
+
+from repro.net import SimNetwork
+from repro.rpc.client import RpcClient
+from repro.rpc.dispatch import dispatcher_for
+from repro.rpc.message import RpcReply, ReplyStatus
+from repro.rpc.server import RpcProgram, RpcServer
+from repro.rpc.transport import SimTransport
+
+
+def test_dispatcher_is_per_transport_singleton(net):
+    transport = SimTransport(net, "single")
+    first = dispatcher_for(transport)
+    second = dispatcher_for(transport)
+    assert first is second
+
+
+def test_reply_without_client_is_ignored(net):
+    """A server-only node quietly drops stray REPLY messages."""
+    server_transport = SimTransport(net, "server-only")
+    RpcServer(server_transport)
+    other = SimTransport(net, "other")
+    other.send(server_transport.local_address, RpcReply(1, ReplyStatus.SUCCESS).encode())
+    net.clock.drain()  # must not raise
+
+
+def test_call_without_server_is_ignored(net):
+    """A client-only node quietly drops stray CALL messages."""
+    client_transport = SimTransport(net, "client-only")
+    client = RpcClient(client_transport)
+    from repro.rpc.message import RpcCall
+
+    other = SimTransport(net, "other2")
+    other.send(client_transport.local_address, RpcCall(1, 2, 3, 4).encode())
+    net.clock.drain()
+    assert client._pending == {}
+
+
+def test_late_duplicate_reply_is_harmless(net):
+    server = RpcServer(SimTransport(net, "srv"))
+    program = RpcProgram(777, 1)
+    program.register(1, lambda args: args)
+    server.serve(program)
+    client = RpcClient(SimTransport(net, "cli"))
+    assert client.call(server.address, 777, 1, 1, "x") == "x"
+    # replay the answered xid by hand: must not corrupt future calls
+    client.handle_reply(server.address, RpcReply(1, ReplyStatus.SUCCESS, b""))
+    client._pending.clear()
+    assert client.call(server.address, 777, 1, 1, "y") == "y"
+
+
+def test_render_panel_text_contains_all_forms(make_client, rental):
+    from repro.core import GenericClient
+    from repro.uims.controller import ServicePanel
+    from repro.uims.render import render_panel
+
+    binding = GenericClient(make_client()).bind(rental.ref)
+    text = render_panel(ServicePanel(binding))
+    assert text.count("===") >= 4  # two forms, open+close markers
+
+
+def test_mediator_browse_closes_bindings(make_client, make_server, rental):
+    """Browser sessions opened during browse are unbound afterwards."""
+    from repro.core import BrowserService, CosmMediator
+
+    browser = BrowserService(make_server())
+    browser.register_local(rental)
+    mediator = CosmMediator(make_client(), browser_refs=[browser.ref])
+    for __ in range(5):
+        mediator.browse("rental")
+    assert browser.runtime.sessions() == 0
+
+
+def test_group_manager_and_nameserver_share_server(net):
+    """Multiple support services co-hosted on one RPC server."""
+    from repro.naming.groups import GroupClient, GroupManagerService
+    from repro.naming.nameserver import NameServerClient, NameServerService
+
+    transport = SimTransport(net, "support")
+    server = RpcServer(transport)
+    names = NameServerService(server)
+    groups = GroupManagerService(server)
+    client_transport = SimTransport(net, "user")
+    client = RpcClient(client_transport)
+    assert NameServerClient(client, names.address).bind("a", 1)
+    assert GroupClient(client, groups.address).create("g")
+
+
+def test_transport_counters(net):
+    a = SimTransport(net, "a")
+    b = SimTransport(net, "b")
+    received = []
+    b.set_receiver(lambda source, payload: received.append((source, payload)))
+    a.send(b.local_address, b"ping")
+    net.clock.drain()
+    assert received == [(a.local_address, b"ping")]
+    assert a.now() == net.clock.now

@@ -1,0 +1,135 @@
+"""Tests for the hierarchical name server."""
+
+import pytest
+
+from repro.errors import LookupFailure
+from repro.naming.nameserver import NameRegistry, NameServerClient, NameServerService
+from repro.rpc.errors import RemoteFault
+
+
+# -- local registry --------------------------------------------------------------
+
+
+@pytest.fixture
+def registry():
+    return NameRegistry()
+
+
+def test_bind_resolve_roundtrip(registry):
+    registry.bind("services/rental", {"port": 1})
+    assert registry.resolve("services/rental") == {"port": 1}
+
+
+def test_intermediate_contexts_created(registry):
+    registry.bind("a/b/c/d", 1)
+    assert registry.list("a/b/c") == ["d"]
+
+
+def test_duplicate_bind_rejected(registry):
+    registry.bind("x", 1)
+    with pytest.raises(LookupFailure):
+        registry.bind("x", 2)
+    registry.bind("x", 2, replace=True)
+    assert registry.resolve("x") == 2
+
+
+def test_resolve_missing_raises(registry):
+    with pytest.raises(LookupFailure):
+        registry.resolve("ghost")
+
+
+def test_resolve_context_raises(registry):
+    registry.bind("ctx/leaf", 1)
+    with pytest.raises(LookupFailure):
+        registry.resolve("ctx")
+
+
+def test_cannot_bind_over_context(registry):
+    registry.bind("ctx/leaf", 1)
+    with pytest.raises(LookupFailure):
+        registry.bind("ctx", 2)
+
+
+def test_cannot_descend_through_leaf(registry):
+    registry.bind("leaf", 1)
+    with pytest.raises(LookupFailure):
+        registry.bind("leaf/below", 2)
+
+
+def test_unbind(registry):
+    registry.bind("x", 1)
+    assert registry.unbind("x")
+    assert not registry.unbind("x")
+    with pytest.raises(LookupFailure):
+        registry.resolve("x")
+
+
+def test_list_leaves_before_contexts(registry):
+    registry.bind("dir/sub/leaf", 1)
+    registry.bind("dir/aaa", 2)
+    assert registry.list("dir") == ["aaa", "sub/"]
+
+
+def test_list_root(registry):
+    registry.bind("a", 1)
+    registry.bind("dir/b", 2)
+    assert registry.list() == ["a", "dir/"]
+
+
+def test_empty_name_rejected(registry):
+    with pytest.raises(LookupFailure):
+        registry.bind("", 1)
+
+
+def test_slashes_normalised(registry):
+    registry.bind("/a//b/", 1)
+    assert registry.resolve("a/b") == 1
+
+
+# -- networked service ---------------------------------------------------------------
+
+
+@pytest.fixture
+def remote(make_server, make_client):
+    service = NameServerService(make_server("names"))
+    client = NameServerClient(make_client(), service.address)
+    return service, client
+
+
+def test_remote_bind_resolve(remote):
+    __, client = remote
+    assert client.bind("svc/rental", {"host": "a", "port": 1})
+    assert client.resolve("svc/rental") == {"host": "a", "port": 1}
+
+
+def test_remote_duplicate_bind_faults(remote):
+    __, client = remote
+    client.bind("dup", 1)
+    with pytest.raises(RemoteFault):
+        client.bind("dup", 2)
+    assert client.rebind("dup", 2)
+    assert client.resolve("dup") == 2
+
+
+def test_remote_list_and_unbind(remote):
+    __, client = remote
+    client.bind("ctx/a", 1)
+    client.bind("ctx/b", 2)
+    assert client.list("ctx") == ["a", "b"]
+    assert client.unbind("ctx/a")
+    assert client.list("ctx") == ["b"]
+
+
+def test_remote_missing_name_faults(remote):
+    __, client = remote
+    with pytest.raises(RemoteFault) as excinfo:
+        client.resolve("nope")
+    assert excinfo.value.kind == "LookupFailure"
+
+
+def test_shared_registry_between_local_and_remote(make_server, make_client):
+    registry = NameRegistry()
+    registry.bind("pre/existing", 42)
+    service = NameServerService(make_server(), registry)
+    client = NameServerClient(make_client(), service.address)
+    assert client.resolve("pre/existing") == 42

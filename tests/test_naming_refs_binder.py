@@ -1,0 +1,130 @@
+"""Tests for service references and binding establishment."""
+
+import pytest
+
+from repro.errors import BindingError, ProtocolError
+from repro.naming.binder import Binder
+from repro.naming.refs import ServiceRef, find_refs
+from repro.net.endpoints import Address
+from repro.rpc.errors import RemoteFault
+
+
+# -- references --------------------------------------------------------------------
+
+
+def test_create_mints_unique_ids():
+    a = ServiceRef.create("S", Address("h", 1), 10)
+    b = ServiceRef.create("S", Address("h", 1), 10)
+    assert a.service_id != b.service_id
+
+
+def test_wire_roundtrip():
+    ref = ServiceRef.create("S", Address("host", 9), 77, vers=2)
+    again = ServiceRef.from_wire(ref.to_wire())
+    assert again == ref
+    assert again.address == Address("host", 9)
+
+
+def test_from_wire_accepts_live_ref():
+    ref = ServiceRef.create("S", Address("h", 1), 1)
+    assert ServiceRef.from_wire(ref) is ref
+
+
+def test_from_wire_rejects_garbage():
+    with pytest.raises(ProtocolError):
+        ServiceRef.from_wire({"name": "not-a-ref"})
+    with pytest.raises(ProtocolError):
+        ServiceRef.from_wire(42)
+
+
+def test_is_wire_ref():
+    ref = ServiceRef.create("S", Address("h", 1), 1)
+    assert ServiceRef.is_wire_ref(ref.to_wire())
+    assert not ServiceRef.is_wire_ref({"__cosm__": "sid"})
+    assert not ServiceRef.is_wire_ref("nope")
+
+
+def test_find_refs_scans_nested_structures():
+    a = ServiceRef.create("A", Address("h", 1), 1).to_wire()
+    b = ServiceRef.create("B", Address("h", 2), 2).to_wire()
+    value = {"x": [1, {"inner": a}], "y": {"deep": [b, "noise"]}}
+    found = find_refs(value)
+    assert {ref.name for ref in found} == {"A", "B"}
+
+
+def test_find_refs_does_not_descend_into_refs():
+    a = ServiceRef.create("A", Address("h", 1), 1).to_wire()
+    assert len(find_refs([a, a])) == 2
+    assert find_refs("just a string") == []
+
+
+# -- binder ----------------------------------------------------------------------------
+
+
+def test_bind_invoke_unbind_lifecycle(rental, make_client):
+    binder = Binder(make_client())
+    binding = binder.bind(rental.ref)
+    assert binding.session_id
+    result = binding.invoke(
+        "SelectCar",
+        {"selection": {"CarModel": "AUDI", "BookingDate": "d", "Days": 1}},
+    )
+    assert result["available"] is True
+    binding.unbind()
+    with pytest.raises(BindingError):
+        binding.invoke("BookCar")
+
+
+def test_unbind_twice_is_quiet(rental, make_client):
+    binding = Binder(make_client()).bind(rental.ref)
+    binding.unbind()
+    binding.unbind()
+
+
+def test_sessions_are_independent(rental, make_client):
+    binder = Binder(make_client())
+    first = binder.bind(rental.ref)
+    second = binder.bind(rental.ref)
+    assert first.session_id != second.session_id
+    # first session selects; second session is still in INIT
+    first.invoke(
+        "SelectCar", {"selection": {"CarModel": "AUDI", "BookingDate": "d", "Days": 1}}
+    )
+    with pytest.raises(RemoteFault) as excinfo:
+        second.invoke("BookCar")
+    assert excinfo.value.kind == "FsmViolation"
+
+
+def test_fetch_sid_transfers_description(rental, make_client):
+    binding = Binder(make_client()).bind(rental.ref, fetch_sid=True)
+    assert binding.sid.name == "CarRentalService"
+    assert binding.sid.fsm is not None
+    # memoised
+    assert binding.fetch_sid() is binding.sid
+
+
+def test_bind_unreachable_service_raises(make_client, net):
+    client = make_client()
+    ghost = ServiceRef.create("Ghost", Address("nowhere", 5), 123)
+    binder = Binder(client)
+    with pytest.raises(BindingError):
+        binder.bind(ghost)
+
+
+def test_context_manager_unbinds(rental, make_client):
+    with Binder(make_client()).bind(rental.ref) as binding:
+        assert binding.bound
+    assert not binding.bound
+
+
+def test_stale_session_rejected_after_unbind(rental, make_client):
+    client = make_client()
+    binder = Binder(client)
+    binding = binder.bind(rental.ref)
+    session = binding.session_id
+    binding.unbind()
+    fresh = binder.bind(rental.ref)
+    fresh.session_id = session  # resurrect the dead session id
+    with pytest.raises(RemoteFault) as excinfo:
+        fresh.invoke("SelectCar", {"selection": {"CarModel": "AUDI", "BookingDate": "d", "Days": 1}})
+    assert excinfo.value.kind == "BindingError"

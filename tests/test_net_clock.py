@@ -1,0 +1,153 @@
+"""Tests for the virtual clock and event queue."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.clock import SimClock
+
+
+def test_time_starts_at_zero():
+    assert SimClock().now == 0.0
+
+
+def test_time_starts_at_custom_origin():
+    assert SimClock(start=100.0).now == 100.0
+
+
+def test_schedule_and_step_advances_time():
+    clock = SimClock()
+    fired = []
+    clock.schedule(1.5, lambda: fired.append(clock.now))
+    assert clock.step()
+    assert fired == [1.5]
+    assert clock.now == 1.5
+
+
+def test_step_returns_false_when_empty():
+    assert SimClock().step() is False
+
+
+def test_events_run_in_time_order():
+    clock = SimClock()
+    order = []
+    clock.schedule(3.0, lambda: order.append("c"))
+    clock.schedule(1.0, lambda: order.append("a"))
+    clock.schedule(2.0, lambda: order.append("b"))
+    clock.drain()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_run_fifo():
+    clock = SimClock()
+    order = []
+    for name in "abcde":
+        clock.schedule(1.0, lambda n=name: order.append(n))
+    clock.drain()
+    assert order == list("abcde")
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ConfigurationError):
+        SimClock().schedule(-0.1, lambda: None)
+
+
+def test_zero_delay_allowed():
+    clock = SimClock()
+    fired = []
+    clock.schedule(0.0, lambda: fired.append(True))
+    clock.drain()
+    assert fired == [True]
+
+
+def test_cancelled_event_does_not_run():
+    clock = SimClock()
+    fired = []
+    event = clock.schedule(1.0, lambda: fired.append(True))
+    event.cancel()
+    clock.drain()
+    assert fired == []
+
+
+def test_cancel_twice_is_safe():
+    clock = SimClock()
+    event = clock.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert clock.drain() == 0
+
+
+def test_pending_ignores_cancelled():
+    clock = SimClock()
+    keep = clock.schedule(1.0, lambda: None)
+    drop = clock.schedule(2.0, lambda: None)
+    drop.cancel()
+    assert clock.pending() == 1
+    keep.cancel()
+    assert clock.pending() == 0
+
+
+def test_schedule_at_absolute_time():
+    clock = SimClock(start=10.0)
+    fired = []
+    clock.schedule_at(12.5, lambda: fired.append(clock.now))
+    clock.drain()
+    assert fired == [12.5]
+
+
+def test_run_until_predicate_becomes_true():
+    clock = SimClock()
+    box = []
+    clock.schedule(1.0, lambda: box.append(1))
+    clock.schedule(2.0, lambda: box.append(2))
+    assert clock.run_until(lambda: len(box) == 1, deadline=5.0)
+    assert clock.now == 1.0
+    assert box == [1]
+
+
+def test_run_until_deadline_expires():
+    clock = SimClock()
+    clock.schedule(10.0, lambda: None)
+    assert not clock.run_until(lambda: False, deadline=2.0)
+    assert clock.now == 2.0
+
+
+def test_run_until_queue_drains_without_predicate():
+    clock = SimClock()
+    clock.schedule(1.0, lambda: None)
+    assert not clock.run_until(lambda: False, deadline=100.0)
+
+
+def test_run_for_executes_window_only():
+    clock = SimClock()
+    fired = []
+    clock.schedule(1.0, lambda: fired.append("in"))
+    clock.schedule(5.0, lambda: fired.append("out"))
+    clock.run_for(2.0)
+    assert fired == ["in"]
+    assert clock.now == 2.0
+    clock.run_for(10.0)
+    assert fired == ["in", "out"]
+
+
+def test_events_scheduled_during_events_run():
+    clock = SimClock()
+    fired = []
+
+    def outer():
+        clock.schedule(1.0, lambda: fired.append("inner"))
+
+    clock.schedule(1.0, outer)
+    clock.drain()
+    assert fired == ["inner"]
+    assert clock.now == 2.0
+
+
+def test_drain_guards_against_runaway():
+    clock = SimClock()
+
+    def reschedule():
+        clock.schedule(0.0, reschedule)
+
+    clock.schedule(0.0, reschedule)
+    with pytest.raises(ConfigurationError):
+        clock.drain(max_events=100)

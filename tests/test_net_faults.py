@@ -1,0 +1,136 @@
+"""Tests for fault injection: drops, duplicates, partitions, crashes."""
+
+import random
+
+import pytest
+
+from repro.net import FaultPlan, SimNetwork
+from repro.net.endpoints import Address, Datagram
+
+
+def _datagram(src="a", dst="b"):
+    return Datagram(Address(src, 1), Address(dst, 2), b"x")
+
+
+def test_probabilities_validated():
+    with pytest.raises(ValueError):
+        FaultPlan(drop_probability=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan(duplicate_probability=-0.1)
+
+
+def test_no_faults_by_default():
+    plan = FaultPlan()
+    rng = random.Random(0)
+    assert not plan.should_drop(_datagram(), rng)
+    assert not plan.should_duplicate(_datagram(), rng)
+
+
+def test_drop_probability_one_drops_everything():
+    plan = FaultPlan(drop_probability=1.0)
+    rng = random.Random(0)
+    assert all(plan.should_drop(_datagram(), rng) for __ in range(20))
+    assert plan.dropped_count == 20
+
+
+def test_partition_blocks_both_directions():
+    plan = FaultPlan()
+    plan.partition("a", "b")
+    rng = random.Random(0)
+    assert plan.should_drop(_datagram("a", "b"), rng)
+    assert plan.should_drop(_datagram("b", "a"), rng)
+    assert not plan.should_drop(_datagram("a", "c"), rng)
+
+
+def test_heal_restores_traffic():
+    plan = FaultPlan()
+    plan.partition("a", "b")
+    plan.heal("b", "a")  # order-insensitive
+    assert not plan.partitioned("a", "b")
+
+
+def test_heal_all():
+    plan = FaultPlan()
+    plan.partition("a", "b")
+    plan.partition("c", "d")
+    plan.heal_all()
+    assert not plan.partitioned("a", "b")
+    assert not plan.partitioned("c", "d")
+
+
+def test_crashed_host_sends_and_receives_nothing():
+    plan = FaultPlan()
+    plan.crash("b")
+    rng = random.Random(0)
+    assert plan.should_drop(_datagram("a", "b"), rng)
+    assert plan.should_drop(_datagram("b", "a"), rng)
+    plan.recover("b")
+    assert not plan.should_drop(_datagram("a", "b"), rng)
+
+
+def test_duplicate_probability_one_duplicates():
+    plan = FaultPlan(duplicate_probability=1.0)
+    rng = random.Random(0)
+    assert plan.should_duplicate(_datagram(), rng)
+    assert plan.duplicated_count == 1
+
+
+def test_network_drops_under_full_loss():
+    net = SimNetwork(faults=FaultPlan(drop_probability=1.0))
+    a = net.bind("a", 1)
+    b = net.bind("b", 2)
+    a.send(b.address, b"x")
+    net.clock.drain()
+    assert b.poll() is None
+
+
+def test_network_duplicates_deliver_twice():
+    net = SimNetwork(faults=FaultPlan(duplicate_probability=1.0))
+    a = net.bind("a", 1)
+    b = net.bind("b", 2)
+    a.send(b.address, b"x")
+    net.clock.drain()
+    assert b.poll() is not None
+    assert b.poll() is not None
+    assert b.poll() is None
+
+
+def test_network_partition_blocks_then_heals():
+    net = SimNetwork()
+    a = net.bind("a", 1)
+    b = net.bind("b", 2)
+    net.faults.partition("a", "b")
+    a.send(b.address, b"lost")
+    net.clock.drain()
+    assert b.poll() is None
+    net.faults.heal("a", "b")
+    a.send(b.address, b"found")
+    net.clock.drain()
+    assert b.poll().payload == b"found"
+
+
+def test_crash_during_flight_drops_at_delivery():
+    net = SimNetwork()
+    a = net.bind("a", 1)
+    b = net.bind("b", 2)
+    a.send(b.address, b"x")
+    net.faults.crash("b")  # crash after send, before delivery
+    net.clock.drain()
+    assert b.poll() is None
+
+
+def test_seeded_loss_is_reproducible():
+    def run(seed):
+        net = SimNetwork(faults=FaultPlan(drop_probability=0.5), seed=seed)
+        a = net.bind("a", 1)
+        b = net.bind("b", 2)
+        for i in range(50):
+            a.send(b.address, bytes([i]))
+        net.clock.drain()
+        got = []
+        while (d := b.poll()) is not None:
+            got.append(d.payload[0])
+        return got
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)

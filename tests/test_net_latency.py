@@ -1,0 +1,61 @@
+"""Tests for latency models."""
+
+import random
+
+from repro.net import FixedLatency, JitteredLatency, LanWanLatency
+from repro.net.endpoints import Address, Datagram
+
+
+def _datagram(src, dst):
+    return Datagram(Address(src, 1), Address(dst, 2), b"")
+
+
+def test_fixed_latency_constant():
+    model = FixedLatency(0.02)
+    rng = random.Random(0)
+    assert model.delay(_datagram("a", "b"), rng) == 0.02
+    assert model.delay(_datagram("x", "y"), rng) == 0.02
+
+
+def test_jittered_latency_within_bounds():
+    model = JitteredLatency(base=0.01, jitter=0.005)
+    rng = random.Random(1)
+    for __ in range(100):
+        delay = model.delay(_datagram("a", "b"), rng)
+        assert 0.01 <= delay <= 0.015
+
+
+def test_jitter_varies():
+    model = JitteredLatency(base=0.0, jitter=1.0)
+    rng = random.Random(2)
+    delays = {model.delay(_datagram("a", "b"), rng) for __ in range(10)}
+    assert len(delays) > 1
+
+
+def test_lan_wan_same_site_is_lan():
+    model = LanWanLatency(lan=0.001, wan=0.05)
+    rng = random.Random(0)
+    assert model.delay(_datagram("sun1.hamburg", "sun2.hamburg"), rng) == 0.001
+
+
+def test_lan_wan_cross_site_is_wan():
+    model = LanWanLatency(lan=0.001, wan=0.05)
+    rng = random.Random(0)
+    assert model.delay(_datagram("sun1.hamburg", "rs1.bremen"), rng) == 0.05
+
+
+def test_lan_wan_hosts_without_dots_compare_whole_name():
+    model = LanWanLatency(lan=0.001, wan=0.05)
+    rng = random.Random(0)
+    assert model.delay(_datagram("alpha", "alpha"), rng) == 0.001
+    assert model.delay(_datagram("alpha", "beta"), rng) == 0.05
+
+
+def test_lan_wan_override_wins():
+    model = LanWanLatency(
+        lan=0.001, wan=0.05, overrides={("a.x", "b.y"): 0.5}
+    )
+    rng = random.Random(0)
+    assert model.delay(_datagram("a.x", "b.y"), rng) == 0.5
+    # override is directional
+    assert model.delay(_datagram("b.y", "a.x"), rng) == 0.05

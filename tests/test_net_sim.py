@@ -1,0 +1,154 @@
+"""Tests for the simulated network: binding, delivery, broadcast."""
+
+import pytest
+
+from repro.errors import CommunicationError, ConfigurationError
+from repro.net import Address, FixedLatency, SimNetwork
+
+
+def deliver_all(net):
+    net.clock.drain()
+
+
+def test_bind_assigns_requested_port():
+    net = SimNetwork()
+    endpoint = net.bind("host-a", 5000)
+    assert endpoint.address == Address("host-a", 5000)
+
+
+def test_bind_ephemeral_ports_are_distinct():
+    net = SimNetwork()
+    first = net.bind("host-a")
+    second = net.bind("host-a")
+    assert first.address.port != second.address.port
+
+
+def test_double_bind_same_address_rejected():
+    net = SimNetwork()
+    net.bind("host-a", 5000)
+    with pytest.raises(ConfigurationError):
+        net.bind("host-a", 5000)
+
+
+def test_same_port_different_hosts_allowed():
+    net = SimNetwork()
+    net.bind("host-a", 5000)
+    net.bind("host-b", 5000)  # must not raise
+
+
+def test_send_and_poll_roundtrip():
+    net = SimNetwork()
+    a = net.bind("a", 1)
+    b = net.bind("b", 2)
+    a.send(b.address, b"hello")
+    deliver_all(net)
+    datagram = b.poll()
+    assert datagram.payload == b"hello"
+    assert datagram.source == a.address
+    assert b.poll() is None
+
+
+def test_delivery_takes_latency_time():
+    net = SimNetwork(latency=FixedLatency(0.25))
+    a = net.bind("a", 1)
+    b = net.bind("b", 2)
+    a.send(b.address, b"x")
+    assert b.poll() is None  # not yet delivered
+    net.clock.drain()
+    assert net.clock.now == 0.25
+    assert b.poll() is not None
+
+
+def test_receive_callback_takes_precedence_over_inbox():
+    net = SimNetwork()
+    a = net.bind("a", 1)
+    b = net.bind("b", 2)
+    got = []
+    b.on_receive = lambda d: got.append(d.payload)
+    a.send(b.address, b"cb")
+    deliver_all(net)
+    assert got == [b"cb"]
+    assert b.poll() is None
+
+
+def test_send_to_unbound_port_is_silently_dropped():
+    net = SimNetwork()
+    a = net.bind("a", 1)
+    a.send(Address("ghost", 9), b"void")
+    deliver_all(net)
+    assert net.delivered_count == 0
+
+
+def test_closed_endpoint_cannot_send():
+    net = SimNetwork()
+    a = net.bind("a", 1)
+    a.close()
+    with pytest.raises(CommunicationError):
+        a.send(Address("b", 2), b"x")
+
+
+def test_close_unbinds_address_for_reuse():
+    net = SimNetwork()
+    a = net.bind("a", 1)
+    a.close()
+    net.bind("a", 1)  # must not raise
+
+
+def test_message_to_closed_endpoint_dropped():
+    net = SimNetwork()
+    a = net.bind("a", 1)
+    b = net.bind("b", 2)
+    a.send(b.address, b"x")
+    b.close()
+    deliver_all(net)
+    assert b.poll() is None
+
+
+def test_broadcast_reaches_all_on_port_except_source():
+    net = SimNetwork()
+    source = net.bind("src", 700)
+    receivers = [net.bind(f"r{i}", 700) for i in range(3)]
+    other_port = net.bind("other", 701)
+    count = net.broadcast(source.address, 700, b"announce")
+    deliver_all(net)
+    assert count == 3
+    assert all(ep.poll().payload == b"announce" for ep in receivers)
+    assert other_port.poll() is None
+    assert source.poll() is None
+
+
+def test_counters_track_traffic():
+    net = SimNetwork()
+    a = net.bind("a", 1)
+    b = net.bind("b", 2)
+    for __ in range(5):
+        a.send(b.address, b"x")
+    deliver_all(net)
+    assert net.transmitted_count == 5
+    assert net.delivered_count == 5
+    assert a.sent_count == 5
+    assert b.received_count == 5
+
+
+def test_hosts_and_addresses_listing():
+    net = SimNetwork()
+    net.bind("beta", 2)
+    net.bind("alpha", 1)
+    assert list(net.hosts()) == ["alpha", "beta"]
+    assert net.addresses() == [Address("alpha", 1), Address("beta", 2)]
+
+
+def test_in_order_delivery_with_fixed_latency():
+    net = SimNetwork(latency=FixedLatency(0.01))
+    a = net.bind("a", 1)
+    b = net.bind("b", 2)
+    for i in range(10):
+        a.send(b.address, bytes([i]))
+    deliver_all(net)
+    received = []
+    while True:
+        datagram = b.poll()
+        if datagram is None:
+            break
+        received.append(datagram.payload[0])
+    assert received == list(range(10))

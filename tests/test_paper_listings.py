@@ -1,0 +1,100 @@
+"""The paper's own listings, parsed as printed (modulo documented fixes).
+
+These tests pin down that the reproduction accepts the concrete syntax
+from §2.1, §3.1 and §4.1 of the paper.
+"""
+
+import pytest
+
+from repro.sidl.builder import load_service_description
+from repro.sidl.fsm import FsmSpec, FsmTransition
+from repro.services.car_rental import PAPER_LISTING_SIDL
+from repro.trader.service_types import service_type_from_sid
+
+
+@pytest.fixture(scope="module")
+def paper_sid():
+    return load_service_description(PAPER_LISTING_SIDL)
+
+
+def test_listing_parses(paper_sid):
+    assert paper_sid.name == "CarRentalService"
+
+
+def test_signature_matches_section_2_1(paper_sid):
+    assert paper_sid.operation_names() == ["SelectCar", "BookCar"]
+    select = paper_sid.interface.operation("SelectCar")
+    assert [name for name, __ in select.in_params()] == ["selection"]
+
+
+def test_hyphenated_enum_labels(paper_sid):
+    model = paper_sid.types["CarModel_t"]
+    assert model.labels == ("AUDI", "FIAT-Uno", "VW-Golf")
+
+
+def test_enum_carmodel_field_shorthand(paper_sid):
+    select_t = paper_sid.types["SelectCar_t"]
+    field_names = [name for name, __ in select_t.fields]
+    assert field_names[0] == "CarModel"
+    assert select_t.fields[0][1] is paper_sid.types["CarModel_t"]
+
+
+def test_trader_export_values_match_listing(paper_sid):
+    export = paper_sid.trader_export
+    assert export["ServiceID"] == 4711
+    assert export["TOD"] == "CarRentalService"
+    assert export["Model"] == "FIAT-Uno"
+    assert export["ChargePerDay"] == 80.0
+    # ChargeCurrency_t is never declared in the paper; the literal survives
+    assert export["ChargeCurrency"] == "USD"
+
+
+def test_section_3_1_fsm_tuples():
+    """The (current, transition, resulting) tuples given in §3.1."""
+    source = """
+    module CarRental {
+      interface COSM_Operations {
+        void SelectCar();
+        void Commit();
+      };
+      module COSM_FSM {
+        state INIT, SELECTED;
+        initial INIT;
+        transition (INIT, SelectCar, SELECTED);
+        transition (SELECTED, SelectCar, SELECTED);
+        transition (SELECTED, Commit, INIT);
+      };
+    };
+    """
+    sid = load_service_description(source)
+    expected = FsmSpec(
+        ["INIT", "SELECTED"],
+        "INIT",
+        [
+            FsmTransition("INIT", "SelectCar", "SELECTED"),
+            FsmTransition("SELECTED", "SelectCar", "SELECTED"),
+            FsmTransition("SELECTED", "Commit", "INIT"),
+        ],
+    )
+    assert sid.fsm == expected
+
+
+def test_service_type_derivable_from_listing(paper_sid):
+    """§4.1: the export embedding carries what the trader needs."""
+    service_type = service_type_from_sid(paper_sid)
+    assert service_type.name == "CarRentalService"
+    assert "Model" in service_type.attributes
+    assert "ChargePerDay" in service_type.attributes
+    # the Model attribute keeps the declared enum type
+    assert service_type.attributes["Model"] is paper_sid.types["CarModel_t"]
+
+
+def test_listing_remains_processable_by_strict_corba_parser(paper_sid):
+    """§4.1: 'COSM SIDs remain processable by standard components'.
+
+    A component that knows nothing about COSM embeddings still sees the
+    base part — simulated by checking the SID regenerates to source that
+    parses and keeps the interface intact.
+    """
+    regenerated = load_service_description(paper_sid.to_sidl())
+    assert regenerated.operation_names() == paper_sid.operation_names()

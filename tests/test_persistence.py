@@ -1,0 +1,134 @@
+"""Tests for snapshot persistence of traders and browsers."""
+
+import pytest
+
+from repro.core import BrowserService, make_tradable
+from repro.core.browser import BrowserClient
+from repro.errors import ConfigurationError
+from repro.persistence import (
+    browser_snapshot,
+    load_snapshot,
+    restore_browser,
+    restore_trader,
+    save_snapshot,
+    trader_snapshot,
+)
+from repro.sidl.types import DOUBLE, InterfaceType, LONG, OperationType, OCTETS
+from repro.trader.service_types import ServiceType
+from repro.trader.trader import ImportRequest, LocalTrader
+from repro.naming.refs import ServiceRef
+from repro.net.endpoints import Address
+
+
+def rental_type(name="CarRentalService", super_types=()):
+    return ServiceType(
+        name,
+        InterfaceType("I", [OperationType("SelectCar", [], LONG)]),
+        [("ChargePerDay", DOUBLE)],
+        super_types=super_types,
+    )
+
+
+@pytest.fixture
+def populated_trader():
+    trader = LocalTrader("t-persist")
+    trader.add_type(rental_type(), now=3.0)
+    trader.add_type(rental_type("Luxury", super_types=["CarRentalService"]), now=5.0)
+    trader.types.mask("Luxury")
+    trader.export(
+        "CarRentalService",
+        ServiceRef.create("r1", Address("h", 1), 4711),
+        {"ChargePerDay": 80.0},
+        now=7.0,
+        lifetime=100.0,
+    )
+    return trader
+
+
+def test_trader_roundtrip(populated_trader):
+    snapshot = trader_snapshot(populated_trader)
+    restored = restore_trader(snapshot)
+    assert restored.trader_id == "t-persist"
+    assert restored.types.names() == ["CarRentalService", "Luxury"]
+    assert restored.types.registered_at("CarRentalService") == 3.0
+    assert restored.types.masked("Luxury")
+    offers = restored.import_(ImportRequest("CarRentalService"))
+    assert len(offers) == 1
+    assert offers[0].expires_at == 107.0
+    # new exports continue with fresh ids, no collision
+    restored.export(
+        "CarRentalService",
+        ServiceRef.create("r2", Address("h", 2), 4711),
+        {"ChargePerDay": 60.0},
+    )
+    assert len(restored.offers) == 2
+
+
+def test_trader_snapshot_restores_super_types_out_of_order(populated_trader):
+    snapshot = trader_snapshot(populated_trader)
+    snapshot["types"].reverse()  # subtype now listed before its super type
+    restored = restore_trader(snapshot)
+    assert restored.types.is_subtype("Luxury", "CarRentalService")
+
+
+def test_trader_snapshot_file_roundtrip(populated_trader, tmp_path):
+    path = tmp_path / "trader.json"
+    save_snapshot(trader_snapshot(populated_trader), path)
+    restored = restore_trader(load_snapshot(path))
+    assert len(restored.offers) == 1
+
+
+def test_bytes_in_properties_survive_json(tmp_path):
+    trader = LocalTrader("b")
+    blob_type = ServiceType(
+        "Blobby",
+        InterfaceType("I", [OperationType("Get", [], LONG)]),
+        [("Thumbnail", OCTETS)],
+    )
+    trader.add_type(blob_type)
+    trader.export(
+        "Blobby",
+        ServiceRef.create("s", Address("h", 1), 1),
+        {"Thumbnail": b"\x00\xffPNG"},
+    )
+    path = tmp_path / "t.json"
+    save_snapshot(trader_snapshot(trader), path)
+    restored = restore_trader(load_snapshot(path))
+    offer = restored.import_(ImportRequest("Blobby"))[0]
+    assert offer.properties["Thumbnail"] == b"\x00\xffPNG"
+
+
+def test_kind_mismatch_rejected(populated_trader):
+    snapshot = trader_snapshot(populated_trader)
+    with pytest.raises(ConfigurationError):
+        restore_browser(None, snapshot)
+
+
+def test_version_checked(populated_trader):
+    snapshot = trader_snapshot(populated_trader)
+    snapshot["version"] = 99
+    with pytest.raises(ConfigurationError):
+        restore_trader(snapshot)
+
+
+def test_load_rejects_non_snapshot(tmp_path):
+    path = tmp_path / "junk.json"
+    path.write_text('{"some": "json"}')
+    with pytest.raises(ConfigurationError):
+        load_snapshot(path)
+
+
+def test_browser_roundtrip(make_server, make_client, rental, tmp_path):
+    browser = BrowserService(make_server("b1"))
+    browser.register_local(rental)
+    path = tmp_path / "browser.json"
+    save_snapshot(browser_snapshot(browser), path)
+
+    # a fresh browser on a new host resumes the registrations
+    replacement = BrowserService(make_server("b2"))
+    assert restore_browser(replacement, load_snapshot(path)) == 1
+    client = BrowserClient(make_client(), replacement.ref)
+    entries = client.list()
+    assert [entry.name for entry in entries] == ["CarRentalService"]
+    sid = client.fetch_sid(rental.ref.service_id)
+    assert sid == rental.sid

@@ -1,0 +1,157 @@
+"""Robustness properties: fuzzed decoders, clock ordering, misc metrics."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.clock import SimClock
+from repro.rpc.errors import XdrError
+from repro.rpc.message import decode_message
+from repro.rpc.xdr import decode_value
+from repro.sidl.errors import SidlError
+from repro.sidl.lexer import tokenize
+from repro.sidl.parser import parse
+
+
+# -- fuzz: decoders must reject, never crash unexpectedly ----------------------------
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.binary(max_size=64))
+def test_decode_value_rejects_or_decodes(data):
+    try:
+        decode_value(data)
+    except XdrError:
+        pass
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.binary(max_size=64))
+def test_decode_message_rejects_or_decodes(data):
+    try:
+        decode_message(data)
+    except XdrError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(max_size=80))
+def test_lexer_total(text):
+    try:
+        tokens = tokenize(text)
+        assert tokens[-1].kind == "EOF"
+    except SidlError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.text(alphabet="module interface {};()<>un long strig\n\t ", max_size=120))
+def test_parser_total_even_strict(text):
+    """Any input either parses or raises a SidlError (strict mode)."""
+    try:
+        parse(text, lenient=False)
+    except SidlError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.text(alphabet="module interface {};()<>un long strig\n\t ", max_size=120))
+def test_lenient_parser_consumes_everything_or_raises(text):
+    """Lenient mode may only raise on structural problems (unbalanced
+    braces / unterminated constructs), never loop forever."""
+    try:
+        parse(text, lenient=True)
+    except SidlError:
+        pass
+
+
+# -- clock ordering property ---------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), max_size=30))
+def test_clock_runs_events_in_nondecreasing_time(delays):
+    clock = SimClock()
+    fired = []
+    for delay in delays:
+        clock.schedule(delay, lambda d=delay: fired.append(clock.now))
+    clock.drain()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0, max_value=10, allow_nan=False), st.booleans()),
+        max_size=20,
+    )
+)
+def test_clock_cancelled_events_never_fire(entries):
+    clock = SimClock()
+    fired = []
+    handles = []
+    for delay, cancel in entries:
+        handle = clock.schedule(delay, lambda d=delay: fired.append(d))
+        handles.append((handle, cancel))
+    for handle, cancel in handles:
+        if cancel:
+            handle.cancel()
+    clock.drain()
+    expected = sorted(d for (d, cancel) in entries if not cancel)
+    assert sorted(fired) == expected
+
+
+# -- market metrics corner cases --------------------------------------------------------
+
+
+def test_market_outcome_empty_edge_cases():
+    from repro.market.metrics import MarketOutcome
+
+    outcome = MarketOutcome(mode="trading", horizon=10.0)
+    assert outcome.service_level == 1.0  # no requests -> vacuously served
+    assert outcome.mean_time_to_market() == 0.0
+    assert outcome.mean_price_paid() == 0.0
+    assert outcome.first_mover_revenue_share("ghost-family") == 0.0
+    with pytest.raises(KeyError):
+        outcome.provider("nobody")
+
+
+def test_market_zero_revenue_family():
+    from repro.market.metrics import MarketOutcome, ProviderOutcome
+
+    outcome = MarketOutcome(mode="mediation", horizon=10.0)
+    outcome.providers.append(
+        ProviderOutcome("p", "family", 0.0, 1.0, 2.0, revenue=0.0)
+    )
+    assert outcome.first_mover_revenue_share("family") == 0.0
+
+
+# -- deterministic replay across the whole stack -----------------------------------------
+
+
+def test_whole_stack_deterministic_under_seeded_loss():
+    """Two identical lossy runs produce byte-identical traffic counters."""
+
+    def run():
+        from repro.core import GenericClient
+        from repro.net import SimNetwork
+        from repro.rpc import RpcClient, RpcServer
+        from repro.rpc.transport import SimTransport
+        from repro.services import start_car_rental
+
+        net = SimNetwork(seed=77)
+        net.faults.drop_probability = 0.2
+        rental = start_car_rental(RpcServer(SimTransport(net, "s")))
+        generic = GenericClient(RpcClient(SimTransport(net, "c"), timeout=0.05, retries=20))
+        binding = generic.bind(rental.ref)
+        for __ in range(5):
+            binding.invoke(
+                "SelectCar",
+                {"selection": {"CarModel": "AUDI", "BookingDate": "d", "Days": 1}},
+            )
+        return (net.transmitted_count, net.delivered_count, net.faults.dropped_count)
+
+    assert run() == run()

@@ -1,0 +1,53 @@
+"""Tests for RPC CALL/REPLY message encoding."""
+
+import pytest
+
+from repro.rpc.errors import XdrError
+from repro.rpc.message import ReplyStatus, RpcCall, RpcReply, decode_message
+
+
+def test_call_roundtrip():
+    call = RpcCall(xid=7, prog=100000, vers=2, proc=3, body=b"payload")
+    decoded = decode_message(call.encode())
+    assert decoded == call
+
+
+def test_reply_roundtrip_every_status():
+    for status in ReplyStatus:
+        reply = RpcReply(xid=9, status=status, body=b"r")
+        assert decode_message(reply.encode()) == reply
+
+
+def test_empty_bodies_allowed():
+    assert decode_message(RpcCall(1, 2, 3, 4).encode()).body == b""
+    assert decode_message(RpcReply(1, ReplyStatus.SUCCESS).encode()).body == b""
+
+
+def test_unknown_message_kind_rejected():
+    data = bytearray(RpcCall(1, 2, 3, 4).encode())
+    data[7] = 9  # the kind word
+    with pytest.raises(XdrError):
+        decode_message(bytes(data))
+
+
+def test_unknown_reply_status_rejected():
+    data = bytearray(RpcReply(1, ReplyStatus.SUCCESS).encode())
+    data[11] = 200
+    with pytest.raises(XdrError):
+        decode_message(bytes(data))
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(XdrError):
+        decode_message(RpcCall(1, 2, 3, 4).encode() + b"junk")
+
+
+def test_truncated_message_rejected():
+    with pytest.raises(XdrError):
+        decode_message(RpcCall(1, 2, 3, 4, b"abcdef").encode()[:-3])
+
+
+def test_messages_are_frozen():
+    call = RpcCall(1, 2, 3, 4)
+    with pytest.raises(AttributeError):
+        call.xid = 99

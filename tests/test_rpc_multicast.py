@@ -1,0 +1,89 @@
+"""Tests for multicast/broadcast RPC calls."""
+
+import pytest
+
+from repro.rpc.client import RpcClient
+from repro.rpc.errors import RpcError
+from repro.rpc.multicast import MulticastCaller, anycast
+from repro.rpc.server import RpcProgram, RpcServer
+from repro.rpc.transport import SimTransport
+
+PROG = 610000
+
+
+@pytest.fixture
+def members(net):
+    addresses = []
+    for index in range(4):
+        server = RpcServer(SimTransport(net, f"member-{index}"))
+        program = RpcProgram(PROG, 1)
+        program.register(1, lambda args, i=index: {"member": i, "args": args})
+        if index == 3:
+
+            def failing(args):
+                raise RuntimeError("member down")
+
+            program.register(2, failing)
+        else:
+            program.register(2, lambda args, i=index: i)
+        server.serve(program)
+        addresses.append(server.address)
+    return addresses
+
+
+@pytest.fixture
+def caller(net):
+    return MulticastCaller(RpcClient(SimTransport(net, "caller"), timeout=0.5))
+
+
+def test_call_gathers_all_replies(members, caller):
+    result = caller.call(members, PROG, 1, 1, {"q": 1})
+    assert result.complete
+    assert len(result.replies) == 4
+    assert {r["member"] for r in result.values()} == {0, 1, 2, 3}
+
+
+def test_quorum_returns_early(members, caller, net):
+    net.faults.crash("member-3")
+    result = caller.call(members, PROG, 1, 1, None, timeout=0.2, quorum=3)
+    assert len(result.replies) >= 3
+
+
+def test_missing_members_reported(members, caller, net):
+    net.faults.crash("member-0")
+    result = caller.call(members, PROG, 1, 1, None, timeout=0.1)
+    assert not result.complete
+    assert members[0] in result.missing
+    assert len(result.replies) == 3
+
+
+def test_faults_reported_per_member(members, caller):
+    result = caller.call(members, PROG, 1, 2, None, timeout=0.5)
+    assert members[3] in result.faults
+    assert "RuntimeError" in result.faults[members[3]]
+    assert len(result.replies) == 3
+
+
+def test_empty_destination_list(caller):
+    result = caller.call([], PROG, 1, 1)
+    assert result.complete
+    assert result.replies == {}
+
+
+def test_anycast_returns_first_success(members, caller):
+    value = anycast(caller, members, PROG, 1, 1, None, timeout=0.5)
+    assert "member" in value
+
+
+def test_anycast_raises_when_nobody_answers(net, caller, members):
+    for index in range(4):
+        net.faults.crash(f"member-{index}")
+    with pytest.raises(RpcError):
+        anycast(caller, members, PROG, 1, 1, None, timeout=0.05)
+
+
+def test_status_faults_reported(members, caller):
+    """PROC_UNAVAIL from one member shows as a fault, not an exception."""
+    result = caller.call(members, PROG, 1, 99, None, timeout=0.5)
+    assert len(result.faults) == 4
+    assert all("PROC_UNAVAIL" in fault for fault in result.faults.values())

@@ -1,0 +1,98 @@
+"""Tests for the portmapper."""
+
+import pytest
+
+from repro.net import SimNetwork
+from repro.rpc.client import RpcClient
+from repro.rpc.errors import RpcError
+from repro.rpc.portmap import (
+    PORTMAP_PORT,
+    PORTMAP_PROGRAM,
+    Portmapper,
+    portmap_lookup,
+    portmap_register,
+    portmap_unregister,
+)
+from repro.rpc.server import RpcProgram, RpcServer
+from repro.rpc.transport import SimTransport
+
+
+@pytest.fixture
+def stack(net):
+    portmapper = Portmapper(SimTransport(net, "host", PORTMAP_PORT))
+    client = RpcClient(SimTransport(net, "remote"))
+    return portmapper, client
+
+
+def test_portmapper_requires_well_known_port(net):
+    with pytest.raises(RpcError):
+        Portmapper(SimTransport(net, "host", 5000))
+
+
+def test_register_and_lookup(stack, net):
+    portmapper, client = stack
+    assert portmap_register(client, "host", 300001, 1, 9000)
+    address = portmap_lookup(client, "host", 300001, 1)
+    assert address.host == "host"
+    assert address.port == 9000
+
+
+def test_lookup_unknown_returns_none(stack):
+    __, client = stack
+    assert portmap_lookup(client, "host", 12345, 1) is None
+
+
+def test_register_conflict_returns_false(stack):
+    __, client = stack
+    assert portmap_register(client, "host", 300002, 1, 9000)
+    assert not portmap_register(client, "host", 300002, 1, 9001)
+    # the original mapping survives
+    assert portmap_lookup(client, "host", 300002, 1).port == 9000
+
+
+def test_versions_are_independent(stack):
+    __, client = stack
+    portmap_register(client, "host", 300003, 1, 9000)
+    portmap_register(client, "host", 300003, 2, 9001)
+    assert portmap_lookup(client, "host", 300003, 1).port == 9000
+    assert portmap_lookup(client, "host", 300003, 2).port == 9001
+
+
+def test_unregister(stack):
+    __, client = stack
+    portmap_register(client, "host", 300004, 1, 9000)
+    assert portmap_unregister(client, "host", 300004, 1)
+    assert portmap_lookup(client, "host", 300004, 1) is None
+    assert not portmap_unregister(client, "host", 300004, 1)
+
+
+def test_dump_lists_sorted(stack):
+    portmapper, client = stack
+    portmap_register(client, "host", 300006, 1, 9001)
+    portmap_register(client, "host", 300005, 1, 9000)
+    from repro.net.endpoints import Address
+
+    listing = client.call(Address("host", PORTMAP_PORT), PORTMAP_PROGRAM, 1, 4)
+    progs = [entry["prog"] for entry in listing]
+    assert progs == sorted(progs)
+
+
+def test_register_local_shortcut(stack):
+    portmapper, client = stack
+    portmapper.register_local(300007, 1, 9100)
+    assert portmap_lookup(client, "host", 300007, 1).port == 9100
+
+
+def test_end_to_end_resolution_then_call(net, stack):
+    """A server registers dynamically; a client finds it via port 111."""
+    portmapper, client = stack
+    service_transport = SimTransport(net, "host")  # ephemeral port
+    server = RpcServer(service_transport)
+    program = RpcProgram(300010, 1)
+    program.register(1, lambda args: "found-me")
+    server.serve(program)
+    registrar = RpcClient(SimTransport(net, "host", 222))
+    portmap_register(registrar, "host", 300010, 1, service_transport.local_address.port)
+
+    address = portmap_lookup(client, "host", 300010, 1)
+    assert client.call(address, 300010, 1, 1) == "found-me"

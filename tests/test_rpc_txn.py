@@ -1,0 +1,136 @@
+"""Tests for transactional RPC (two-phase commit)."""
+
+import pytest
+
+from repro.rpc.client import RpcClient
+from repro.rpc.server import RpcServer
+from repro.rpc.transport import SimTransport
+from repro.rpc.txn import TransactionCoordinator, TransactionParticipant, TxnOutcome
+
+
+class KvResource:
+    """A tiny transactional key-value store."""
+
+    def __init__(self, poison=None):
+        self.data = {}
+        self.staged = {}
+        self.poison = poison
+
+    def prepare(self, txn_id, work):
+        if work == self.poison:
+            return False
+        self.staged[txn_id] = work
+        return True
+
+    def commit(self, txn_id):
+        key, value = self.staged.pop(txn_id)
+        self.data[key] = value
+
+    def abort(self, txn_id):
+        self.staged.pop(txn_id, None)
+
+
+@pytest.fixture
+def cluster(net):
+    participants = []
+    for index in range(3):
+        server = RpcServer(SimTransport(net, f"part-{index}"))
+        resource = KvResource(poison=["bad", "value"] if index == 2 else None)
+        TransactionParticipant(server, resource)
+        participants.append((server.address, resource))
+    coordinator = TransactionCoordinator(
+        RpcClient(SimTransport(net, "coord"), timeout=0.1, retries=1)
+    )
+    return coordinator, participants
+
+
+def test_commit_applies_everywhere(cluster):
+    coordinator, participants = cluster
+    work = {address: ["k", i] for i, (address, __) in enumerate(participants)}
+    outcome = coordinator.execute(work)
+    assert outcome is TxnOutcome.COMMITTED
+    for i, (__, resource) in enumerate(participants):
+        assert resource.data == {"k": i}
+        assert resource.staged == {}
+
+
+def test_no_vote_aborts_everywhere(cluster):
+    coordinator, participants = cluster
+    work = {address: ["bad", "value"] for address, __ in participants}
+    outcome = coordinator.execute(work)
+    assert outcome is TxnOutcome.ABORTED
+    for __, resource in participants:
+        assert resource.data == {}
+        assert resource.staged == {}
+
+
+def test_crashing_resource_votes_no(net):
+    class Exploding:
+        def prepare(self, txn_id, work):
+            raise RuntimeError("boom")
+
+        def commit(self, txn_id):
+            raise AssertionError("must not commit")
+
+        def abort(self, txn_id):
+            pass
+
+    server = RpcServer(SimTransport(net, "exploding"))
+    TransactionParticipant(server, Exploding())
+    coordinator = TransactionCoordinator(RpcClient(SimTransport(net, "c2"), timeout=0.1))
+    assert coordinator.execute({server.address: "w"}) is TxnOutcome.ABORTED
+
+
+def test_unreachable_participant_aborts(cluster, net):
+    coordinator, participants = cluster
+    net.faults.crash("part-1")
+    work = {address: ["k", 1] for address, __ in participants}
+    outcome = coordinator.execute(work)
+    assert outcome is TxnOutcome.ABORTED
+    # the reachable yes-voter was told to abort
+    assert participants[0][1].staged == {}
+    assert participants[0][1].data == {}
+
+
+def test_sequential_transactions_isolated(cluster):
+    coordinator, participants = cluster
+    first = {participants[0][0]: ["a", 1]}
+    second = {participants[0][0]: ["b", 2]}
+    assert coordinator.execute(first) is TxnOutcome.COMMITTED
+    assert coordinator.execute(second) is TxnOutcome.COMMITTED
+    assert participants[0][1].data == {"a": 1, "b": 2}
+    assert coordinator.committed == 2
+
+
+def test_duplicate_prepare_returns_cached_vote(net):
+    votes = {"count": 0}
+
+    class Counting(KvResource):
+        def prepare(self, txn_id, work):
+            votes["count"] += 1
+            return super().prepare(txn_id, work)
+
+    server = RpcServer(SimTransport(net, "dup"))
+    participant = TransactionParticipant(server, Counting())
+    # call the handler directly twice with the same txn id
+    assert participant._prepare({"txn_id": "t1", "work": ["k", 1]})
+    assert participant._prepare({"txn_id": "t1", "work": ["k", 1]})
+    assert votes["count"] == 1
+
+
+def test_commit_without_prepare_is_harmless(net):
+    server = RpcServer(SimTransport(net, "np"))
+    resource = KvResource()
+    participant = TransactionParticipant(server, resource)
+    assert participant._commit({"txn_id": "ghost"})
+    assert resource.data == {}
+
+
+def test_abort_after_no_vote_does_not_touch_resource(net):
+    """A no-voter already cleaned up during prepare (presumed abort)."""
+    server = RpcServer(SimTransport(net, "nv"))
+    resource = KvResource(poison="p")
+    participant = TransactionParticipant(server, resource)
+    assert participant._prepare({"txn_id": "t", "work": "p"}) is False
+    assert resource.staged == {}
+    assert participant._abort({"txn_id": "t"})

@@ -1,0 +1,199 @@
+"""Tests for XDR primitives and the tagged value codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.endpoints import Address
+from repro.rpc.errors import XdrError
+from repro.rpc.xdr import XdrDecoder, XdrEncoder, decode_value, encode_value
+
+
+# -- primitives -----------------------------------------------------------------
+
+
+def test_u32_roundtrip():
+    enc = XdrEncoder()
+    enc.pack_u32(0)
+    enc.pack_u32(2**32 - 1)
+    dec = XdrDecoder(enc.getvalue())
+    assert dec.unpack_u32() == 0
+    assert dec.unpack_u32() == 2**32 - 1
+    assert dec.done()
+
+
+def test_u32_range_checked():
+    enc = XdrEncoder()
+    with pytest.raises(XdrError):
+        enc.pack_u32(-1)
+    with pytest.raises(XdrError):
+        enc.pack_u32(2**32)
+
+
+def test_i32_roundtrip_and_range():
+    enc = XdrEncoder()
+    enc.pack_i32(-(2**31))
+    enc.pack_i32(2**31 - 1)
+    dec = XdrDecoder(enc.getvalue())
+    assert dec.unpack_i32() == -(2**31)
+    assert dec.unpack_i32() == 2**31 - 1
+    with pytest.raises(XdrError):
+        XdrEncoder().pack_i32(2**31)
+
+
+def test_i64_range_checked():
+    with pytest.raises(XdrError):
+        XdrEncoder().pack_i64(2**63)
+
+
+def test_opaque_padding_to_four_bytes():
+    enc = XdrEncoder()
+    enc.pack_opaque(b"abcde")  # 5 bytes -> 3 bytes padding
+    data = enc.getvalue()
+    assert len(data) == 4 + 5 + 3
+    dec = XdrDecoder(data)
+    assert dec.unpack_opaque() == b"abcde"
+    assert dec.done()
+
+
+def test_nonzero_padding_rejected():
+    enc = XdrEncoder()
+    enc.pack_opaque(b"abcde")
+    corrupted = bytearray(enc.getvalue())
+    corrupted[-1] = 0xFF
+    with pytest.raises(XdrError):
+        XdrDecoder(bytes(corrupted)).unpack_opaque()
+
+
+def test_string_utf8_roundtrip():
+    enc = XdrEncoder()
+    enc.pack_string("grüße aus Hamburg")
+    assert XdrDecoder(enc.getvalue()).unpack_string() == "grüße aus Hamburg"
+
+
+def test_bool_strictness():
+    enc = XdrEncoder()
+    enc.pack_u32(2)
+    with pytest.raises(XdrError):
+        XdrDecoder(enc.getvalue()).unpack_bool()
+
+
+def test_truncated_data_detected():
+    enc = XdrEncoder()
+    enc.pack_u32(4)  # claims 4 bytes follow, none do
+    with pytest.raises(XdrError):
+        XdrDecoder(enc.getvalue()).unpack_opaque()
+
+
+# -- tagged values -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        True,
+        False,
+        0,
+        -1,
+        2**62,
+        -(2**62),
+        0.0,
+        3.14159,
+        -1e300,
+        "",
+        "hello",
+        "ünïcode",
+        b"",
+        b"\x00\x01\xff",
+        [],
+        [1, 2, 3],
+        ["mixed", 1, None, True],
+        {},
+        {"a": 1, "b": [2, {"c": "d"}]},
+        Address("sparc1", 111),
+        {"ref": Address("h", 1), "more": [Address("g", 2)]},
+    ],
+)
+def test_value_roundtrip(value):
+    assert decode_value(encode_value(value)) == value
+
+
+def test_tuple_decodes_as_list():
+    assert decode_value(encode_value((1, 2))) == [1, 2]
+
+
+def test_address_is_not_confused_with_tuple():
+    decoded = decode_value(encode_value(Address("h", 9)))
+    assert isinstance(decoded, Address)
+
+
+def test_dict_key_order_preserved():
+    value = {"z": 1, "a": 2, "m": 3}
+    assert list(decode_value(encode_value(value))) == ["z", "a", "m"]
+
+
+def test_non_string_dict_keys_rejected():
+    with pytest.raises(XdrError):
+        encode_value({1: "x"})
+
+
+def test_unencodable_type_rejected():
+    with pytest.raises(XdrError):
+        encode_value(object())
+
+
+def test_oversized_int_rejected():
+    with pytest.raises(XdrError):
+        encode_value(2**63)
+
+
+def test_trailing_bytes_rejected():
+    data = encode_value(1) + b"\x00"
+    with pytest.raises(XdrError):
+        decode_value(data)
+
+
+def test_unknown_tag_rejected():
+    enc = XdrEncoder()
+    enc.pack_u32(99)
+    with pytest.raises(XdrError):
+        decode_value(enc.getvalue())
+
+
+# -- property-based ---------------------------------------------------------------
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+    st.builds(
+        Address,
+        st.text(min_size=1, max_size=10),
+        st.integers(min_value=0, max_value=65535),
+    ),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=5),
+        st.dictionaries(st.text(max_size=8), inner, max_size=5),
+    ),
+    max_leaves=25,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_values)
+def test_value_roundtrip_property(value):
+    assert decode_value(encode_value(value)) == value
+
+
+@settings(max_examples=100, deadline=None)
+@given(_values)
+def test_encoding_is_deterministic(value):
+    assert encode_value(value) == encode_value(value)

@@ -1,0 +1,243 @@
+"""Tests for the builder: AST → ServiceDescription."""
+
+import pytest
+
+from repro.sidl.builder import build_service_description, load_service_description
+from repro.sidl.errors import SidlSemanticError
+from repro.sidl.parser import parse
+from repro.sidl.types import AnyType, EnumType, SequenceType, StructType
+
+
+MINIMAL = """
+module Minimal {
+  interface COSM_Operations { void Ping(); };
+};
+"""
+
+
+def test_minimal_module_builds():
+    sid = load_service_description(MINIMAL)
+    assert sid.name == "Minimal"
+    assert sid.operation_names() == ["Ping"]
+    assert sid.fsm is None
+    assert sid.trader_export is None
+
+
+def test_module_selected_by_name():
+    source = "module A { interface I { void X(); }; };\nmodule B { interface I { void Y(); }; };"
+    assert load_service_description(source, name="B").operation_names() == ["Y"]
+    with pytest.raises(SidlSemanticError):
+        load_service_description(source, name="C")
+
+
+def test_first_module_is_default():
+    source = "module A { interface I { void X(); }; }; module B { interface I { void Y(); }; };"
+    assert load_service_description(source).name == "A"
+
+
+def test_no_module_raises():
+    with pytest.raises(SidlSemanticError):
+        build_service_description(parse("const long X = 1;"))
+
+
+def test_no_interface_raises():
+    with pytest.raises(SidlSemanticError):
+        load_service_description("module M { const long X = 1; };")
+
+
+def test_cosm_operations_preferred_over_other_interfaces():
+    source = """
+    module M {
+      interface Helper { void H(); };
+      interface COSM_Operations { void Main(); };
+    };
+    """
+    assert load_service_description(source).operation_names() == ["Main"]
+
+
+def test_interface_inheritance_merges_operations():
+    source = """
+    module M {
+      interface Base { void A(); };
+      interface COSM_Operations : Base { void B(); };
+    };
+    """
+    assert load_service_description(source).operation_names() == ["A", "B"]
+
+
+def test_unknown_interface_base_raises():
+    with pytest.raises(SidlSemanticError):
+        load_service_description(
+            "module M { interface COSM_Operations : Ghost { void A(); }; };"
+        )
+
+
+def test_attributes_become_accessor_operations():
+    source = """
+    module M {
+      interface COSM_Operations {
+        readonly attribute string name;
+        attribute long count;
+      };
+    };
+    """
+    sid = load_service_description(source)
+    assert set(sid.operation_names()) == {"_get_name", "_get_count", "_set_count"}
+
+
+def test_types_resolved_in_order():
+    source = """
+    module M {
+      typedef Color_t enum { R, G };
+      typedef Pixel_t struct { Color_t color; long intensity; };
+      typedef Row_t sequence<Pixel_t>;
+      interface COSM_Operations { Row_t GetRow(in long index); };
+    };
+    """
+    sid = load_service_description(source)
+    assert isinstance(sid.types["Color_t"], EnumType)
+    assert isinstance(sid.types["Pixel_t"], StructType)
+    assert isinstance(sid.types["Row_t"], SequenceType)
+    result = sid.interface.operation("GetRow").result
+    assert result is sid.types["Row_t"]
+
+
+def test_suffix_fallback_for_paper_field_shorthand():
+    source = """
+    module M {
+      typedef CarModel_t enum { AUDI };
+      typedef S_t struct { enum CarModel; };
+      interface COSM_Operations { void Op(in S_t s); };
+    };
+    """
+    sid = load_service_description(source)
+    field_type = sid.types["S_t"].fields[0][1]
+    assert field_type is sid.types["CarModel_t"]
+
+
+def test_unknown_type_raises_without_fallback():
+    source = "module M { interface COSM_Operations { Ghost_t Op(); }; };"
+    with pytest.raises(SidlSemanticError):
+        load_service_description(source)
+
+
+def test_unknown_type_fallback_maps_to_any():
+    source = "module M { interface COSM_Operations { Ghost_t Op(); }; };"
+    sid = load_service_description(source, type_fallback=True)
+    assert isinstance(sid.interface.operation("Op").result, AnyType)
+
+
+def test_trader_export_collected_and_coerced():
+    source = """
+    module M {
+      typedef Cur_t enum { USD, DEM };
+      interface COSM_Operations { void Op(); };
+      module COSM_TraderExport {
+        const long ServiceID = 4711;
+        const string TOD = "M";
+        const float Charge = 80;
+        const Cur_t Currency = USD;
+        const Unknown_t Mystery = X1;
+      };
+    };
+    """
+    sid = load_service_description(source)
+    assert sid.trader_export["ServiceID"] == 4711
+    assert sid.trader_export["Charge"] == 80.0  # int coerced to float
+    assert sid.trader_export["Currency"] == "USD"
+    assert sid.trader_export["Mystery"] == "X1"  # unknown type keeps literal
+    assert sid.service_type_name == "M"
+
+
+def test_fsm_module_built():
+    source = """
+    module M {
+      interface COSM_Operations { void A(); void B(); };
+      module COSM_FSM {
+        state S1, S2;
+        initial S1;
+        transition S1 -> S2 on A;
+        transition S2 -> S1 on B;
+      };
+    };
+    """
+    sid = load_service_description(source)
+    assert sid.fsm.initial == "S1"
+    assert sid.fsm.successor("S1", "A") == "S2"
+
+
+def test_fsm_states_inferred_from_transitions():
+    source = """
+    module M {
+      interface COSM_Operations { void A(); };
+      module COSM_FSM {
+        initial S1;
+        transition S1 -> S2 on A;
+      };
+    };
+    """
+    sid = load_service_description(source)
+    assert set(sid.fsm.states) == {"S1", "S2"}
+
+
+def test_empty_fsm_module_raises():
+    source = "module M { interface COSM_Operations { void A(); }; module COSM_FSM { }; };"
+    with pytest.raises(SidlSemanticError):
+        load_service_description(source)
+
+
+def test_annotations_collected_from_module_and_embedding():
+    source = """
+    module M {
+      interface COSM_Operations { void A(); };
+      annotation A "inline annotation";
+      module COSM_Annotations { annotation M "module annotation"; };
+    };
+    """
+    sid = load_service_description(source)
+    assert sid.annotations["A"] == "inline annotation"
+    assert sid.annotations["M"] == "module annotation"
+
+
+def test_ui_hints_collected():
+    source = """
+    module M {
+      interface COSM_Operations { void A(); };
+      module COSM_UIHints { const string Layout = "wide"; const long Columns = 2; };
+    };
+    """
+    sid = load_service_description(source)
+    assert sid.ui_hints == {"Layout": "wide", "Columns": 2}
+
+
+def test_unknown_modules_preserved_with_source():
+    source = """
+    module M {
+      interface COSM_Operations { void A(); };
+      module COSM_Quality { const long Uptime = 99; };
+    };
+    """
+    sid = load_service_description(source)
+    assert len(sid.unknown_modules) == 1
+    name, raw = sid.unknown_modules[0]
+    assert name == "COSM_Quality"
+    assert "Uptime" in raw
+    # and the preserved source still parses
+    assert parse(raw)
+
+
+def test_module_level_constants_collected():
+    source = "module M { const long Version = 3; interface COSM_Operations { void A(); }; };"
+    sid = load_service_description(source)
+    assert sid.constants == {"Version": 3}
+
+
+def test_skipped_declarations_preserved():
+    source = """
+    module M {
+      interface COSM_Operations { void A(); };
+      quality metric uptime = high;
+    };
+    """
+    sid = load_service_description(source)
+    assert any("quality" in raw for __, raw in sid.unknown_modules)

@@ -1,0 +1,152 @@
+"""Tests for FSM specifications and sessions."""
+
+import pytest
+
+from repro.sidl.errors import SidlSemanticError
+from repro.sidl.fsm import FsmSession, FsmSpec, FsmTransition, FsmViolation
+
+
+@pytest.fixture
+def car_fsm():
+    """The §3.1 example FSM."""
+    return FsmSpec(
+        ["INIT", "SELECTED"],
+        "INIT",
+        [
+            FsmTransition("INIT", "SelectCar", "SELECTED"),
+            FsmTransition("SELECTED", "SelectCar", "SELECTED"),
+            FsmTransition("SELECTED", "Commit", "INIT"),
+        ],
+    )
+
+
+# -- spec validation ------------------------------------------------------------
+
+
+def test_initial_must_be_declared():
+    with pytest.raises(SidlSemanticError):
+        FsmSpec(["A"], "B", [])
+
+
+def test_states_required():
+    with pytest.raises(SidlSemanticError):
+        FsmSpec([], "A", [])
+
+
+def test_transition_states_must_be_declared():
+    with pytest.raises(SidlSemanticError):
+        FsmSpec(["A"], "A", [FsmTransition("A", "op", "GHOST")])
+
+
+def test_nondeterminism_rejected():
+    with pytest.raises(SidlSemanticError):
+        FsmSpec(
+            ["A", "B", "C"],
+            "A",
+            [FsmTransition("A", "op", "B"), FsmTransition("A", "op", "C")],
+        )
+
+
+def test_duplicate_identical_transition_tolerated():
+    spec = FsmSpec(
+        ["A", "B"],
+        "A",
+        [FsmTransition("A", "op", "B"), FsmTransition("A", "op", "B")],
+    )
+    assert spec.successor("A", "op") == "B"
+
+
+# -- queries ------------------------------------------------------------------------
+
+
+def test_allowed_in(car_fsm):
+    assert car_fsm.allowed_in("INIT") == ["SelectCar"]
+    assert car_fsm.allowed_in("SELECTED") == ["Commit", "SelectCar"]
+
+
+def test_operations(car_fsm):
+    assert car_fsm.operations() == {"SelectCar", "Commit"}
+
+
+def test_reachability(car_fsm):
+    assert car_fsm.reachable_states() == {"INIT", "SELECTED"}
+    assert car_fsm.unreachable_states() == set()
+
+
+def test_unreachable_state_detected():
+    spec = FsmSpec(["A", "B", "ORPHAN"], "A", [FsmTransition("A", "x", "B")])
+    assert spec.unreachable_states() == {"ORPHAN"}
+
+
+def test_validate_against_interface(car_fsm):
+    diagnostics = car_fsm.validate_against(["SelectCar", "Commit"])
+    assert diagnostics == []
+    diagnostics = car_fsm.validate_against(["SelectCar"])
+    assert len(diagnostics) == 1
+    assert "Commit" in diagnostics[0]
+
+
+# -- wire form -----------------------------------------------------------------------
+
+
+def test_wire_roundtrip(car_fsm):
+    assert FsmSpec.from_wire(car_fsm.to_wire()) == car_fsm
+
+
+def test_equality_is_structural(car_fsm):
+    other = FsmSpec.from_wire(car_fsm.to_wire())
+    assert car_fsm == other
+    assert car_fsm != FsmSpec(["INIT"], "INIT", [])
+
+
+# -- sessions ----------------------------------------------------------------------------
+
+
+def test_session_starts_at_initial(car_fsm):
+    session = FsmSession(car_fsm)
+    assert session.state == "INIT"
+
+
+def test_session_advances(car_fsm):
+    session = FsmSession(car_fsm)
+    assert session.advance("SelectCar") == "SELECTED"
+    assert session.advance("SelectCar") == "SELECTED"
+    assert session.advance("Commit") == "INIT"
+    assert session.history == ["SelectCar", "SelectCar", "Commit"]
+
+
+def test_session_rejects_illegal_operation(car_fsm):
+    session = FsmSession(car_fsm)
+    assert not session.allows("Commit")
+    with pytest.raises(FsmViolation) as excinfo:
+        session.advance("Commit")
+    assert excinfo.value.state == "INIT"
+    assert excinfo.value.allowed == ["SelectCar"]
+    assert session.rejections == 1
+    assert session.state == "INIT"  # unchanged after rejection
+
+
+def test_unmentioned_operations_are_unrestricted(car_fsm):
+    session = FsmSession(car_fsm)
+    assert session.allows("GetTariffTable")
+    session.advance("GetTariffTable")
+    assert session.state == "INIT"
+    assert session.history == ["GetTariffTable"]
+
+
+def test_session_reset(car_fsm):
+    session = FsmSession(car_fsm)
+    session.advance("SelectCar")
+    session.reset()
+    assert session.state == "INIT"
+    assert session.history == []
+
+
+def test_violation_message_is_actionable(car_fsm):
+    session = FsmSession(car_fsm)
+    try:
+        session.advance("Commit")
+    except FsmViolation as violation:
+        assert "Commit" in str(violation)
+        assert "INIT" in str(violation)
+        assert "SelectCar" in str(violation)

@@ -1,0 +1,137 @@
+"""Tests for SIDL source generation, especially anonymous-type hoisting."""
+
+import pytest
+
+from repro.sidl.builder import load_service_description
+from repro.sidl.generate import sid_to_sidl
+from repro.sidl.sid import ServiceDescription
+from repro.sidl.subtyping import interface_conforms
+from repro.sidl.types import (
+    EnumType,
+    InterfaceType,
+    LONG,
+    OperationType,
+    STRING,
+    SequenceType,
+    StructType,
+    UnionType,
+)
+
+
+def build_sid(**kwargs) -> ServiceDescription:
+    defaults = dict(name="Gen", interface=InterfaceType("COSM_Operations", [
+        OperationType("Nop", [], LONG)
+    ]))
+    defaults.update(kwargs)
+    return ServiceDescription(**defaults)
+
+
+def roundtrip(sid: ServiceDescription) -> ServiceDescription:
+    return load_service_description(sid.to_sidl())
+
+
+def test_anonymous_enum_result_hoisted():
+    anonymous = EnumType("Mood_t", ["HAPPY", "GRUMPY"])
+    sid = build_sid(
+        interface=InterfaceType(
+            "COSM_Operations", [OperationType("Feel", [], anonymous)]
+        )
+    )
+    source = sid.to_sidl()
+    assert "enum Mood_t { HAPPY, GRUMPY };" in source
+    again = roundtrip(sid)
+    assert again.interface.operation("Feel").result.labels == ("HAPPY", "GRUMPY")
+
+
+def test_anonymous_nested_struct_hoisted_in_dependency_order():
+    inner = StructType("Inner_t", [("x", LONG)])
+    outer = StructType("Outer_t", [("inner", inner), ("label", STRING)])
+    sid = build_sid(
+        interface=InterfaceType(
+            "COSM_Operations", [OperationType("Get", [], outer)]
+        )
+    )
+    source = sid.to_sidl()
+    assert source.index("struct Inner_t") < source.index("struct Outer_t")
+    again = roundtrip(sid)
+    result = again.interface.operation("Get").result
+    assert dict(result.fields)["inner"].fields == (("x", LONG),)
+
+
+def test_name_collision_gets_suffix():
+    declared = EnumType("E_t", ["A"])
+    anonymous_twin = EnumType("E_t", ["B", "C"])  # same name, different type
+    sid = build_sid(
+        types={"E_t": declared},
+        interface=InterfaceType(
+            "COSM_Operations", [OperationType("Pick", [], anonymous_twin)]
+        ),
+    )
+    source = sid.to_sidl()
+    assert "enum E_t { A };" in source
+    assert "enum E_t_2 { B, C };" in source
+    again = roundtrip(sid)
+    assert again.interface.operation("Pick").result.labels == ("B", "C")
+
+
+def test_shared_anonymous_type_emitted_once():
+    shared = EnumType("Shared_t", ["X"])
+    sid = build_sid(
+        interface=InterfaceType(
+            "COSM_Operations",
+            [
+                OperationType("A", [("p", "in", shared)], LONG),
+                OperationType("B", [], shared),
+            ],
+        )
+    )
+    source = sid.to_sidl()
+    assert source.count("enum Shared_t") == 1
+    again = roundtrip(sid)
+    # one definition -> one object on the other side
+    assert (
+        again.interface.operation("B").result
+        is dict(again.interface.operation("A").in_params())["p"]
+    )
+
+
+def test_anonymous_union_hoisted():
+    kind = EnumType("K_t", ["I", "S"])
+    union = UnionType("U_t", kind, [("I", "i", LONG), ("S", "s", STRING)])
+    sid = build_sid(
+        interface=InterfaceType(
+            "COSM_Operations", [OperationType("Pack", [], union)]
+        )
+    )
+    source = sid.to_sidl()
+    assert "union U_t switch (K_t)" in source
+    again = roundtrip(sid)
+    assert again.interface.operation("Pack").result.cases[0][0] == "I"
+
+
+def test_sequence_of_anonymous_struct():
+    item = StructType("Item_t", [("n", LONG)])
+    sid = build_sid(
+        interface=InterfaceType(
+            "COSM_Operations",
+            [OperationType("All", [], SequenceType(item))],
+        )
+    )
+    again = roundtrip(sid)
+    result = again.interface.operation("All").result
+    assert isinstance(result, SequenceType)
+    assert result.element.fields == (("n", LONG),)
+
+
+def test_alias_typedefs_regenerate():
+    sid = build_sid(types={"Ids_t": SequenceType(LONG, bound=4)})
+    source = sid.to_sidl()
+    assert "typedef sequence<long, 4> Ids_t;" in source
+    again = roundtrip(sid)
+    assert again.types["Ids_t"].bound == 4
+
+
+def test_interface_conformance_survives_generation(car_sid):
+    again = load_service_description(sid_to_sidl(car_sid))
+    assert interface_conforms(again.interface, car_sid.interface)
+    assert interface_conforms(car_sid.interface, again.interface)

@@ -1,0 +1,112 @@
+"""Tests for the SIDL lexer."""
+
+import pytest
+
+from repro.sidl.errors import SidlParseError
+from repro.sidl.lexer import tokenize
+from repro.sidl.tokens import EOF, FLOAT, IDENT, INT, KEYWORD, PUNCT, STRING
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source) if t.kind != EOF]
+
+
+def test_empty_source_yields_only_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind == EOF
+
+
+def test_keywords_vs_identifiers():
+    assert kinds("module Foo") == [(KEYWORD, "module"), (IDENT, "Foo")]
+
+
+def test_hyphenated_identifier_from_the_paper():
+    assert kinds("FIAT-Uno") == [(IDENT, "FIAT-Uno")]
+    assert kinds("VW-Golf") == [(IDENT, "VW-Golf")]
+
+
+def test_arrow_not_swallowed_by_identifier():
+    assert kinds("INIT -> SELECTED") == [
+        (IDENT, "INIT"),
+        (PUNCT, "->"),
+        (IDENT, "SELECTED"),
+    ]
+
+
+def test_numbers_int_and_float():
+    assert kinds("4711 80.5 1e3 2.5e-2") == [
+        (INT, "4711"),
+        (FLOAT, "80.5"),
+        (FLOAT, "1e3"),
+        (FLOAT, "2.5e-2"),
+    ]
+
+
+def test_negative_literal_after_equals():
+    assert kinds("= -80") == [(PUNCT, "="), (INT, "-80")]
+
+
+def test_minus_after_identifier_is_part_of_it():
+    # ambiguity resolved toward hyphenated identifiers
+    assert kinds("FIAT-1")[0] == (IDENT, "FIAT-1")
+
+
+def test_string_literals_with_escapes():
+    tokens = tokenize('"a\\"b\\n"')
+    assert tokens[0].kind == STRING
+    assert tokens[0].value == 'a"b\n'
+
+
+def test_unterminated_string_raises_with_position():
+    with pytest.raises(SidlParseError) as excinfo:
+        tokenize('x = "open')
+    assert excinfo.value.line == 1
+
+
+def test_bad_escape_rejected():
+    with pytest.raises(SidlParseError):
+        tokenize('"\\q"')
+
+
+def test_newline_in_string_rejected():
+    with pytest.raises(SidlParseError):
+        tokenize('"a\nb"')
+
+
+def test_line_comments_skipped():
+    assert kinds("a // comment here\n b") == [(IDENT, "a"), (IDENT, "b")]
+
+
+def test_block_comments_skipped_across_lines():
+    assert kinds("a /* x\n y \n z */ b") == [(IDENT, "a"), (IDENT, "b")]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(SidlParseError):
+        tokenize("a /* never ends")
+
+
+def test_double_colon_scoped_name():
+    assert kinds("A::B") == [(IDENT, "A"), (PUNCT, "::"), (IDENT, "B")]
+
+
+def test_positions_track_lines_and_columns():
+    tokens = tokenize("module\n  Foo")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(SidlParseError):
+        tokenize("module @")
+
+
+def test_brackets_for_paper_style_directions():
+    assert kinds("[in]") == [(PUNCT, "["), (KEYWORD, "in"), (PUNCT, "]")]
+
+
+def test_all_punctuation_lexes():
+    source = ":: -> { } ( ) [ ] < > ; , : = *"
+    values = [v for __, v in kinds(source)]
+    assert values == source.split()

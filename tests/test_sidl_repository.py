@@ -1,0 +1,79 @@
+"""Tests for the interface repository."""
+
+import pytest
+
+from repro.errors import LookupFailure
+from repro.sidl.builder import load_service_description
+from repro.sidl.repository import InterfaceRepository
+
+
+def sid_named(name, extra_op=""):
+    ops = "void Ping();" + (f" void {extra_op}();" if extra_op else "")
+    return load_service_description(
+        f"module {name} {{ interface COSM_Operations {{ {ops} }}; }};"
+    )
+
+
+@pytest.fixture
+def repo():
+    return InterfaceRepository()
+
+
+def test_store_and_fetch(repo):
+    sid = sid_named("A")
+    rid = repo.store(sid)
+    assert repo.fetch(rid) is sid
+
+
+def test_generated_ids_unique(repo):
+    first = repo.store(sid_named("A"))
+    second = repo.store(sid_named("A"))
+    assert first != second
+    assert len(repo) == 2
+
+
+def test_explicit_id_replaces(repo):
+    repo.store(sid_named("A"), "IR:fixed")
+    newer = sid_named("A", extra_op="Extra")
+    repo.store(newer, "IR:fixed")
+    assert repo.fetch("IR:fixed") is newer
+    assert len(repo) == 1
+
+
+def test_fetch_missing_raises(repo):
+    with pytest.raises(LookupFailure):
+        repo.fetch("IR:ghost")
+
+
+def test_remove(repo):
+    rid = repo.store(sid_named("A"))
+    assert repo.remove(rid)
+    assert not repo.remove(rid)
+    assert len(repo) == 0
+
+
+def test_find_by_name(repo):
+    repo.store(sid_named("A"))
+    repo.store(sid_named("A"))
+    repo.store(sid_named("B"))
+    assert len(repo.find_by_name("A")) == 2
+    assert repo.find_by_name("C") == []
+
+
+def test_find_conforming_uses_structural_subtyping(repo):
+    base = sid_named("Base")
+    extended = sid_named("Extended", extra_op="More")
+    repo.store(base)
+    repo.store(extended)
+    conforming = repo.find_conforming(base)
+    assert base in conforming
+    assert extended in conforming
+    # but only the extended one conforms to the richer description
+    assert repo.find_conforming(extended) == [extended]
+
+
+def test_iteration_and_ids(repo):
+    repo.store(sid_named("A"), "IR:2")
+    repo.store(sid_named("B"), "IR:1")
+    assert repo.ids() == ["IR:1", "IR:2"]
+    assert {sid.name for sid in repo} == {"A", "B"}

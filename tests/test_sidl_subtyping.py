@@ -1,0 +1,251 @@
+"""Tests for structural subtyping — the §3.1 record-calculus rules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sidl.subtyping import conforms, interface_conforms, is_subtype, operation_conforms
+from repro.sidl.types import (
+    ANY,
+    BOOLEAN,
+    DOUBLE,
+    EnumType,
+    FLOAT,
+    InterfaceType,
+    LONG,
+    LONG_LONG,
+    OperationType,
+    SHORT,
+    STRING,
+    SequenceType,
+    StringType,
+    StructType,
+    UnionType,
+    VOID,
+)
+
+
+# -- primitives ----------------------------------------------------------------
+
+
+def test_reflexivity_for_primitives():
+    for t in (VOID, BOOLEAN, SHORT, LONG, FLOAT, DOUBLE, STRING, ANY):
+        assert is_subtype(t, t)
+
+
+def test_integer_widening_chain():
+    assert is_subtype(SHORT, LONG)
+    assert is_subtype(LONG, LONG_LONG)
+    assert is_subtype(SHORT, LONG_LONG)
+    assert not is_subtype(LONG, SHORT)
+
+
+def test_integers_widen_into_floats():
+    assert is_subtype(LONG, DOUBLE)
+    assert not is_subtype(DOUBLE, LONG)
+
+
+def test_float_to_double_not_back():
+    assert is_subtype(FLOAT, DOUBLE)
+    assert not is_subtype(DOUBLE, FLOAT)
+
+
+def test_everything_conforms_to_any():
+    for t in (VOID, LONG, STRING, StructType("S", [])):
+        assert is_subtype(t, ANY)
+    assert not is_subtype(ANY, LONG)
+
+
+def test_bounded_strings():
+    assert is_subtype(StringType(5), STRING)
+    assert is_subtype(StringType(5), StringType(10))
+    assert not is_subtype(StringType(10), StringType(5))
+    assert not is_subtype(STRING, StringType(5))
+
+
+def test_cross_kind_never_subtypes():
+    assert not is_subtype(LONG, STRING)
+    assert not is_subtype(STRING, LONG)
+    assert not is_subtype(BOOLEAN, LONG)
+
+
+# -- enums as variants -------------------------------------------------------------
+
+
+def test_enum_subset_is_subtype():
+    small = EnumType("Small", ["A", "B"])
+    big = EnumType("Big", ["A", "B", "C"])
+    assert is_subtype(small, big)
+    assert not is_subtype(big, small)
+
+
+def test_enum_name_is_irrelevant():
+    first = EnumType("X", ["A"])
+    second = EnumType("Y", ["A"])
+    assert is_subtype(first, second)
+
+
+# -- records: width + depth ----------------------------------------------------------
+
+
+def test_width_subtyping():
+    base = StructType("Base", [("x", LONG)])
+    extended = StructType("Ext", [("x", LONG), ("y", LONG)])
+    assert is_subtype(extended, base)
+    assert not is_subtype(base, extended)
+
+
+def test_depth_subtyping():
+    narrow = StructType("N", [("v", SHORT)])
+    wide = StructType("W", [("v", LONG)])
+    assert is_subtype(narrow, wide)
+    assert not is_subtype(wide, narrow)
+
+
+def test_width_and_depth_combine():
+    base = StructType("B", [("v", DOUBLE)])
+    sub = StructType("S", [("v", LONG), ("extra", STRING)])
+    assert is_subtype(sub, base)
+
+
+def test_field_name_mismatch_fails():
+    a = StructType("A", [("x", LONG)])
+    b = StructType("B", [("y", LONG)])
+    assert not is_subtype(a, b)
+
+
+def test_nested_records():
+    inner_base = StructType("IB", [("a", LONG)])
+    inner_sub = StructType("IS", [("a", LONG), ("b", LONG)])
+    base = StructType("OB", [("inner", inner_base)])
+    sub = StructType("OS", [("inner", inner_sub)])
+    assert is_subtype(sub, base)
+    assert not is_subtype(base, sub)
+
+
+# -- sequences & unions ------------------------------------------------------------------
+
+
+def test_sequence_covariance():
+    assert is_subtype(SequenceType(SHORT), SequenceType(LONG))
+    assert not is_subtype(SequenceType(LONG), SequenceType(SHORT))
+
+
+def test_sequence_bounds_tighten_only():
+    assert is_subtype(SequenceType(LONG, 5), SequenceType(LONG, 10))
+    assert is_subtype(SequenceType(LONG, 5), SequenceType(LONG))
+    assert not is_subtype(SequenceType(LONG), SequenceType(LONG, 5))
+
+
+def test_union_case_subset():
+    kind2 = EnumType("K2", ["A", "B"])
+    kind3 = EnumType("K3", ["A", "B", "C"])
+    small = UnionType("U2", kind2, [("A", "a", LONG), ("B", "b", STRING)])
+    big = UnionType(
+        "U3", kind3, [("A", "a", LONG), ("B", "b", STRING), ("C", "c", BOOLEAN)]
+    )
+    assert is_subtype(small, big)
+    assert not is_subtype(big, small)
+
+
+# -- operations & interfaces -----------------------------------------------------------------
+
+
+def _op(name="Op", params=(("x", "in", LONG),), result=LONG, oneway=False):
+    return OperationType(name, list(params), result, oneway)
+
+
+def test_operation_covariant_result():
+    assert operation_conforms(_op(result=SHORT), _op(result=LONG))
+    assert not operation_conforms(_op(result=LONG), _op(result=SHORT))
+
+
+def test_operation_contravariant_params():
+    accepts_more = _op(params=(("x", "in", LONG),))
+    accepts_less = _op(params=(("x", "in", SHORT),))
+    assert operation_conforms(accepts_more, accepts_less)
+    assert not operation_conforms(accepts_less, accepts_more)
+
+
+def test_operation_cannot_require_new_params():
+    base = _op(params=(("x", "in", LONG),))
+    needy = _op(params=(("x", "in", LONG), ("y", "in", LONG)))
+    assert not operation_conforms(needy, base)
+    assert not operation_conforms(base, needy)
+
+
+def test_operation_oneway_must_match():
+    assert not operation_conforms(_op(oneway=True), _op(oneway=False))
+
+
+def test_interface_width_subtyping():
+    base = InterfaceType("B", [_op("A")])
+    extended = InterfaceType("E", [_op("A"), _op("B")])
+    assert interface_conforms(extended, base)
+    assert not interface_conforms(base, extended)
+
+
+def test_interface_operation_signature_checked():
+    base = InterfaceType("B", [_op("A", result=LONG)])
+    wrong = InterfaceType("W", [_op("A", result=STRING)])
+    assert not interface_conforms(wrong, base)
+
+
+def test_conforms_dispatches():
+    assert conforms(LONG, DOUBLE)
+    assert conforms(_op(), _op())
+    assert conforms(InterfaceType("I", [_op()]), InterfaceType("J", [_op()]))
+    with pytest.raises(TypeError):
+        conforms(LONG, _op())
+
+
+# -- property: the relation is a preorder and value-safe ------------------------------------
+
+_types = st.recursive(
+    st.sampled_from([VOID, BOOLEAN, SHORT, LONG, LONG_LONG, FLOAT, DOUBLE, STRING]),
+    lambda inner: st.one_of(
+        st.builds(SequenceType, inner),
+        st.builds(
+            StructType,
+            st.just("S"),
+            st.lists(
+                st.tuples(st.sampled_from(["a", "b", "c"]), inner),
+                max_size=3,
+                unique_by=lambda pair: pair[0],
+            ),
+        ),
+        st.builds(
+            EnumType,
+            st.just("E"),
+            st.lists(
+                st.sampled_from(["L1", "L2", "L3", "L4"]),
+                min_size=1,
+                max_size=4,
+                unique=True,
+            ),
+        ),
+    ),
+    max_leaves=8,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_types)
+def test_subtyping_reflexive(t):
+    assert is_subtype(t, t)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_types, _types, _types)
+def test_subtyping_transitive(a, b, c):
+    if is_subtype(a, b) and is_subtype(b, c):
+        assert is_subtype(a, c)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_types, _types)
+def test_subtype_values_check_against_supertype(sub, sup):
+    """Value-level soundness: a default of the subtype is a valid value
+    of the supertype."""
+    if is_subtype(sub, sup):
+        sup.check(sub.default())

@@ -1,0 +1,187 @@
+"""Tests for the importer constraint language."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trader.constraints import parse_constraint
+from repro.trader.errors import ConstraintSyntaxError
+
+OFFER = {
+    "ChargePerDay": 80.0,
+    "ChargeCurrency": "USD",
+    "CarModel": "FIAT-Uno",
+    "AverageMilage": 12000,
+    "Airconditioned": True,
+}
+
+
+def holds(text, properties=OFFER):
+    return parse_constraint(text).evaluate(properties)
+
+
+# -- comparisons --------------------------------------------------------------------
+
+
+def test_numeric_comparisons():
+    assert holds("ChargePerDay < 90")
+    assert holds("ChargePerDay <= 80")
+    assert holds("ChargePerDay >= 80")
+    assert not holds("ChargePerDay > 80")
+    assert holds("ChargePerDay == 80")
+    assert holds("ChargePerDay != 81")
+
+
+def test_string_equality():
+    assert holds("ChargeCurrency == 'USD'")
+    assert holds('ChargeCurrency != "DEM"')
+
+
+def test_boolean_property_direct():
+    assert holds("Airconditioned")
+    assert not holds("not Airconditioned")
+
+
+def test_boolean_literals():
+    assert holds("true")
+    assert not holds("false")
+    assert holds("Airconditioned == true")
+
+
+# -- arithmetic -----------------------------------------------------------------------
+
+
+def test_arithmetic_in_comparisons():
+    assert holds("ChargePerDay * 7 == 560")
+    assert holds("ChargePerDay + 20 <= 100")
+    assert holds("AverageMilage / 1000 == 12")
+    assert holds("ChargePerDay - 80 == 0")
+
+
+def test_precedence_multiplication_first():
+    assert holds("2 + 3 * 4 == 14")
+    assert holds("(2 + 3) * 4 == 20")
+
+
+def test_unary_minus():
+    assert holds("-ChargePerDay == 0 - 80")
+
+
+def test_division_by_zero_never_matches():
+    assert not holds("ChargePerDay / 0 == 1")
+    assert not holds("ChargePerDay / 0 != 1")  # undefined, not unequal
+
+
+# -- boolean structure ----------------------------------------------------------------
+
+
+def test_and_or_not():
+    assert holds("ChargePerDay < 90 and ChargeCurrency == 'USD'")
+    assert not holds("ChargePerDay < 90 and ChargeCurrency == 'DEM'")
+    assert holds("ChargePerDay > 100 or ChargeCurrency == 'USD'")
+    assert holds("not (ChargePerDay > 100)")
+
+
+def test_precedence_and_binds_tighter_than_or():
+    assert holds("false and false or true")
+    assert not holds("false and (false or true)")
+
+
+# -- membership & existence --------------------------------------------------------------
+
+
+def test_in_list():
+    assert holds("CarModel in ['AUDI', 'FIAT-Uno']")
+    assert not holds("CarModel in ['AUDI', 'VW-Golf']")
+
+
+def test_in_string_substring():
+    assert holds("'FIAT' in CarModel")
+    assert not holds("'BMW' in CarModel")
+
+
+def test_exist():
+    assert holds("exist ChargePerDay")
+    assert not holds("exist Discount")
+    assert holds("not exist Discount")
+
+
+def test_exist_requires_property_name():
+    with pytest.raises(ConstraintSyntaxError):
+        parse_constraint("exist 42")
+
+
+# -- missing-property semantics (never an error) ------------------------------------------
+
+
+def test_missing_property_comparison_is_false():
+    assert not holds("Discount > 0")
+    assert not holds("Discount == 0")
+    assert not holds("Discount != 0")  # undefined, not unequal
+
+
+def test_missing_in_arithmetic_propagates():
+    assert not holds("Discount + 5 > 0")
+
+
+def test_missing_in_list_fails_quietly():
+    assert not holds("Discount in [1, 2]")
+    assert not holds("1 in MissingList")
+
+
+def test_type_mismatch_is_false_not_error():
+    assert not holds("CarModel < 5")
+    assert not holds("ChargePerDay in 5")
+
+
+# -- parsing --------------------------------------------------------------------------------
+
+
+def test_empty_constraint_matches_everything():
+    assert holds("")
+    assert holds(None)
+    assert holds("   ")
+
+
+def test_syntax_errors_raise():
+    for bad in ("==", "a ==", "(a", "a in", "a b", "[1,", "a !! b"):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint(bad)
+
+
+def test_constraints_are_reusable():
+    constraint = parse_constraint("ChargePerDay < 100")
+    assert constraint.evaluate({"ChargePerDay": 50})
+    assert not constraint.evaluate({"ChargePerDay": 500})
+    assert constraint.source == "ChargePerDay < 100"
+
+
+# -- properties -------------------------------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.floats(allow_nan=False, allow_infinity=False, width=32), st.floats(allow_nan=False, allow_infinity=False, width=32))
+def test_threshold_agrees_with_python(value, threshold):
+    constraint = parse_constraint("x < t")
+    assert constraint.evaluate({"x": value, "t": threshold}) == (value < threshold)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.dictionaries(st.sampled_from(["a", "b", "c"]), st.integers(-5, 5)))
+def test_exist_matches_membership(properties):
+    for key in ("a", "b", "c"):
+        assert parse_constraint(f"exist {key}").evaluate(properties) == (
+            key in properties
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.text(alphabet="ab ()", max_size=12)
+)
+def test_parser_never_crashes_unexpectedly(text):
+    """Any input either parses or raises ConstraintSyntaxError."""
+    try:
+        parse_constraint(text)
+    except ConstraintSyntaxError:
+        pass

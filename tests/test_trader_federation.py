@@ -1,0 +1,149 @@
+"""Tests for trader federation: links, hop limits, loop breaking."""
+
+import pytest
+
+from repro.naming.refs import ServiceRef
+from repro.net.endpoints import Address
+from repro.sidl.types import DOUBLE, InterfaceType, LONG, OperationType
+from repro.trader.federation import TraderLink
+from repro.trader.service_types import ServiceType
+from repro.trader.trader import ImportRequest, LocalTrader
+
+
+def rental_type():
+    return ServiceType(
+        "CarRentalService",
+        InterfaceType("I", [OperationType("SelectCar", [], LONG)]),
+        [("ChargePerDay", DOUBLE)],
+    )
+
+
+def make_trader(trader_id, *offer_specs):
+    trader = LocalTrader(trader_id)
+    trader.add_type(rental_type())
+    for name, charge in offer_specs:
+        trader.export(
+            "CarRentalService",
+            ServiceRef.create(name, Address(trader_id, 1), 4711),
+            {"ChargePerDay": charge},
+        )
+    return trader
+
+
+def names(offers):
+    return sorted(offer.service_ref().name for offer in offers)
+
+
+def test_no_federation_without_hops():
+    hamburg = make_trader("hamburg", ("hh-1", 80.0))
+    bremen = make_trader("bremen", ("hb-1", 70.0))
+    hamburg.link_local(bremen)
+    offers = hamburg.import_(ImportRequest("CarRentalService"))
+    assert names(offers) == ["hh-1"]
+
+
+def test_one_hop_reaches_neighbour():
+    hamburg = make_trader("hamburg", ("hh-1", 80.0))
+    bremen = make_trader("bremen", ("hb-1", 70.0))
+    hamburg.link_local(bremen)
+    offers = hamburg.import_(ImportRequest("CarRentalService", hop_limit=1))
+    assert names(offers) == ["hb-1", "hh-1"]
+
+
+def test_hop_limit_bounds_chain():
+    a = make_trader("a", ("a-1", 1.0))
+    b = make_trader("b", ("b-1", 2.0))
+    c = make_trader("c", ("c-1", 3.0))
+    a.link_local(b)
+    b.link_local(c)
+    assert names(a.import_(ImportRequest("CarRentalService", hop_limit=1))) == [
+        "a-1",
+        "b-1",
+    ]
+    assert names(a.import_(ImportRequest("CarRentalService", hop_limit=2))) == [
+        "a-1",
+        "b-1",
+        "c-1",
+    ]
+
+
+def test_cycles_are_broken():
+    a = make_trader("a", ("a-1", 1.0))
+    b = make_trader("b", ("b-1", 2.0))
+    a.link_local(b)
+    b.link_local(a)
+    offers = a.import_(ImportRequest("CarRentalService", hop_limit=10))
+    assert names(offers) == ["a-1", "b-1"]
+
+
+def test_diamond_deduplicates():
+    top = make_trader("top")
+    left = make_trader("left")
+    right = make_trader("right")
+    bottom = make_trader("bottom", ("deep-1", 9.0))
+    top.link_local(left)
+    top.link_local(right)
+    left.link_local(bottom)
+    right.link_local(bottom)
+    offers = top.import_(ImportRequest("CarRentalService", hop_limit=3))
+    assert names(offers) == ["deep-1"]
+
+
+def test_link_max_hops_caps_requests():
+    a = make_trader("a")
+    b = make_trader("b")
+    c = make_trader("c", ("far-1", 1.0))
+    a.link(TraderLink("b", b.import_wire, max_hops=0))
+    b.link_local(c)
+    offers = a.import_(ImportRequest("CarRentalService", hop_limit=10))
+    assert offers == []  # the stingy link refuses to forward onward
+
+
+def test_constraints_apply_across_federation():
+    a = make_trader("a", ("a-cheap", 40.0))
+    b = make_trader("b", ("b-dear", 400.0), ("b-cheap", 30.0))
+    a.link_local(b)
+    offers = a.import_(
+        ImportRequest("CarRentalService", "ChargePerDay < 100", hop_limit=1)
+    )
+    assert names(offers) == ["a-cheap", "b-cheap"]
+
+
+def test_preference_applied_after_merging():
+    a = make_trader("a", ("a-1", 50.0))
+    b = make_trader("b", ("b-1", 10.0))
+    a.link_local(b)
+    offers = a.import_(
+        ImportRequest(
+            "CarRentalService", preference="min ChargePerDay", hop_limit=1
+        )
+    )
+    assert [o.service_ref().name for o in offers] == ["b-1", "a-1"]
+
+
+def test_peer_without_the_type_is_harmless():
+    a = make_trader("a", ("a-1", 1.0))
+    stranger = LocalTrader("stranger")  # knows no types at all
+    a.link_local(stranger)
+    offers = a.import_(ImportRequest("CarRentalService", hop_limit=2))
+    assert names(offers) == ["a-1"]
+
+
+def test_broken_link_is_skipped():
+    a = make_trader("a", ("a-1", 1.0))
+
+    def exploding_forwarder(request):
+        raise RuntimeError("link down")
+
+    a.link(TraderLink("dead", exploding_forwarder))
+    offers = a.import_(ImportRequest("CarRentalService", hop_limit=1))
+    assert names(offers) == ["a-1"]
+
+
+def test_unlink():
+    a = make_trader("a")
+    b = make_trader("b", ("b-1", 1.0))
+    a.link_local(b)
+    assert a.unlink("b")
+    assert not a.unlink("b")
+    assert a.import_(ImportRequest("CarRentalService", hop_limit=1)) == []

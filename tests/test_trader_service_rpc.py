@@ -1,0 +1,128 @@
+"""Tests for the networked trader (RPC service + client stub) — Fig. 1."""
+
+import pytest
+
+from repro.naming.refs import ServiceRef
+from repro.net.endpoints import Address
+from repro.rpc.errors import RemoteFault
+from repro.sidl.types import DOUBLE, InterfaceType, LONG, OperationType, STRING
+from repro.trader.service_types import ServiceType
+from repro.trader.trader import ImportRequest, TraderClient, TraderService
+
+
+def rental_type():
+    return ServiceType(
+        "CarRentalService",
+        InterfaceType("I", [OperationType("SelectCar", [], LONG)]),
+        [("ChargePerDay", DOUBLE), ("ChargeCurrency", STRING)],
+    )
+
+
+PROPS = {"ChargePerDay": 80.0, "ChargeCurrency": "USD"}
+
+
+@pytest.fixture
+def stack(make_server, make_client):
+    service = TraderService(make_server("trader-host"))
+    client = TraderClient(make_client(), service.address)
+    client.add_type(rental_type())
+    return service, client
+
+
+def test_add_and_list_types(stack):
+    __, client = stack
+    assert client.list_types() == ["CarRentalService"]
+    fetched = client.get_type("CarRentalService")
+    assert fetched == rental_type()
+
+
+def test_remote_export_import_cycle(stack):
+    __, client = stack
+    ref = ServiceRef.create("rental", Address("h", 2), 4711)
+    offer_id = client.export("CarRentalService", ref, PROPS)
+    offers = client.import_(ImportRequest("CarRentalService"))
+    assert [o.offer_id for o in offers] == [offer_id]
+    assert offers[0].service_ref() == ref
+
+
+def test_remote_withdraw_and_modify(stack):
+    __, client = stack
+    ref = ServiceRef.create("rental", Address("h", 2), 4711)
+    offer_id = client.export("CarRentalService", ref, PROPS)
+    assert client.modify(offer_id, {"ChargePerDay": 50.0, "ChargeCurrency": "DEM"})
+    assert client.import_(ImportRequest("CarRentalService"))[0].properties[
+        "ChargePerDay"
+    ] == 50.0
+    assert client.withdraw(offer_id)
+    assert client.import_(ImportRequest("CarRentalService")) == []
+
+
+def test_remote_select_best(stack):
+    __, client = stack
+    for name, charge in (("a", 90.0), ("b", 40.0)):
+        client.export(
+            "CarRentalService",
+            ServiceRef.create(name, Address("h", 3), 4711),
+            {"ChargePerDay": charge, "ChargeCurrency": "USD"},
+        )
+    best = client.select_best(
+        ImportRequest("CarRentalService", preference="min ChargePerDay")
+    )
+    assert best.service_ref().name == "b"
+
+
+def test_remote_errors_surface_as_faults(stack):
+    __, client = stack
+    with pytest.raises(RemoteFault) as excinfo:
+        client.export(
+            "Ghost", ServiceRef.create("x", Address("h", 1), 1), {}
+        )
+    assert excinfo.value.kind == "UnknownServiceType"
+
+
+def test_remote_mask_type(stack):
+    __, client = stack
+    client.export(
+        "CarRentalService", ServiceRef.create("x", Address("h", 1), 1), PROPS
+    )
+    client.mask_type("CarRentalService")
+    assert client.import_(ImportRequest("CarRentalService")) == []
+
+
+def test_networked_federation(make_server, make_client):
+    """Two traders federate over RPC; imports cross the link."""
+    hamburg = TraderService(make_server("hh"), client=make_client())
+    bremen = TraderService(make_server("hb"), client=make_client())
+    hh_client = TraderClient(make_client(), hamburg.address)
+    hb_client = TraderClient(make_client(), bremen.address)
+    hh_client.add_type(rental_type())
+    hb_client.add_type(rental_type())
+    hb_client.export(
+        "CarRentalService",
+        ServiceRef.create("bremen-rental", Address("hb", 7), 4711),
+        PROPS,
+    )
+    hamburg.link_to(bremen.address)
+    local_only = hh_client.import_(ImportRequest("CarRentalService"))
+    assert local_only == []
+    federated = hh_client.import_(ImportRequest("CarRentalService", hop_limit=1))
+    assert [o.service_ref().name for o in federated] == ["bremen-rental"]
+
+
+def test_full_fig1_flow(stack, make_server, make_client, rental):
+    """Fig. 1 end to end: export (1), import (2-3), bind+invoke (4-5)."""
+    __, trader = stack
+    # 1: the exporter registers its offer
+    trader.export("CarRentalService", rental.ref, PROPS)
+    # 2-3: the importer asks and gets the service identifier back
+    offers = trader.import_(ImportRequest("CarRentalService", "ChargePerDay < 100"))
+    assert len(offers) == 1
+    # 4-5: direct binding and interaction with the selected server
+    from repro.naming.binder import Binder
+
+    binding = Binder(make_client()).bind(offers[0].service_ref())
+    result = binding.invoke(
+        "SelectCar",
+        {"selection": {"CarModel": "AUDI", "BookingDate": "1994-06-21", "Days": 1}},
+    )
+    assert result["available"] is True

@@ -1,0 +1,167 @@
+"""Tests for SID → form generation: one rule per type constructor (Fig. 7)."""
+
+import pytest
+
+from repro.sidl.builder import load_service_description
+from repro.sidl.types import (
+    BOOLEAN,
+    DOUBLE,
+    EnumType,
+    LONG,
+    OCTETS,
+    SequenceType,
+    SERVICE_REFERENCE,
+    STRING,
+    StringType,
+    StructType,
+    UnionType,
+)
+from repro.uims.formgen import form_for_operation, prefill_defaults, widget_for_type
+from repro.uims.widgets import (
+    AnyField,
+    BindButton,
+    CheckBox,
+    ChoiceField,
+    Form,
+    GroupBox,
+    ListEditor,
+    NumberField,
+    TextField,
+    UnionEditor,
+)
+
+
+def test_string_maps_to_text_field():
+    widget = widget_for_type(STRING, "s", "p.s")
+    assert isinstance(widget, TextField)
+    assert widget.bound is None
+    bounded = widget_for_type(StringType(8), "s", "p.s")
+    assert bounded.bound == 8
+
+
+def test_integers_map_to_ranged_number_fields():
+    widget = widget_for_type(LONG, "n", "p.n")
+    assert isinstance(widget, NumberField)
+    assert widget.integral
+    assert widget.minimum == -(2**31)
+    assert widget.maximum == 2**31 - 1
+
+
+def test_floats_map_to_float_fields():
+    widget = widget_for_type(DOUBLE, "x", "p.x")
+    assert isinstance(widget, NumberField)
+    assert not widget.integral
+
+
+def test_boolean_maps_to_checkbox():
+    assert isinstance(widget_for_type(BOOLEAN, "b", "p.b"), CheckBox)
+
+
+def test_enum_maps_to_choice():
+    widget = widget_for_type(EnumType("E", ["A", "B"]), "e", "p.e")
+    assert isinstance(widget, ChoiceField)
+    assert widget.options == ["A", "B"]
+
+
+def test_struct_maps_to_group_with_nested_paths():
+    struct = StructType("S", [("a", LONG), ("b", STRING)])
+    widget = widget_for_type(struct, "s", "Op.s")
+    assert isinstance(widget, GroupBox)
+    assert [f.path for f in widget.fields] == ["Op.s.a", "Op.s.b"]
+
+
+def test_sequence_maps_to_list_editor():
+    widget = widget_for_type(SequenceType(LONG, bound=3), "l", "Op.l")
+    assert isinstance(widget, ListEditor)
+    assert widget.bound == 3
+    item = widget.add_item()
+    assert isinstance(item, NumberField)
+    assert item.path == "Op.l.0"
+
+
+def test_union_maps_to_union_editor():
+    union = UnionType(
+        "U",
+        EnumType("K", ["I", "S"]),
+        [("I", "i", LONG), ("S", "s", STRING)],
+    )
+    widget = widget_for_type(union, "u", "Op.u")
+    assert isinstance(widget, UnionEditor)
+    assert isinstance(widget.arm, NumberField)
+    widget.select_tag("S")
+    assert isinstance(widget.arm, TextField)
+
+
+def test_service_reference_maps_to_bind_button():
+    assert isinstance(widget_for_type(SERVICE_REFERENCE, "r", "p.r"), BindButton)
+
+
+def test_octets_map_to_any_field():
+    assert isinstance(widget_for_type(OCTETS, "o", "p.o"), AnyField)
+
+
+def test_form_for_operation_builds_fields_per_in_param(car_sid):
+    operation = car_sid.interface.operation("SelectCar")
+    form = form_for_operation(car_sid, operation)
+    assert isinstance(form, Form)
+    assert [f.label for f in form.fields] == ["selection"]
+    assert isinstance(form.fields[0], GroupBox)
+    assert form.annotation.startswith("Check availability")
+
+
+def test_form_for_parameterless_operation(car_sid):
+    form = form_for_operation(car_sid, car_sid.interface.operation("BookCar"))
+    assert form.fields == []
+
+
+def test_prefill_defaults_produces_checkable_arguments(car_sid):
+    operation = car_sid.interface.operation("SelectCar")
+    form = form_for_operation(car_sid, operation)
+    prefill_defaults(form, operation)
+    values = {field.label: field.get_value() for field in form.fields}
+    # the defaults satisfy the operation's own type checks
+    operation.check_arguments(values)
+    assert values["selection"]["CarModel"] == "AUDI"
+
+
+def test_generated_paths_are_addressable():
+    sid = load_service_description(
+        """
+        module Deep {
+          typedef Inner_t struct { long depth; };
+          typedef Outer_t struct { Inner_t inner; string label; };
+          interface COSM_Operations { void Op(in Outer_t o); };
+        };
+        """
+    )
+    form = form_for_operation(sid, sid.interface.operation("Op"))
+    assert form.find("Op.o.inner.depth").label == "depth"
+    assert form.find("Op.o.label").label == "label"
+
+
+def test_every_sidl_constructor_renders():
+    """formgen covers the full table of §3.2's mapping."""
+    sid = load_service_description(
+        """
+        module Everything {
+          typedef E_t enum { ONE, TWO };
+          typedef S_t struct { E_t e; boolean b; float f; string<4> s; };
+          typedef L_t sequence<S_t, 2>;
+          typedef U_t union switch (E_t) { case ONE: long one; case TWO: string two; };
+          interface COSM_Operations {
+            void Everything(in E_t e, in S_t s, in L_t l, in U_t u,
+                            in service_reference r, in any a);
+          };
+        };
+        """
+    )
+    form = form_for_operation(sid, sid.interface.operation("Everything"))
+    kinds = [type(field).__name__ for field in form.fields]
+    assert kinds == [
+        "ChoiceField",
+        "GroupBox",
+        "ListEditor",
+        "UnionEditor",
+        "BindButton",
+        "AnyField",
+    ]
