@@ -10,6 +10,7 @@ where the time goes.
 import pytest
 
 from benchmarks.conftest import SELECTION, Stack
+from repro.context import CallContext
 from repro.core import BrowserService, GenericClient, make_tradable
 from repro.naming.binder import Binder
 from repro.naming.nameserver import NameServerClient, NameServerService
@@ -108,3 +109,34 @@ def test_layer_user_full_journey(benchmark, cosm):
         return confirmation
 
     assert benchmark(journey) > 0
+
+
+def test_layer_cost_breakdown_via_spans(cosm, capsys):
+    """Per-layer cost accounting from one traced request.
+
+    Instead of benchmarking each layer in isolation, run a single
+    trader-import → bind → invoke cascade under one
+    :class:`~repro.context.CallContext` and read the per-layer elapsed
+    times off its span chain — the Fig. 6 breakdown from live data."""
+    stack = cosm["stack"]
+    client = stack.client()
+    trader = cosm["trader"]
+
+    ctx = CallContext.with_timeout(30.0, client.transport.now())
+    offers = trader.import_(ImportRequest("CarRentalService"), ctx=ctx)
+    assert offers
+    generic = GenericClient(client)
+    binding = generic.bind(offers[0].service_ref(), ctx=ctx)
+    result = binding.invoke("SelectCar", {"selection": SELECTION}, ctx=ctx)
+    assert result.value["available"] is True
+
+    costs = ctx.layer_costs()
+    # Every layer the cascade crossed shows up, attributed to one trace.
+    for layer in ("trader", "binder", "generic", "rpc"):
+        assert layer in costs, f"no spans recorded for layer {layer!r}"
+    # The wrapping layers each contain at least one RPC, so the
+    # communication level must account for positive virtual time.
+    assert costs["rpc"] >= 0.0
+    print(f"\ntrace {ctx.trace_id} layer costs (virtual seconds):")
+    for layer, elapsed in sorted(costs.items(), key=lambda kv: -kv[1]):
+        print(f"  {layer:<10s} {elapsed:.6f}")

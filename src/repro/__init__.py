@@ -40,6 +40,7 @@ Quickstart::
         "CarModel": "AUDI", "BookingDate": "1994-06-21", "Days": 3}})
 """
 
+from repro.context import CallContext, RetryPolicy, SpanRecord, current_context, use_context
 from repro.errors import (
     BindingError,
     CallTimeout,
@@ -54,11 +55,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BindingError",
+    "CallContext",
     "CallTimeout",
     "CommunicationError",
     "ConfigurationError",
     "CosmError",
     "LookupFailure",
     "ProtocolError",
+    "RetryPolicy",
+    "SpanRecord",
+    "current_context",
+    "use_context",
     "__version__",
 ]

@@ -13,6 +13,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Union
 
+from repro.context import CallContext
 from repro.errors import CosmError
 from repro.naming.refs import ServiceRef
 from repro.net.endpoints import Address
@@ -68,8 +69,12 @@ class Activity:
             seen.setdefault(step.ref.address)
         return list(seen)
 
-    def execute(self) -> ActivityOutcome:
-        """Run 2PC: all steps commit, or none."""
+    def execute(self, ctx: Optional[CallContext] = None) -> ActivityOutcome:
+        """Run 2PC: all steps commit, or none.
+
+        A ``ctx`` bounds the *prepare* round; once every participant has
+        voted yes the decision phase runs to completion regardless (see
+        :meth:`repro.rpc.txn.TransactionCoordinator.execute`)."""
         if self.outcome is not None:
             raise CosmError(f"activity {self.name!r} already executed")
         if not self.steps:
@@ -77,7 +82,7 @@ class Activity:
         work: Dict[Address, List[Dict[str, Any]]] = {}
         for step in self.steps:
             work.setdefault(step.ref.address, []).append(step.as_work())
-        result = self._coordinator.execute(work)
+        result = self._coordinator.execute(work, ctx=ctx)
         self.outcome = (
             ActivityOutcome.COMMITTED
             if result is TxnOutcome.COMMITTED
@@ -102,12 +107,13 @@ class ActivityManager:
         self,
         name: str,
         steps: List[ActivityStep],
+        ctx: Optional[CallContext] = None,
     ) -> ActivityOutcome:
         """Convenience: build and execute in one call."""
         activity = self.begin(name)
         for step in steps:
             activity.add_step(step.ref, step.operation, step.arguments)
-        return activity.execute()
+        return activity.execute(ctx=ctx)
 
     @property
     def committed(self) -> int:

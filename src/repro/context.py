@@ -1,0 +1,288 @@
+"""First-class call context threaded through every layer of the COSM stack.
+
+The Fig. 6 architecture stacks five levels (Communication → Service
+Support → Controlling → Client/Service → User); historically each level
+invented its own control knobs: per-call ``timeout``/``retries`` kwargs at
+the RPC client, ``hop_limit``/``visited`` wire fields in trader
+federation, and nothing at all for the bind/browse cascades.  A
+:class:`CallContext` replaces them with one value that is created at the
+top of a request, passed down explicitly (or picked up ambiently via
+:func:`current_context` inside RPC handlers), decremented per hop, and
+encoded on the wire:
+
+* an absolute **deadline** against the transport clock (simulated or
+  wall), shared by every call a request fans out into,
+* a remaining **hop budget** and a **visited scope** (the administrative
+  domains a federated query has already crossed),
+* a **trace id** plus a **span chain** — every layer appends a
+  :class:`SpanRecord` (layer, operation, elapsed, outcome), giving a
+  per-layer cost breakdown for free,
+* a :class:`RetryPolicy` from which the RPC client derives per-attempt
+  timeouts out of the *remaining* deadline budget.
+
+Legacy ``timeout=``/``retries=`` keyword arguments survive as a thin
+compatibility shim: they construct an equivalent context via
+:meth:`CallContext.from_legacy`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import CosmError
+
+Clock = Callable[[], float]
+
+_trace_counter = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A process-unique trace id: ordinal prefix + random suffix."""
+    return f"t{next(_trace_counter):05d}-{uuid.uuid4().hex[:8]}"
+
+
+class HopBudgetExhausted(CosmError):
+    """A context with no remaining hops was asked to cross another one."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the RPC client spreads a deadline over retransmissions.
+
+    ``attempt_timeout`` caps each attempt; ``None`` means "split the
+    remaining deadline evenly over the attempts still available".  The
+    legacy shim sets it to the old flat per-attempt timeout so existing
+    behaviour is preserved exactly.
+    """
+
+    retries: int = 3
+    attempt_timeout: Optional[float] = None
+    min_attempt_timeout: float = 0.001
+
+    @property
+    def attempts(self) -> int:
+        return self.retries + 1
+
+
+@dataclass
+class SpanRecord:
+    """One layer's record of one operation, appended to the span chain."""
+
+    layer: str
+    operation: str
+    started_at: float
+    elapsed: float = 0.0
+    outcome: str = "ok"
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "layer": self.layer,
+            "operation": self.operation,
+            "started_at": self.started_at,
+            "elapsed": self.elapsed,
+            "outcome": self.outcome,
+        }
+
+
+#: Span chains are bounded so long-running benchmarks cannot grow a
+#: context without limit; past the cap new spans are counted, not stored.
+SPAN_LIMIT = 1024
+
+#: Fallback per-attempt timeout when a context has neither a deadline nor
+#: an attempt cap (mirrors the RPC client's historical default).
+DEFAULT_ATTEMPT_TIMEOUT = 1.0
+
+
+@dataclass
+class CallContext:
+    """The request-scoping value threaded through every COSM layer.
+
+    Derived contexts made with :meth:`derive`/:meth:`hop` share the trace
+    id and the span chain with their parent — the chain shows the whole
+    request — while deadline/hops/visited narrow monotonically.
+    """
+
+    trace_id: str = field(default_factory=new_trace_id)
+    deadline: Optional[float] = None
+    hops: Optional[int] = None
+    visited: Tuple[str, ...] = ()
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    spans: List[SpanRecord] = field(default_factory=list)
+    spans_dropped: int = 0
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def background(cls, **overrides: Any) -> "CallContext":
+        """A fresh context with no deadline and an unlimited hop budget."""
+        return cls(**overrides)
+
+    @classmethod
+    def with_timeout(
+        cls,
+        timeout: float,
+        now: float,
+        hops: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> "CallContext":
+        """A context expiring ``timeout`` seconds after ``now``."""
+        return cls(
+            deadline=now + timeout,
+            hops=hops,
+            retry=retry or RetryPolicy(),
+        )
+
+    @classmethod
+    def from_legacy(
+        cls,
+        timeout: float,
+        retries: int,
+        now: float,
+        trace_id: Optional[str] = None,
+    ) -> "CallContext":
+        """The compatibility shim behind ``timeout=``/``retries=`` kwargs.
+
+        Reproduces the historical total budget ``timeout * (retries + 1)``
+        and keeps the flat per-attempt cap, so callers that never adopt
+        contexts observe identical timing.
+        """
+        ctx = cls(
+            deadline=now + timeout * (retries + 1),
+            retry=RetryPolicy(retries=retries, attempt_timeout=timeout),
+        )
+        if trace_id is not None:
+            ctx.trace_id = trace_id
+        return ctx
+
+    # -- deadline budget ---------------------------------------------------
+
+    def remaining(self, now: float) -> float:
+        """Seconds of budget left; ``inf`` when no deadline is set."""
+        if self.deadline is None:
+            return math.inf
+        return max(0.0, self.deadline - now)
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+    def attempt_timeout(self, now: float, attempts_left: int) -> float:
+        """Per-attempt wait derived from the *remaining* deadline budget.
+
+        Splits what is left of the deadline evenly over the attempts still
+        available (clamped below by ``min_attempt_timeout`` and above by
+        the policy's flat cap, when one is set).
+        """
+        budget = self.remaining(now)
+        cap = self.retry.attempt_timeout
+        if math.isinf(budget):
+            return cap if cap is not None else DEFAULT_ATTEMPT_TIMEOUT
+        share = budget / max(1, attempts_left)
+        if cap is not None:
+            share = min(share, cap)
+        return min(budget, max(share, self.retry.min_attempt_timeout))
+
+    # -- hop budget / scope ------------------------------------------------
+
+    def can_hop(self) -> bool:
+        """True while the hop budget allows crossing one more domain."""
+        return self.hops is None or self.hops > 0
+
+    def seen(self, node: str) -> bool:
+        return node in self.visited
+
+    def derive(self, **changes: Any) -> "CallContext":
+        """A narrowed child sharing the trace id and span chain."""
+        return replace(self, **changes)
+
+    def hop(self, node: Optional[str] = None) -> "CallContext":
+        """Cross one administrative domain: hops - 1, ``node`` marked seen."""
+        if not self.can_hop():
+            raise HopBudgetExhausted(
+                f"trace {self.trace_id}: hop budget exhausted at {node or '?'}"
+            )
+        hops = None if self.hops is None else self.hops - 1
+        visited = self.visited if node is None else self.visited + (node,)
+        return self.derive(hops=hops, visited=visited)
+
+    # -- span chain --------------------------------------------------------
+
+    def record_span(self, span: SpanRecord) -> None:
+        if len(self.spans) >= SPAN_LIMIT:
+            self.spans_dropped += 1
+            return
+        self.spans.append(span)
+
+    @contextmanager
+    def span(self, layer: str, operation: str, clock: Clock) -> Iterator[SpanRecord]:
+        """Record one operation at one layer; re-raises, noting the outcome."""
+        record = SpanRecord(layer, operation, started_at=clock())
+        try:
+            yield record
+        except BaseException as exc:
+            record.outcome = type(exc).__name__
+            raise
+        finally:
+            record.elapsed = clock() - record.started_at
+            self.record_span(record)
+
+    def layer_costs(self) -> Dict[str, float]:
+        """Total elapsed seconds per layer, from the span chain."""
+        costs: Dict[str, float] = {}
+        for span in self.spans:
+            costs[span.layer] = costs.get(span.layer, 0.0) + span.elapsed
+        return costs
+
+    # -- wire form ---------------------------------------------------------
+
+    def to_wire(self) -> Dict[str, Any]:
+        wire: Dict[str, Any] = {"trace_id": self.trace_id}
+        if self.deadline is not None:
+            wire["deadline"] = self.deadline
+        if self.hops is not None:
+            wire["hops"] = self.hops
+        if self.visited:
+            wire["visited"] = list(self.visited)
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, Any]) -> "CallContext":
+        return cls(
+            trace_id=wire.get("trace_id") or new_trace_id(),
+            deadline=wire.get("deadline"),
+            hops=wire.get("hops"),
+            visited=tuple(wire.get("visited", ())),
+        )
+
+
+# -- ambient context --------------------------------------------------------
+
+_current: ContextVar[Optional[CallContext]] = ContextVar(
+    "cosm_call_context", default=None
+)
+
+
+def current_context() -> Optional[CallContext]:
+    """The context of the request being served, if any.
+
+    The RPC server installs the caller's wire context around handler
+    execution, so any nested call a handler makes (trader federation,
+    value-adding services, 2PC rounds) inherits the original deadline and
+    trace without explicit plumbing.
+    """
+    return _current.get()
+
+
+@contextmanager
+def use_context(ctx: Optional[CallContext]) -> Iterator[Optional[CallContext]]:
+    """Install ``ctx`` as the ambient context for the enclosed block."""
+    token = _current.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _current.reset(token)

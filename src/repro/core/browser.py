@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
+from repro.context import CallContext
 from repro.errors import LookupFailure
 from repro.naming.binder import Binder
 from repro.naming.refs import ServiceRef
@@ -186,9 +187,15 @@ class BrowserClient:
     same BIND/INVOKE procedures a generic client would use.
     """
 
-    def __init__(self, client: RpcClient, ref: ServiceRef) -> None:
+    def __init__(
+        self,
+        client: RpcClient,
+        ref: ServiceRef,
+        ctx: Optional[CallContext] = None,
+    ) -> None:
         self._binder = Binder(client)
-        self._binding = self._binder.bind(ref)
+        # The binding keeps the ctx, so every stub call below shares it.
+        self._binding = self._binder.bind(ref, ctx=ctx)
         self.ref = ref
 
     def register(self, sid: ServiceDescription, ref: ServiceRef) -> bool:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.context import CallContext
 from repro.errors import BindingError
 from repro.naming.binder import Binder, Binding
 from repro.naming.refs import ServiceRef, find_refs
@@ -58,23 +59,37 @@ class GenericClient:
         self.bindings_opened = 0
         self.local_rejections = 0
 
-    def bind(self, ref: ServiceRef, _depth: int = 0) -> "GenericBinding":
+    def bind(
+        self,
+        ref: ServiceRef,
+        _depth: int = 0,
+        ctx: Optional[CallContext] = None,
+    ) -> "GenericBinding":
         """Bind and transfer the SID (Fig. 3, steps "SID Transfer")."""
-        binding = self._binder.bind(ref, fetch_sid=True)
+        binding = self._binder.bind(ref, fetch_sid=True, ctx=ctx)
         self.bindings_opened += 1
-        return GenericBinding(self, binding, depth=_depth)
+        return GenericBinding(self, binding, depth=_depth, ctx=ctx)
 
-    def bind_wire(self, ref_wire: Dict[str, Any]) -> "GenericBinding":
-        return self.bind(ServiceRef.from_wire(ref_wire))
+    def bind_wire(
+        self, ref_wire: Dict[str, Any], ctx: Optional[CallContext] = None
+    ) -> "GenericBinding":
+        return self.bind(ServiceRef.from_wire(ref_wire), ctx=ctx)
 
 
 class GenericBinding:
     """A SID-driven session with one service."""
 
-    def __init__(self, owner: GenericClient, binding: Binding, depth: int = 0) -> None:
+    def __init__(
+        self,
+        owner: GenericClient,
+        binding: Binding,
+        depth: int = 0,
+        ctx: Optional[CallContext] = None,
+    ) -> None:
         self._owner = owner
         self._binding = binding
         self.depth = depth
+        self.ctx = ctx  # shared across the whole cascade (Fig. 4)
         self.sid: ServiceDescription = binding.fetch_sid()
         self.fsm: Optional[FsmSession] = self.sid.new_session()
         self.discovered: List[ServiceRef] = []
@@ -118,9 +133,13 @@ class GenericBinding:
     # -- invocation ------------------------------------------------------------
 
     def invoke(
-        self, operation_name: str, arguments: Optional[Dict[str, Any]] = None
+        self,
+        operation_name: str,
+        arguments: Optional[Dict[str, Any]] = None,
+        ctx: Optional[CallContext] = None,
     ) -> InvocationResult:
         """Dynamically marshalled, FSM-guarded invocation."""
+        ctx = ctx if ctx is not None else self.ctx
         operation = self.operation(operation_name)
         arguments = arguments or {}
         if self._owner.check_types:
@@ -136,7 +155,12 @@ class GenericBinding:
                     operation_name,
                     self.fsm.spec.allowed_in(self.fsm.state),
                 )
-        value = self._binding.invoke(operation_name, arguments)
+        if ctx is not None:
+            with ctx.span("generic", operation_name,
+                          self._owner._client.transport.now):
+                value = self._binding.invoke(operation_name, arguments, ctx=ctx)
+        else:
+            value = self._binding.invoke(operation_name, arguments)
         self.invocations += 1
         if self.fsm is not None:
             self.fsm.advance(operation_name)
@@ -152,8 +176,12 @@ class GenericBinding:
     # -- cascade binding (Fig. 4) -------------------------------------------------
 
     def bind_reference(self, ref: ServiceRef) -> "GenericBinding":
-        """Bind a reference obtained from this service; depth increases."""
-        return self._owner.bind(ref, _depth=self.depth + 1)
+        """Bind a reference obtained from this service; depth increases.
+
+        The child binding inherits this binding's context, so the whole
+        Fig. 4 cascade drains one deadline budget under one trace id.
+        """
+        return self._owner.bind(ref, _depth=self.depth + 1, ctx=self.ctx)
 
     def bind_discovered(self, index: int = 0) -> "GenericBinding":
         if not self.discovered:

@@ -17,9 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.core.browser import BrowserClient, BrowserEntry
+from repro.context import CallContext
+from repro.core.browser import BrowserClient
 from repro.core.generic_client import GenericBinding, GenericClient
-from repro.errors import LookupFailure
+from repro.errors import BindingError, LookupFailure
+from repro.rpc.errors import DeadlineExceeded
 from repro.naming.refs import ServiceRef
 from repro.rpc.client import RpcClient
 from repro.net.endpoints import Address
@@ -62,27 +64,45 @@ class CosmMediator:
         constraint: str = "",
         preference: str = "",
         max_matches: int = 0,
+        ctx: Optional[CallContext] = None,
     ) -> List[DiscoveryResult]:
         """Trader cooperation schema: by type + constraints (Fig. 1)."""
         if self.trader is None:
             raise LookupFailure("no trader configured for this mediator")
         offers = self.trader.import_(
-            ImportRequest(service_type, constraint, preference, max_matches)
+            ImportRequest(service_type, constraint, preference, max_matches),
+            ctx=ctx,
         )
         return [
             DiscoveryResult(offer.service_ref(), "trader", offer.offer_id)
             for offer in offers
         ]
 
-    def browse(self, query: str = "") -> List[DiscoveryResult]:
-        """Browser mediation schema: free-text over registered SIDs."""
+    def browse(
+        self, query: str = "", ctx: Optional[CallContext] = None
+    ) -> List[DiscoveryResult]:
+        """Browser mediation schema: free-text over registered SIDs.
+
+        With a ``ctx``, the sweep over browsers stops cleanly once the
+        budget runs out: whatever was gathered so far is returned instead
+        of starting another doomed round trip.
+        """
         results: List[DiscoveryResult] = []
         for browser_ref in self._browser_refs:
-            browser = BrowserClient(self._client, browser_ref)
+            if ctx is not None and ctx.expired(self._client.transport.now()):
+                break
             try:
-                entries = browser.search(query) if query else browser.list()
-            finally:
-                browser.close()
+                browser = BrowserClient(self._client, browser_ref, ctx=ctx)
+                try:
+                    entries = browser.search(query) if query else browser.list()
+                finally:
+                    browser.close()
+            except (DeadlineExceeded, BindingError):
+                if ctx is not None and ctx.expired(self._client.transport.now()):
+                    # The budget ran out mid-sweep: partial results beat
+                    # an exception that throws away what was gathered.
+                    break
+                raise
             results.extend(
                 DiscoveryResult(entry.ref, "browser", entry.service_id)
                 for entry in entries
@@ -98,38 +118,59 @@ class CosmMediator:
         service_type: Optional[str] = None,
         constraint: str = "",
         preference: str = "",
+        ctx: Optional[CallContext] = None,
     ) -> List[DiscoveryResult]:
         """Integrated lookup: trader first when a type is known, then
-        browsers; duplicates (same service id) collapse to the trader hit."""
+        browsers; duplicates (same service id) collapse to the trader hit.
+
+        One context (freshly created when none is given) covers the whole
+        sweep, so the per-layer cost of a mediated lookup is visible in
+        its span chain."""
+        if ctx is None:
+            ctx = CallContext.background()
         results: List[DiscoveryResult] = []
-        if service_type and self.trader is not None:
-            try:
-                results.extend(
-                    self.import_from_trader(service_type, constraint, preference)
-                )
-            except LookupFailure:
-                pass
-        seen = {result.ref.service_id for result in results}
-        results.extend(
-            hit for hit in self.browse(query) if hit.ref.service_id not in seen
-        )
+        with ctx.span("mediator", f"discover {query or service_type or '*'}",
+                      self._client.transport.now):
+            if service_type and self.trader is not None:
+                try:
+                    results.extend(
+                        self.import_from_trader(
+                            service_type, constraint, preference, ctx=ctx
+                        )
+                    )
+                except LookupFailure:
+                    pass
+            seen = {result.ref.service_id for result in results}
+            results.extend(
+                hit
+                for hit in self.browse(query, ctx=ctx)
+                if hit.ref.service_id not in seen
+            )
         return results
 
     # -- binding -----------------------------------------------------------------
 
-    def bind(self, result: DiscoveryResult) -> GenericBinding:
-        return self.generic.bind(result.ref)
+    def bind(
+        self, result: DiscoveryResult, ctx: Optional[CallContext] = None
+    ) -> GenericBinding:
+        return self.generic.bind(result.ref, ctx=ctx)
 
     def bind_best(
         self,
         service_type: str,
         constraint: str = "",
         preference: str = "",
+        ctx: Optional[CallContext] = None,
     ) -> GenericBinding:
-        """Select the trader's best offer and bind it in one step."""
-        hits = self.import_from_trader(service_type, constraint, preference, 1)
+        """Select the trader's best offer and bind it in one step.
+
+        The selection and the binding share ``ctx``'s budget — the Fig. 4
+        browse→bind→invoke path with one deadline end to end."""
+        hits = self.import_from_trader(
+            service_type, constraint, preference, 1, ctx=ctx
+        )
         if not hits:
             raise LookupFailure(
                 f"no offer for type {service_type!r} with {constraint!r}"
             )
-        return self.bind(hits[0])
+        return self.bind(hits[0], ctx=ctx)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
+from repro.context import CallContext
 from repro.errors import BindingError
 from repro.naming.refs import ServiceRef
 from repro.rpc.client import RpcClient
@@ -42,24 +43,32 @@ class Binding:
         ref: ServiceRef,
         session_id: str,
         sid: Optional[ServiceDescription] = None,
+        ctx: Optional[CallContext] = None,
     ) -> None:
         self._client = client
         self.ref = ref
         self.session_id = session_id
         self.sid = sid
+        self.ctx = ctx  # default context for calls made through this binding
         self.bound = True
         self.invocations = 0
 
-    def fetch_sid(self) -> ServiceDescription:
+    def fetch_sid(self, ctx: Optional[CallContext] = None) -> ServiceDescription:
         """Transfer the service's SID (memoised)."""
         if self.sid is None:
             wire = self._client.call(
-                self.ref.address, self.ref.prog, self.ref.vers, PROC_GET_SID
+                self.ref.address, self.ref.prog, self.ref.vers, PROC_GET_SID,
+                context=ctx if ctx is not None else self.ctx,
             )
             self.sid = ServiceDescription.from_wire(wire)
         return self.sid
 
-    def invoke(self, operation: str, arguments: Optional[Dict[str, Any]] = None) -> Any:
+    def invoke(
+        self,
+        operation: str,
+        arguments: Optional[Dict[str, Any]] = None,
+        ctx: Optional[CallContext] = None,
+    ) -> Any:
         """Raw dynamic invocation (no client-side checking — see the
         generic client for the guarded path)."""
         if not self.bound:
@@ -75,6 +84,7 @@ class Binding:
                 "operation": operation,
                 "arguments": arguments or {},
             },
+            context=ctx if ctx is not None else self.ctx,
         )
 
     def unbind(self) -> None:
@@ -88,6 +98,9 @@ class Binding:
                 self.ref.vers,
                 PROC_UNBIND,
                 {"session": self.session_id},
+                # Deliberately NOT bound by self.ctx: teardown should
+                # still reach the server after the request budget is
+                # spent, else sessions leak exactly when cascades expire.
             )
         except RpcError:
             # The server may already be gone; the local handle is closed
@@ -108,21 +121,33 @@ class Binder:
         self._client = client
         self.bindings_established = 0
 
-    def bind(self, ref: ServiceRef, fetch_sid: bool = False) -> Binding:
+    def bind(
+        self,
+        ref: ServiceRef,
+        fetch_sid: bool = False,
+        ctx: Optional[CallContext] = None,
+    ) -> Binding:
         """Open a session with the referenced service.
 
         ``fetch_sid=True`` transfers the SID during binding (what the
         generic client does: Fig. 3's "SID Transfer" then "Gui
-        Generation").
+        Generation").  A ``ctx`` scopes the whole binding: establishment,
+        SID transfer, and every later invocation share its budget.
         """
         ref = ServiceRef.from_wire(ref) if not isinstance(ref, ServiceRef) else ref
         try:
-            session_id = self._client.call(
-                ref.address, ref.prog, ref.vers, PROC_BIND, {}
-            )
+            if ctx is not None:
+                with ctx.span("binder", f"bind {ref.name}", self._client.transport.now):
+                    session_id = self._client.call(
+                        ref.address, ref.prog, ref.vers, PROC_BIND, {}, context=ctx
+                    )
+            else:
+                session_id = self._client.call(
+                    ref.address, ref.prog, ref.vers, PROC_BIND, {}
+                )
         except RpcError as exc:
             raise BindingError(f"cannot bind to {ref.name} at {ref.address}: {exc}")
-        binding = Binding(self._client, ref, session_id)
+        binding = Binding(self._client, ref, session_id, ctx=ctx)
         self.bindings_established += 1
         if fetch_sid:
             binding.fetch_sid()

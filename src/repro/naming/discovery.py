@@ -17,6 +17,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Union
 
+from repro.context import CallContext
 from repro.errors import LookupFailure
 from repro.naming.refs import ServiceRef
 from repro.net.sim import SimNetwork
@@ -82,17 +83,30 @@ class BroadcastDiscoverer:
             )
 
     def discover(
-        self, role: str = "", timeout: float = 0.05
+        self,
+        role: str = "",
+        timeout: float = 0.05,
+        ctx: Optional[CallContext] = None,
     ) -> List[Dict[str, object]]:
         """Broadcast a DISCOVER; returns ``{"role", "ref"}`` dicts.
 
         Waits the *full* timeout — unlike unicast there is no way to know
-        how many answers are coming.
+        how many answers are coming — unless a ``ctx`` with less budget
+        remaining bounds the gather window.
         """
         from repro.rpc.xdr import encode_value
 
+        wait = timeout
+        if ctx is not None:
+            wait = min(wait, ctx.remaining(self._client.transport.now()))
+            if wait <= 0:
+                return []
         xid = next(self._xids)
-        call = RpcCall(xid, DISCOVERY_PROGRAM, 1, _PROC_DISCOVER, encode_value({"role": role}))
+        call = RpcCall(
+            xid, DISCOVERY_PROGRAM, 1, _PROC_DISCOVER, encode_value({"role": role}),
+            deadline=ctx.deadline if ctx is not None else None,
+            trace_id=ctx.trace_id if ctx is not None else "",
+        )
         source = self._client.transport.local_address
         sent = self._network.broadcast(source, DISCOVERY_PORT, call.encode())
         if sent == 0:
@@ -107,19 +121,36 @@ class BroadcastDiscoverer:
                 gathered.extend(decode_value(reply.body))
             return False  # never "done": collect until the deadline
 
-        self._client.transport.wait(drain, timeout)
+        if ctx is not None:
+            with ctx.span("discovery", f"broadcast {role or '*'}",
+                          self._client.transport.now):
+                self._client.transport.wait(drain, wait)
+        else:
+            self._client.transport.wait(drain, wait)
         drain()
+        # Stragglers answering after the window are duplicates, not news.
+        self._client.retire_xid(xid)
         return gathered
 
-    def find_refs(self, role: str, timeout: float = 0.05) -> List[ServiceRef]:
+    def find_refs(
+        self,
+        role: str,
+        timeout: float = 0.05,
+        ctx: Optional[CallContext] = None,
+    ) -> List[ServiceRef]:
         """Discover and decode just the references for one role."""
         return [
             ServiceRef.from_wire(item["ref"])
-            for item in self.discover(role, timeout)
+            for item in self.discover(role, timeout, ctx=ctx)
         ]
 
-    def find_first(self, role: str, timeout: float = 0.05) -> ServiceRef:
-        refs = self.find_refs(role, timeout)
+    def find_first(
+        self,
+        role: str,
+        timeout: float = 0.05,
+        ctx: Optional[CallContext] = None,
+    ) -> ServiceRef:
+        refs = self.find_refs(role, timeout, ctx=ctx)
         if not refs:
             raise LookupFailure(f"no {role!r} responded to broadcast discovery")
         return refs[0]

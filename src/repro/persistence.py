@@ -17,7 +17,6 @@ from typing import Any, Dict, Union
 
 from repro.core.browser import BrowserService
 from repro.errors import ConfigurationError
-from repro.sidl.sid import ServiceDescription
 from repro.trader.offers import ServiceOffer
 from repro.trader.service_types import ServiceType
 from repro.trader.trader import LocalTrader

@@ -17,6 +17,7 @@ Replaces the prototype's Sun ONC RPC with a compatible-in-spirit layer:
 
 from repro.rpc.client import RpcClient
 from repro.rpc.errors import (
+    DeadlineExceeded,
     GarbageArguments,
     ProcedureUnavailable,
     ProgramUnavailable,
@@ -33,6 +34,7 @@ from repro.rpc.txn import TransactionCoordinator, TransactionParticipant, TxnOut
 from repro.rpc.xdr import XdrDecoder, XdrEncoder, decode_value, encode_value
 
 __all__ = [
+    "DeadlineExceeded",
     "GarbageArguments",
     "MulticastCaller",
     "PORTMAP_PORT",

@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from typing import Any, Dict, Optional
 
+from repro.context import CallContext, current_context
 from repro.net.endpoints import Address
 from repro.rpc.dispatch import dispatcher_for
 from repro.rpc.errors import (
+    DeadlineExceeded,
     GarbageArguments,
     ProcedureUnavailable,
     ProgramUnavailable,
@@ -24,8 +27,16 @@ class RpcClient:
     """Issues calls over a transport.
 
     Retransmits with the *same* xid on timeout so the server's at-most-once
-    cache can suppress re-execution; the total deadline is
-    ``timeout * (retries + 1)``.
+    cache can suppress re-execution.  Timing is governed by a
+    :class:`~repro.context.CallContext`: each attempt's wait is carved out
+    of the context's *remaining* deadline budget
+    (:meth:`CallContext.attempt_timeout`).  The legacy ``timeout``/
+    ``retries`` kwargs remain as a shim that builds an equivalent context
+    with total budget ``timeout * (retries + 1)``.
+
+    Calls made while serving an RPC (e.g. a trader forwarding a federated
+    import) inherit the ambient server-side context automatically, so one
+    deadline and one trace id cover the whole cascade.
     """
 
     _xid_counter = itertools.count(1)
@@ -35,13 +46,19 @@ class RpcClient:
         transport: Transport,
         timeout: float = 1.0,
         retries: int = 3,
+        retired_xid_capacity: int = 4096,
     ) -> None:
         self.transport = transport
         self.timeout = timeout
         self.retries = retries
         self._pending: Dict[int, RpcReply] = {}
+        # Bounded memory of finished xids: late duplicate replies for them
+        # are dropped instead of leaking into ``_pending`` forever.
+        self._retired: "OrderedDict[int, None]" = OrderedDict()
+        self._retired_capacity = retired_xid_capacity
         self.calls_sent = 0
         self.retransmissions = 0
+        self.duplicate_replies_dropped = 0
         dispatcher_for(transport).client = self
 
     @property
@@ -50,8 +67,51 @@ class RpcClient:
 
     def handle_reply(self, source: Address, reply: RpcReply) -> None:
         """Entry point from the dispatcher."""
-        # Late duplicates of an answered xid are simply overwritten/ignored.
+        if reply.xid in self._retired:
+            self.duplicate_replies_dropped += 1
+            return
         self._pending[reply.xid] = reply
+
+    def retire_xid(self, xid: int) -> None:
+        """Mark ``xid`` finished: later replies for it are dropped."""
+        self._pending.pop(xid, None)
+        self._retired[xid] = None
+        self._retired.move_to_end(xid)
+        while len(self._retired) > self._retired_capacity:
+            self._retired.popitem(last=False)
+
+    def _effective_context(
+        self,
+        context: Optional[CallContext],
+        timeout: Optional[float],
+        retries: Optional[int],
+    ) -> CallContext:
+        """Resolve the context governing one call.
+
+        An explicit ``context`` wins outright.  Otherwise a shim context
+        is built from the legacy kwargs (or the client's configured
+        defaults) — and when this call happens *inside* an RPC handler,
+        the ambient request context narrows it: the shim inherits the
+        trace id, span chain, hop budget, and scope, and its deadline is
+        capped by the caller's remaining budget.  Local configuration
+        still paces attempts; the inherited deadline bounds the total.
+        """
+        if context is not None:
+            return context
+        ambient = current_context()
+        shim = CallContext.from_legacy(
+            self.timeout if timeout is None else timeout,
+            self.retries if retries is None else retries,
+            self.transport.now(),
+            trace_id=ambient.trace_id if ambient is not None else None,
+        )
+        if ambient is not None:
+            shim.spans = ambient.spans
+            if ambient.deadline is not None:
+                shim.deadline = min(shim.deadline, ambient.deadline)
+            shim.hops = ambient.hops
+            shim.visited = ambient.visited
+        return shim
 
     def call(
         self,
@@ -62,10 +122,12 @@ class RpcClient:
         args: Any = None,
         timeout: Optional[float] = None,
         retries: Optional[int] = None,
+        context: Optional[CallContext] = None,
     ) -> Any:
         """Call and decode; raises a typed :class:`RpcError` on failure."""
         reply = self.call_raw(
-            destination, prog, vers, proc, encode_value(args), timeout, retries
+            destination, prog, vers, proc, encode_value(args), timeout, retries,
+            context,
         )
         if reply.status is ReplyStatus.SUCCESS:
             return decode_value(reply.body)
@@ -75,6 +137,10 @@ class RpcClient:
             raise ProcedureUnavailable(f"procedure {proc} of program {prog} not at {destination}")
         if reply.status is ReplyStatus.GARBAGE_ARGS:
             raise GarbageArguments(f"arguments rejected by {destination}")
+        if reply.status is ReplyStatus.DEADLINE_EXCEEDED:
+            raise DeadlineExceeded(
+                f"{destination} rejected prog={prog} proc={proc}: deadline expired"
+            )
         fault = decode_value(reply.body)
         raise RemoteFault(fault.get("kind", "Error"), fault.get("detail", ""))
 
@@ -87,28 +153,61 @@ class RpcClient:
         body: bytes,
         timeout: Optional[float] = None,
         retries: Optional[int] = None,
+        context: Optional[CallContext] = None,
     ) -> RpcReply:
         """Send pre-encoded bytes and return the raw reply."""
-        timeout = self.timeout if timeout is None else timeout
-        retries = self.retries if retries is None else retries
+        ctx = self._effective_context(context, timeout, retries)
+        with ctx.span("rpc", f"call {prog}:{proc}", self.transport.now):
+            return self._call_attempts(ctx, destination, prog, vers, proc, body)
+
+    def _call_attempts(
+        self,
+        ctx: CallContext,
+        destination: Address,
+        prog: int,
+        vers: int,
+        proc: int,
+        body: bytes,
+    ) -> RpcReply:
+        now = self.transport.now()
+        if ctx.expired(now):
+            raise DeadlineExceeded(
+                f"deadline expired before calling {destination} "
+                f"(trace {ctx.trace_id})"
+            )
         xid = next(self._xid_counter)
-        call = RpcCall(xid, prog, vers, proc, body)
+        call = RpcCall(
+            xid, prog, vers, proc, body,
+            deadline=ctx.deadline, trace_id=ctx.trace_id, hops=ctx.hops,
+        )
         encoded = call.encode()
-        attempts = retries + 1
+        attempts = ctx.retry.attempts
         try:
             for attempt in range(attempts):
+                now = self.transport.now()
+                if ctx.expired(now):
+                    raise DeadlineExceeded(
+                        f"deadline expired after {attempt} attempt(s) to "
+                        f"{destination} (trace {ctx.trace_id})"
+                    )
                 if attempt:
                     self.retransmissions += 1
                 self.calls_sent += 1
+                wait = ctx.attempt_timeout(now, attempts - attempt)
                 self.transport.send(destination, encoded)
-                if self.transport.wait(lambda: xid in self._pending, timeout):
+                if self.transport.wait(lambda: xid in self._pending, wait):
                     return self._pending.pop(xid)
+            if ctx.expired(self.transport.now()) and ctx.retry.attempt_timeout is None:
+                raise DeadlineExceeded(
+                    f"no reply from {destination} within the deadline "
+                    f"(trace {ctx.trace_id})"
+                )
             raise RpcTimeout(
                 f"no reply from {destination} for prog={prog} proc={proc} "
-                f"after {attempts} attempt(s) of {timeout}s"
+                f"after {attempts} attempt(s)"
             )
         finally:
-            self._pending.pop(xid, None)
+            self.retire_xid(xid)
 
     def ping(self, destination: Address, prog: int, vers: int = 1) -> bool:
         """True when the destination answers procedure 0 (NULL proc)."""

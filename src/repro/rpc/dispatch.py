@@ -12,18 +12,26 @@ from typing import Optional
 
 from repro.net.endpoints import Address
 from repro.rpc.errors import XdrError
-from repro.rpc.message import RpcCall, RpcReply, decode_message
+from repro.rpc.message import ReplyStatus, RpcCall, RpcReply, decode_message
 from repro.rpc.transport import Transport
 
 
 class RpcDispatcher:
-    """Routes decoded RPC messages to the attached client/server."""
+    """Routes decoded RPC messages to the attached client/server.
+
+    Calls whose wire deadline has already passed are answered with
+    ``DEADLINE_EXCEEDED`` right here, before the server's duplicate cache
+    or argument decoding spend any work on them — the caller has given up
+    on the result either way.  (The server repeats the check inside
+    ``_execute`` for callers that bypass the dispatcher.)
+    """
 
     def __init__(self, transport: Transport) -> None:
         self.transport = transport
         self.server = None  # type: Optional[object]
         self.client = None  # type: Optional[object]
         self.malformed_count = 0
+        self.expired_rejected = 0
         transport.set_receiver(self._on_message)
 
     def _on_message(self, source: Address, payload: bytes) -> None:
@@ -34,6 +42,14 @@ class RpcDispatcher:
             return
         if isinstance(message, RpcCall):
             if self.server is not None:
+                if (
+                    message.deadline is not None
+                    and self.transport.now() >= message.deadline
+                ):
+                    self.expired_rejected += 1
+                    reply = RpcReply(message.xid, ReplyStatus.DEADLINE_EXCEEDED)
+                    self.transport.send(source, reply.encode())
+                    return
                 self.server.handle_call(source, message)
         elif isinstance(message, RpcReply):
             if self.client is not None:

@@ -13,6 +13,16 @@ class RpcTimeout(RpcError):
     """No reply arrived within the client's deadline (after retries)."""
 
 
+class DeadlineExceeded(RpcTimeout):
+    """The call's :class:`~repro.context.CallContext` deadline expired.
+
+    Raised client-side when the remaining budget hits zero before (or
+    between) attempts, and surfaced for the server-side rejection carried
+    by ``ReplyStatus.DEADLINE_EXCEEDED``.  Subclasses :class:`RpcTimeout`
+    so pre-context code catching timeouts keeps working.
+    """
+
+
 class ProgramUnavailable(RpcError):
     """The destination server does not host the requested program."""
 

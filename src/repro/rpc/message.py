@@ -3,18 +3,28 @@
 Mirrors the shape of ONC RPC messages (xid, program, version, procedure)
 with a simplified reply status enum.  Bodies are opaque byte strings —
 normally the tagged encoding from :mod:`repro.rpc.xdr`.
+
+CALL messages additionally carry the caller's
+:class:`~repro.context.CallContext` on the wire: an optional absolute
+deadline, a trace id, and a remaining hop budget, flagged by a bitmask so
+absent fields cost four bytes total.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.rpc.errors import XdrError
 from repro.rpc.xdr import XdrDecoder, XdrEncoder
 
 _MSG_CALL = 0
 _MSG_REPLY = 1
+
+_CTX_DEADLINE = 1
+_CTX_TRACE = 2
+_CTX_HOPS = 4
 
 
 class ReplyStatus(enum.IntEnum):
@@ -25,17 +35,26 @@ class ReplyStatus(enum.IntEnum):
     PROC_UNAVAIL = 2
     GARBAGE_ARGS = 3
     REMOTE_FAULT = 4
+    DEADLINE_EXCEEDED = 5
 
 
 @dataclass(frozen=True)
 class RpcCall:
-    """A request for procedure ``proc`` of program ``prog`` version ``vers``."""
+    """A request for procedure ``proc`` of program ``prog`` version ``vers``.
+
+    ``deadline``/``trace_id``/``hops`` are the wire form of the caller's
+    call context; all three are optional so context-free callers (and
+    pre-context peers) stay interoperable.
+    """
 
     xid: int
     prog: int
     vers: int
     proc: int
     body: bytes = b""
+    deadline: Optional[float] = None
+    trace_id: str = ""
+    hops: Optional[int] = None
 
     def encode(self) -> bytes:
         enc = XdrEncoder()
@@ -44,6 +63,20 @@ class RpcCall:
         enc.pack_u32(self.prog)
         enc.pack_u32(self.vers)
         enc.pack_u32(self.proc)
+        flags = 0
+        if self.deadline is not None:
+            flags |= _CTX_DEADLINE
+        if self.trace_id:
+            flags |= _CTX_TRACE
+        if self.hops is not None:
+            flags |= _CTX_HOPS
+        enc.pack_u32(flags)
+        if self.deadline is not None:
+            enc.pack_double(self.deadline)
+        if self.trace_id:
+            enc.pack_string(self.trace_id)
+        if self.hops is not None:
+            enc.pack_u32(self.hops)
         enc.pack_opaque(self.body)
         return enc.getvalue()
 
@@ -74,8 +107,12 @@ def decode_message(data: bytes):
         prog = dec.unpack_u32()
         vers = dec.unpack_u32()
         proc = dec.unpack_u32()
+        flags = dec.unpack_u32()
+        deadline = dec.unpack_double() if flags & _CTX_DEADLINE else None
+        trace_id = dec.unpack_string() if flags & _CTX_TRACE else ""
+        hops = dec.unpack_u32() if flags & _CTX_HOPS else None
         body = dec.unpack_opaque()
-        message = RpcCall(xid, prog, vers, proc, body)
+        message = RpcCall(xid, prog, vers, proc, body, deadline, trace_id, hops)
     elif kind == _MSG_REPLY:
         status_raw = dec.unpack_u32()
         try:

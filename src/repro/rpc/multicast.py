@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.context import CallContext
 from repro.net.endpoints import Address
 from repro.rpc.client import RpcClient
 from repro.rpc.errors import RemoteFault, RpcError
@@ -50,21 +51,34 @@ class MulticastCaller:
         args: Any = None,
         timeout: float = 1.0,
         quorum: Optional[int] = None,
+        context: Optional[CallContext] = None,
     ) -> MulticastResult:
         """Send to all ``destinations``; wait for ``quorum`` replies.
 
         ``quorum=None`` waits for every destination.  Always returns a
         result object — per-destination failures never raise, they appear
-        in ``faults``/``missing``.
+        in ``faults``/``missing``.  With a ``context``, the gather window
+        is bounded by the remaining deadline budget and the fan-out is
+        stamped with the context's wire fields.
         """
         if quorum is None:
             quorum = len(destinations)
         transport = self._client.transport
+        if context is not None:
+            timeout = min(timeout, context.remaining(transport.now()))
         pending: Dict[int, Address] = {}
         body = encode_value(args)
         for destination in destinations:
             xid = next(self._client._xid_counter)
-            call = RpcCall(xid, prog, vers, proc, body)
+            if context is not None:
+                call = RpcCall(
+                    xid, prog, vers, proc, body,
+                    deadline=context.deadline,
+                    trace_id=context.trace_id,
+                    hops=context.hops,
+                )
+            else:
+                call = RpcCall(xid, prog, vers, proc, body)
             pending[xid] = destination
             self._client.calls_sent += 1
             transport.send(destination, call.encode())
@@ -77,6 +91,9 @@ class MulticastCaller:
         result = MulticastResult()
         for xid, destination in pending.items():
             reply = self._client._pending.pop(xid, None)
+            # Replies arriving after the gather window would otherwise sit
+            # in the client's pending table forever.
+            self._client.retire_xid(xid)
             if reply is None:
                 result.missing.append(destination)
                 continue

@@ -5,6 +5,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.context import CallContext, use_context
 from repro.errors import ConfigurationError
 from repro.net.endpoints import Address
 from repro.rpc.dispatch import dispatcher_for
@@ -81,6 +82,7 @@ class RpcServer:
         self._reply_cache_size = reply_cache_size
         self.calls_handled = 0
         self.duplicates_suppressed = 0
+        self.deadlines_rejected = 0
         dispatcher_for(transport).server = self
 
     @property
@@ -114,6 +116,12 @@ class RpcServer:
         self.transport.send(source, reply.encode())
 
     def _execute(self, call: RpcCall) -> RpcReply:
+        # Deadline enforcement happens *before* the handler runs: a call
+        # whose context budget is already spent is rejected without any
+        # execution (the client has given up on the answer anyway).
+        if call.deadline is not None and self.transport.now() >= call.deadline:
+            self.deadlines_rejected += 1
+            return RpcReply(call.xid, ReplyStatus.DEADLINE_EXCEEDED)
         program = self._programs.get((call.prog, call.vers))
         if program is None:
             return RpcReply(call.xid, ReplyStatus.PROG_UNAVAIL)
@@ -125,8 +133,17 @@ class RpcServer:
         except XdrError:
             return RpcReply(call.xid, ReplyStatus.GARBAGE_ARGS)
         self.calls_handled += 1
+        # Reconstruct the caller's context from the wire fields and make
+        # it ambient for the handler: nested calls (federation forwards,
+        # 2PC rounds, value-adding services) inherit deadline and trace.
+        ctx = self._context_for(call)
         try:
-            result = handler(args)
+            if ctx is not None:
+                with ctx.span("server", f"{program.name}:{call.proc}", self.transport.now):
+                    with use_context(ctx):
+                        result = handler(args)
+            else:
+                result = handler(args)
         except Exception as exc:  # noqa: BLE001 - faults cross the wire as data
             fault = {"kind": type(exc).__name__, "detail": str(exc)}
             return RpcReply(call.xid, ReplyStatus.REMOTE_FAULT, encode_value(fault))
@@ -136,6 +153,17 @@ class RpcServer:
             fault = {"kind": "XdrError", "detail": str(exc)}
             return RpcReply(call.xid, ReplyStatus.REMOTE_FAULT, encode_value(fault))
         return RpcReply(call.xid, ReplyStatus.SUCCESS, body)
+
+    @staticmethod
+    def _context_for(call: RpcCall) -> Optional[CallContext]:
+        """The server-side view of the caller's context, if one was sent."""
+        if not (call.trace_id or call.deadline is not None or call.hops is not None):
+            return None
+        if call.trace_id:
+            return CallContext(
+                trace_id=call.trace_id, deadline=call.deadline, hops=call.hops
+            )
+        return CallContext(deadline=call.deadline, hops=call.hops)
 
     def close(self) -> None:
         dispatcher_for(self.transport).server = None

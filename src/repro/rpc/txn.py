@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
+from repro.context import CallContext
 from repro.net.endpoints import Address
 from repro.rpc.client import RpcClient
 from repro.rpc.errors import RpcError
@@ -92,25 +93,29 @@ class TransactionCoordinator:
         self.committed = 0
         self.aborted = 0
 
-    def execute(self, work: Dict[Address, Any]) -> TxnOutcome:
+    def execute(
+        self, work: Dict[Address, Any], ctx: Optional[CallContext] = None
+    ) -> TxnOutcome:
         """Run one distributed transaction.
 
         ``work`` maps each participant address to the work item passed to
         its resource's ``prepare``.  Aborts on any no-vote, fault, or
-        timeout (presumed abort).
+        timeout (presumed abort).  With a ``ctx``, both the PREPARE and
+        the COMMIT/ABORT rounds inherit the caller's deadline and trace:
+        a transaction whose budget expires mid-vote aborts instead of
+        overrunning the caller.
         """
         txn_id = f"txn-{self._client.address}-{next(self._txn_counter)}"
         voted_yes: List[Address] = []
         decision = TxnOutcome.COMMITTED
+        now = self._client.transport.now
         for address, item in work.items():
+            if ctx is not None and ctx.expired(now()):
+                decision = TxnOutcome.ABORTED
+                break
             try:
-                vote = self._client.call(
-                    address,
-                    TXN_PROGRAM,
-                    1,
-                    _PROC_PREPARE,
-                    {"txn_id": txn_id, "work": item},
-                    timeout=self._timeout,
+                vote = self._call(
+                    ctx, address, _PROC_PREPARE, {"txn_id": txn_id, "work": item}
                 )
             except RpcError:
                 vote = False
@@ -121,20 +126,41 @@ class TransactionCoordinator:
                 break
 
         if decision is TxnOutcome.COMMITTED:
-            self._finish(voted_yes, txn_id, _PROC_COMMIT)
+            self._finish(voted_yes, txn_id, _PROC_COMMIT, ctx)
             self.committed += 1
         else:
-            self._finish(voted_yes, txn_id, _PROC_ABORT)
+            self._finish(voted_yes, txn_id, _PROC_ABORT, ctx)
             self.aborted += 1
         return decision
 
-    def _finish(self, participants: List[Address], txn_id: str, proc: int) -> None:
+    def _call(
+        self, ctx: Optional[CallContext], address: Address, proc: int, args: Any
+    ) -> Any:
+        if ctx is not None:
+            with ctx.span("txn", f"proc {proc}", self._client.transport.now):
+                return self._client.call(
+                    address, TXN_PROGRAM, 1, proc, args, context=ctx
+                )
+        return self._client.call(
+            address, TXN_PROGRAM, 1, proc, args, timeout=self._timeout
+        )
+
+    def _finish(
+        self,
+        participants: List[Address],
+        txn_id: str,
+        proc: int,
+        ctx: Optional[CallContext] = None,
+    ) -> None:
+        # The decision phase keeps the caller's trace but sheds the
+        # deadline: once voted, participants must hear the outcome even if
+        # the caller's budget ran out mid-protocol — otherwise yes-voters
+        # would stay prepared forever.
+        if ctx is not None and ctx.deadline is not None:
+            ctx = ctx.derive(deadline=None)
         for address in participants:
             try:
-                self._client.call(
-                    address, TXN_PROGRAM, 1, proc, {"txn_id": txn_id},
-                    timeout=self._timeout,
-                )
+                self._call(ctx, address, proc, {"txn_id": txn_id})
             except RpcError:
                 # Presumed abort: an unreachable participant will learn the
                 # outcome when it asks; nothing more the coordinator can do.

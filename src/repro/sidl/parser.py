@@ -36,7 +36,7 @@ from repro.sidl.ast_nodes import (
 )
 from repro.sidl.errors import SidlParseError
 from repro.sidl.lexer import tokenize
-from repro.sidl.tokens import EOF, FLOAT, IDENT, INT, KEYWORD, PUNCT, STRING, Token
+from repro.sidl.tokens import EOF, FLOAT, IDENT, INT, KEYWORD, STRING, Token
 
 _PRIMITIVE_TYPE_KEYWORDS = frozenset(
     {"void", "boolean", "octet", "short", "long", "float", "double", "string", "any"}

@@ -25,6 +25,7 @@ from repro.sidl.ast_nodes import (
     TypedefDecl,
     UnionDecl,
 )
+from repro.sidl.tokens import KEYWORDS
 
 _INDENT = "  "
 
@@ -156,10 +157,11 @@ def _print_literal(value: Any) -> str:
         return "FALSE"
     if isinstance(value, str):
         # Heuristic matching the parser: enum-label identifiers print bare,
-        # everything else quotes.
-        if value and (value[0].isalpha() or value[0] == "_") and all(
-            c.isalnum() or c in "_-" for c in value
-        ):
+        # everything else quotes.  Reserved words must quote, or the
+        # round-trip parse would read them as keywords.
+        if value and value not in KEYWORDS and (
+            value[0].isalpha() or value[0] == "_"
+        ) and all(c.isalnum() or c in "_-" for c in value):
             return value
         escaped = value.replace("\\", "\\\\").replace('"', '\\"')
         return f'"{escaped}"'

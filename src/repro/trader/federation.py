@@ -1,20 +1,40 @@
 """Trader federation (§2.2): links between traders with hop-limited search.
 
-A link names a peer trader and a *forwarder* — any callable taking an
-import-request wire dict and returning a list of offer wire dicts.  For
-co-located traders the forwarder calls the peer's
+A link names a peer trader and a *forwarder* — a callable taking an
+import-request wire dict (and, for context-aware forwarders, a ``ctx``
+keyword) and returning a list of offer wire dicts.  For co-located
+traders the forwarder calls the peer's
 :meth:`~repro.trader.trader.LocalTrader.import_wire` directly; for
 networked federation :meth:`repro.trader.trader.TraderService.link_to`
-installs a forwarder that issues the IMPORT RPC.  Loops are broken by the
-``visited`` trader-id list each request accumulates.
+installs a forwarder that issues the IMPORT RPC.
+
+Hop budget and loop breaking are carried by the request's
+:class:`~repro.context.CallContext` (``hops`` and ``visited``); the
+``hop_limit``/``visited`` wire fields remain as the on-the-wire encoding
+and as a compatibility surface for pre-context callers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
 
-Forwarder = Callable[[Dict[str, Any]], List[Dict[str, Any]]]
+from repro.context import CallContext
+
+Forwarder = Callable[..., List[Dict[str, Any]]]
+
+
+def _accepts_ctx(forwarder: Forwarder) -> bool:
+    """True when the forwarder takes a ``ctx`` keyword (or ``**kwargs``)."""
+    try:
+        signature = inspect.signature(forwarder)
+    except (TypeError, ValueError):  # builtins / odd callables: stay legacy
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+    return "ctx" in signature.parameters
 
 
 @dataclass
@@ -24,10 +44,28 @@ class TraderLink:
     name: str
     forwarder: Forwarder
     # A link may cap how deep queries travel onward from here, on top of
-    # the request's own hop limit (the ODP notion of link scope).
+    # the request's own hop budget (the ODP notion of link scope).
     max_hops: int = 8
+    _wants_ctx: Optional[bool] = field(default=None, repr=False, compare=False)
 
-    def forward(self, request_wire: Dict[str, Any]) -> List[Dict[str, Any]]:
+    def forward(
+        self,
+        request_wire: Dict[str, Any],
+        ctx: Optional[CallContext] = None,
+    ) -> List[Dict[str, Any]]:
         capped = dict(request_wire)
-        capped["hop_limit"] = min(capped.get("hop_limit", 0), self.max_hops)
+        # A request that omits hop_limit gets this link's full allowance —
+        # min() against a default of 0 would silently zero the budget.
+        budget = capped.get("hop_limit", self.max_hops)
+        capped["hop_limit"] = min(budget, self.max_hops)
+        if ctx is not None:
+            if ctx.hops is not None:
+                capped["hop_limit"] = min(capped["hop_limit"], ctx.hops)
+            # The link scope narrows the context's budget as well: the
+            # peer trusts the context over the legacy wire field.
+            ctx = ctx.derive(hops=capped["hop_limit"])
+        if self._wants_ctx is None:
+            self._wants_ctx = _accepts_ctx(self.forwarder)
+        if self._wants_ctx:
+            return self.forwarder(capped, ctx=ctx)
         return self.forwarder(capped)

@@ -11,6 +11,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Union
 
+from repro.context import CallContext, current_context, use_context
 from repro.naming.refs import ServiceRef
 from repro.net.endpoints import Address
 from repro.rpc.client import RpcClient
@@ -156,8 +157,23 @@ class LocalTrader:
 
     # -- importer interface (steps 2-3 of Fig. 1) -------------------------------
 
-    def import_(self, request: ImportRequest, now: float = 0.0) -> List[ServiceOffer]:
-        """Match offers; forward to linked traders within the hop limit."""
+    def import_(
+        self,
+        request: ImportRequest,
+        now: float = 0.0,
+        ctx: Optional[CallContext] = None,
+    ) -> List[ServiceOffer]:
+        """Match offers; forward to linked traders within the hop budget.
+
+        The hop budget and visited scope live on the
+        :class:`~repro.context.CallContext`; the request's legacy
+        ``hop_limit``/``visited`` fields are folded into the context when
+        no explicit budget was set (the compatibility shim).  Without an
+        explicit ``ctx`` the ambient request context — installed by the
+        RPC server around the IMPORT handler — is used, so federated
+        queries share one budget end to end.
+        """
+        ctx = self._import_context(request, ctx)
         self.imports_served += 1
         constraint = parse_constraint(request.constraint)
         preference = parse_preference(request.preference)
@@ -177,7 +193,7 @@ class LocalTrader:
                         resolved, offer.exported_at,
                     )
                 matched.append(offer)
-        matched.extend(self._federated_matches(request))
+        matched.extend(self._federated_matches(request, ctx, now))
         unique: Dict[str, ServiceOffer] = {}
         for offer in matched:
             unique.setdefault(offer.offer_id, offer)
@@ -186,37 +202,65 @@ class LocalTrader:
             ordered = ordered[: request.max_matches]
         return ordered
 
-    def select_best(self, request: ImportRequest) -> Optional[ServiceOffer]:
+    def select_best(
+        self, request: ImportRequest, ctx: Optional[CallContext] = None
+    ) -> Optional[ServiceOffer]:
         """The "best possible" single offer, or None."""
         narrowed = ImportRequest(**{**request.__dict__, "max_matches": 1})
-        offers = self.import_(narrowed)
+        offers = self.import_(narrowed, ctx=ctx)
         return offers[0] if offers else None
 
     def import_wire(
-        self, request_wire: Dict[str, Any], now: float = 0.0
+        self,
+        request_wire: Dict[str, Any],
+        now: float = 0.0,
+        ctx: Optional[CallContext] = None,
     ) -> List[Dict[str, Any]]:
         """Wire-dict façade used by RPC handlers and federation links."""
         try:
-            offers = self.import_(ImportRequest.from_wire(request_wire), now)
+            offers = self.import_(ImportRequest.from_wire(request_wire), now, ctx)
         except TraderError:
             # A peer may ask about types this trader never standardised.
             return []
         return [offer.to_wire() for offer in offers]
 
-    def _federated_matches(self, request: ImportRequest) -> List[ServiceOffer]:
-        if request.hop_limit <= 0 or not self.links:
+    def _import_context(
+        self, request: ImportRequest, ctx: Optional[CallContext]
+    ) -> CallContext:
+        """Fold the legacy wire fields into the governing context."""
+        if ctx is None:
+            ctx = current_context()
+        if ctx is None:
+            return CallContext.background(
+                hops=request.hop_limit, visited=tuple(request.visited)
+            )
+        hops = ctx.hops if ctx.hops is not None else request.hop_limit
+        merged = tuple(dict.fromkeys(tuple(request.visited) + ctx.visited))
+        return ctx.derive(hops=hops, visited=merged)
+
+    def _federated_matches(
+        self, request: ImportRequest, ctx: CallContext, now: float
+    ) -> List[ServiceOffer]:
+        if not ctx.can_hop() or not self.links:
             return []
-        if self.trader_id in request.visited:
+        if ctx.seen(self.trader_id):
             return []
+        child = ctx.hop(self.trader_id)
         forwarded = request.to_wire()
-        forwarded["hop_limit"] = request.hop_limit - 1
-        forwarded["visited"] = list(request.visited) + [self.trader_id]
+        if child.hops is None:
+            # Unbounded budget: let each link apply its own max_hops cap.
+            forwarded.pop("hop_limit", None)
+        else:
+            forwarded["hop_limit"] = child.hops
+        forwarded["visited"] = list(child.visited)
         forwarded["preference"] = ""  # peers return raw matches; we order
         forwarded["max_matches"] = 0
         gathered: List[ServiceOffer] = []
         for link in self.links.values():
+            if ctx.expired(now):
+                break  # budget spent: stop fanning out, return what we have
             try:
-                results = link.forward(forwarded)
+                results = link.forward(forwarded, child)
             except Exception:  # noqa: BLE001 - unreachable peers are skipped
                 continue
             gathered.extend(ServiceOffer.from_wire(item) for item in results)
@@ -272,10 +316,17 @@ class TraderService:
             raise TraderError("TraderService needs an RpcClient to federate")
         client = self._client
 
-        def forward(request_wire: Dict[str, Any]) -> List[Dict[str, Any]]:
-            return client.call(
-                peer_address, TRADER_PROGRAM, 1, _PROC_IMPORT, request_wire
-            )
+        def forward(
+            request_wire: Dict[str, Any], ctx: Optional[CallContext] = None
+        ) -> List[Dict[str, Any]]:
+            # Install the (decremented) context ambiently rather than
+            # passing it outright: the federation client keeps its own —
+            # typically tight — retry pacing for unreachable peers, while
+            # inheriting the query's deadline cap, hop budget, and trace.
+            with use_context(ctx if ctx is not None else current_context()):
+                return client.call(
+                    peer_address, TRADER_PROGRAM, 1, _PROC_IMPORT, request_wire
+                )
 
         link_name = name or f"link:{peer_address.host}:{peer_address.port}"
         self.trader.link(TraderLink(link_name, forward))
@@ -354,14 +405,20 @@ class TraderClient:
     def modify(self, offer_id: str, properties: Dict[str, Any]) -> bool:
         return self._call(_PROC_MODIFY, {"offer_id": offer_id, "properties": properties})
 
-    def import_(self, request: Union[ImportRequest, Dict[str, Any]]) -> List[ServiceOffer]:
+    def import_(
+        self,
+        request: Union[ImportRequest, Dict[str, Any]],
+        ctx: Optional[CallContext] = None,
+    ) -> List[ServiceOffer]:
         wire = request.to_wire() if isinstance(request, ImportRequest) else request
-        results = self._call(_PROC_IMPORT, wire)
+        results = self._call(_PROC_IMPORT, wire, ctx)
         return [ServiceOffer.from_wire(item) for item in results]
 
-    def select_best(self, request: ImportRequest) -> Optional[ServiceOffer]:
+    def select_best(
+        self, request: ImportRequest, ctx: Optional[CallContext] = None
+    ) -> Optional[ServiceOffer]:
         request = ImportRequest(**{**request.__dict__, "max_matches": 1})
-        offers = self.import_(request)
+        offers = self.import_(request, ctx)
         return offers[0] if offers else None
 
     def add_type(self, service_type: ServiceType) -> bool:
@@ -382,5 +439,10 @@ class TraderClient:
     def list_offers(self) -> List[ServiceOffer]:
         return [ServiceOffer.from_wire(item) for item in self._call(_PROC_LIST_OFFERS, {})]
 
-    def _call(self, proc: int, args) -> Any:
+    def _call(self, proc: int, args, ctx: Optional[CallContext] = None) -> Any:
+        if ctx is not None:
+            with ctx.span("trader", f"proc {proc}", self._client.transport.now):
+                return self._client.call(
+                    self.address, TRADER_PROGRAM, 1, proc, args, context=ctx
+                )
         return self._client.call(self.address, TRADER_PROGRAM, 1, proc, args)

@@ -9,7 +9,7 @@ from repro.rpc.client import RpcClient
 from repro.rpc.server import RpcServer
 from repro.rpc.transport import SimTransport
 from repro.sidl.builder import load_service_description
-from repro.services.car_rental import CAR_RENTAL_SIDL, CarRentalImpl, start_car_rental
+from repro.services.car_rental import CAR_RENTAL_SIDL, start_car_rental
 
 
 @pytest.fixture

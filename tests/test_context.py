@@ -1,0 +1,187 @@
+"""Unit tests for :mod:`repro.context` — the CallContext threaded
+through every layer: deadline math, hop budgets, span chains, the wire
+encoding, and the legacy ``timeout``/``retries`` shim."""
+
+import pytest
+
+from repro.context import (
+    SPAN_LIMIT,
+    CallContext,
+    HopBudgetExhausted,
+    RetryPolicy,
+    current_context,
+    new_trace_id,
+    use_context,
+)
+from repro.rpc.message import RpcCall, decode_message
+
+
+# -- deadline budget ----------------------------------------------------------
+
+
+def test_remaining_and_expiry():
+    ctx = CallContext.with_timeout(2.0, now=10.0)
+    assert ctx.deadline == 12.0
+    assert ctx.remaining(10.0) == 2.0
+    assert ctx.remaining(11.5) == 0.5
+    assert not ctx.expired(11.999)
+    assert ctx.expired(12.0)
+    assert ctx.remaining(13.0) == 0.0
+
+
+def test_background_context_never_expires():
+    ctx = CallContext.background()
+    assert ctx.remaining(1e9) == float("inf")
+    assert not ctx.expired(1e9)
+    assert ctx.can_hop()
+
+
+def test_attempt_timeout_splits_remaining_budget_evenly():
+    ctx = CallContext.with_timeout(4.0, now=0.0)
+    assert ctx.attempt_timeout(0.0, attempts_left=4) == pytest.approx(1.0)
+    # Half the budget gone, half the attempts left: shares stay even.
+    assert ctx.attempt_timeout(2.0, attempts_left=2) == pytest.approx(1.0)
+
+
+def test_attempt_timeout_shrinks_near_the_deadline():
+    """For a fixed number of attempts left, the per-attempt wait shrinks
+    as the deadline approaches, and hits zero exactly at expiry."""
+    ctx = CallContext.with_timeout(4.0, now=0.0)
+    waits = [ctx.attempt_timeout(now, attempts_left=2) for now in (0.0, 2.0, 3.9)]
+    assert waits == [pytest.approx(2.0), pytest.approx(1.0), pytest.approx(0.05)]
+    assert ctx.attempt_timeout(4.0, attempts_left=2) == 0.0
+
+
+def test_attempt_timeout_respects_flat_cap():
+    ctx = CallContext.with_timeout(
+        10.0, now=0.0, retry=RetryPolicy(retries=1, attempt_timeout=0.5)
+    )
+    assert ctx.attempt_timeout(0.0, attempts_left=2) == pytest.approx(0.5)
+
+
+def test_legacy_shim_reproduces_flat_timeout_times_attempts():
+    """``from_legacy`` must preserve the historical contract exactly:
+    total budget ``timeout * (retries + 1)``, flat per-attempt waits."""
+    ctx = CallContext.from_legacy(timeout=0.25, retries=3, now=100.0)
+    assert ctx.deadline == pytest.approx(100.0 + 0.25 * 4)
+    for spent_attempts in range(4):
+        now = 100.0 + 0.25 * spent_attempts
+        wait = ctx.attempt_timeout(now, attempts_left=4 - spent_attempts)
+        assert wait == pytest.approx(0.25)
+
+
+# -- hop budget and scope -----------------------------------------------------
+
+
+def test_hop_decrements_and_records_visited():
+    ctx = CallContext.background(hops=2)
+    child = ctx.hop("hamburg")
+    grandchild = child.hop("bremen")
+    assert (ctx.hops, child.hops, grandchild.hops) == (2, 1, 0)
+    assert grandchild.visited == ("hamburg", "bremen")
+    assert grandchild.seen("hamburg")
+    assert not grandchild.can_hop()
+    with pytest.raises(HopBudgetExhausted):
+        grandchild.hop("kiel")
+
+
+def test_hop_without_budget_limit_stays_unlimited():
+    ctx = CallContext.background()
+    assert ctx.hop("a").hop("b").hops is None
+
+
+def test_derive_shares_trace_and_span_chain():
+    ctx = CallContext.with_timeout(1.0, now=0.0)
+    child = ctx.derive(hops=3)
+    assert child.trace_id == ctx.trace_id
+    assert child.spans is ctx.spans
+
+
+# -- span chain ---------------------------------------------------------------
+
+
+def test_span_records_layer_elapsed_and_outcome():
+    clock = iter([1.0, 1.25]).__next__
+    ctx = CallContext.background()
+    with ctx.span("rpc", "call 1:2", clock):
+        pass
+    (span,) = ctx.spans
+    assert (span.layer, span.operation) == ("rpc", "call 1:2")
+    assert span.elapsed == pytest.approx(0.25)
+    assert span.outcome == "ok"
+
+
+def test_span_notes_exception_and_reraises():
+    ctx = CallContext.background()
+    with pytest.raises(ValueError):
+        with ctx.span("trader", "import", lambda: 0.0):
+            raise ValueError("boom")
+    assert ctx.spans[0].outcome == "ValueError"
+
+
+def test_span_chain_is_bounded():
+    ctx = CallContext.background()
+    for _ in range(SPAN_LIMIT + 7):
+        with ctx.span("rpc", "ping", lambda: 0.0):
+            pass
+    assert len(ctx.spans) == SPAN_LIMIT
+    assert ctx.spans_dropped == 7
+
+
+def test_layer_costs_aggregates_per_layer():
+    ctx = CallContext.background()
+    ticks = iter([0.0, 1.0, 1.0, 1.5, 1.5, 1.75]).__next__
+    for layer in ("rpc", "rpc", "trader"):
+        with ctx.span(layer, "op", ticks):
+            pass
+    costs = ctx.layer_costs()
+    assert costs["rpc"] == pytest.approx(1.5)
+    assert costs["trader"] == pytest.approx(0.25)
+
+
+# -- wire form ----------------------------------------------------------------
+
+
+def test_context_wire_roundtrip():
+    ctx = CallContext.with_timeout(5.0, now=1.0, hops=4).hop("hh")
+    back = CallContext.from_wire(ctx.to_wire())
+    assert back.trace_id == ctx.trace_id
+    assert back.deadline == ctx.deadline
+    assert back.hops == 3
+    assert back.visited == ("hh",)
+
+
+def test_rpc_call_carries_context_fields():
+    call = RpcCall(9, 100, 1, 2, b"abcd", deadline=42.5, trace_id="t-x", hops=3)
+    back = decode_message(call.encode())
+    assert back.deadline == 42.5
+    assert back.trace_id == "t-x"
+    assert back.hops == 3
+    assert back.body == b"abcd"
+
+
+def test_rpc_call_without_context_stays_lean():
+    plain = RpcCall(9, 100, 1, 2, b"abcd")
+    back = decode_message(plain.encode())
+    assert back.deadline is None
+    assert back.trace_id == ""
+    assert back.hops is None
+
+
+def test_trace_ids_are_unique():
+    assert new_trace_id() != new_trace_id()
+
+
+# -- ambient context ----------------------------------------------------------
+
+
+def test_use_context_installs_and_restores():
+    assert current_context() is None
+    ctx = CallContext.background()
+    with use_context(ctx):
+        assert current_context() is ctx
+        inner = CallContext.background()
+        with use_context(inner):
+            assert current_context() is inner
+        assert current_context() is ctx
+    assert current_context() is None

@@ -5,7 +5,6 @@ import pytest
 from repro.core import BrowserService, CosmMediator, make_tradable
 from repro.core.integration import export_properties
 from repro.errors import CosmError, LookupFailure
-from repro.sidl.builder import load_service_description
 from repro.services.car_rental import make_car_rental_sid, start_car_rental
 from repro.services.stock_quotes import start_stock_quotes
 from repro.trader.trader import ImportRequest, LocalTrader, TraderClient, TraderService

@@ -6,7 +6,6 @@ from repro.core import BrowserService, GenericClient
 from repro.errors import LookupFailure
 from repro.naming.discovery import BroadcastDiscoverer, DiscoveryResponder
 from repro.rpc.client import RpcClient
-from repro.rpc.transport import SimTransport
 from tests.conftest import SELECTION
 
 

@@ -21,7 +21,6 @@ from repro.sidl.builder import load_service_description
 from repro.sidl.fsm import FsmViolation
 from repro.sidl.sid import ServiceDescription
 from repro.services.car_rental import start_car_rental
-from repro.services.directory import start_directory
 from repro.trader.trader import ImportRequest, TraderClient, TraderService
 from repro.uims.session import UiSession
 from tests.conftest import SELECTION

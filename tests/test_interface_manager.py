@@ -6,7 +6,6 @@ from repro.core.browser import BrowserClient, BrowserService
 from repro.naming.interface_manager import InterfaceManagerClient, InterfaceManagerService
 from repro.rpc.errors import RemoteFault
 from repro.sidl.builder import load_service_description
-from repro.services.car_rental import CAR_RENTAL_SIDL
 from repro.services.stock_quotes import start_stock_quotes
 
 BASE = """

@@ -1,8 +1,6 @@
 """Edge-branch tests across small helpers (dispatcher, renderers, misc)."""
 
-import pytest
 
-from repro.net import SimNetwork
 from repro.rpc.client import RpcClient
 from repro.rpc.dispatch import dispatcher_for
 from repro.rpc.message import RpcReply, ReplyStatus

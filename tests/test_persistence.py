@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import BrowserService, make_tradable
+from repro.core import BrowserService
 from repro.core.browser import BrowserClient
 from repro.errors import ConfigurationError
 from repro.persistence import (

@@ -1,6 +1,5 @@
 """Robustness properties: fuzzed decoders, clock ordering, misc metrics."""
 
-import random
 
 import pytest
 from hypothesis import given, settings

@@ -3,10 +3,8 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.net import SimNetwork
 from repro.rpc.client import RpcClient
 from repro.rpc.errors import (
-    GarbageArguments,
     ProcedureUnavailable,
     ProgramUnavailable,
     RemoteFault,
@@ -223,3 +221,39 @@ def test_same_transport_client_and_server(net):
     # inbound call works too
     other = RpcClient(SimTransport(net, "other"))
     assert other.call(transport.local_address, PROG + 20, 1, 1) == "self"
+
+
+def test_late_duplicate_reply_is_dropped(net):
+    """Replies for finished xids must not leak into the pending table."""
+    from repro.rpc.message import ReplyStatus, RpcReply
+
+    __, __, client, __calls = make_stack(net)
+    client.retire_xid(4242)
+    client.handle_reply(client.address, RpcReply(4242, ReplyStatus.SUCCESS, b""))
+    assert 4242 not in client._pending
+    assert client.duplicate_replies_dropped == 1
+
+
+def test_retired_xid_memory_is_bounded(net):
+    client = RpcClient(SimTransport(net, "cli-bounded"), retired_xid_capacity=16)
+    for xid in range(40):
+        client.retire_xid(xid)
+    assert len(client._retired) == 16
+    # The oldest entries were evicted, the newest survive.
+    assert 0 not in client._retired
+    assert 39 in client._retired
+
+
+def test_completed_call_retires_its_xid(net):
+    """Every call — success or timeout — retires its xid, so a straggler
+    retransmission answer arriving afterwards is discarded."""
+    from repro.rpc.message import ReplyStatus, RpcReply
+
+    server, __, client, __calls = make_stack(net)
+    assert client.call(server.address, PROG, 1, 1, "hi")["echo"] == "hi"
+    before = len(client._pending)
+    # Replay the last reply as a late duplicate: it must be dropped.
+    last_xid = next(iter(client._retired.__reversed__()))
+    client.handle_reply(server.address, RpcReply(last_xid, ReplyStatus.SUCCESS, b""))
+    assert len(client._pending) == before
+    assert client.duplicate_replies_dropped == 1

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.net import SimNetwork
 from repro.rpc.client import RpcClient
 from repro.rpc.errors import RpcError
 from repro.rpc.portmap import (

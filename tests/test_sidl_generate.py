@@ -1,6 +1,5 @@
 """Tests for SIDL source generation, especially anonymous-type hoisting."""
 
-import pytest
 
 from repro.sidl.builder import load_service_description
 from repro.sidl.generate import sid_to_sidl

@@ -1,6 +1,5 @@
 """Printer round-trip tests: parse → print → parse is a fixpoint."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -9,7 +8,6 @@ from repro.sidl.ast_nodes import (
     ConstDecl,
     EnumDecl,
     FsmDecl,
-    FsmTransitionDecl,
     InterfaceDecl,
     ModuleDecl,
     OperationDecl,

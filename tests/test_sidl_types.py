@@ -10,7 +10,6 @@ from repro.sidl.types import (
     DOUBLE,
     EnumType,
     FLOAT,
-    IntegerType,
     InterfaceType,
     LONG,
     LONG_LONG,

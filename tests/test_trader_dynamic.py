@@ -1,6 +1,5 @@
 """Tests for dynamic service properties (ODP late-bound attributes)."""
 
-import pytest
 
 from repro.core.service_runtime import ServiceRuntime
 from repro.sidl.builder import load_service_description

@@ -1,6 +1,5 @@
 """Tests for trader federation: links, hop limits, loop breaking."""
 
-import pytest
 
 from repro.naming.refs import ServiceRef
 from repro.net.endpoints import Address
@@ -147,3 +146,35 @@ def test_unlink():
     assert a.unlink("b")
     assert not a.unlink("b")
     assert a.import_(ImportRequest("CarRentalService", hop_limit=1)) == []
+
+
+def test_forward_without_hop_limit_gets_link_allowance():
+    """Regression: a request that omits hop_limit must receive the link's
+    full max_hops, not a zeroed budget from min(0, max_hops)."""
+    captured = {}
+
+    def forwarder(request_wire):
+        captured.update(request_wire)
+        return []
+
+    link = TraderLink("peer", forwarder, max_hops=3)
+    link.forward({"service_type": "CarRentalService"})
+    assert captured["hop_limit"] == 3
+
+
+def test_forward_narrows_context_to_link_scope():
+    from repro.context import CallContext
+
+    captured = {}
+
+    def forwarder(request_wire, ctx=None):
+        captured["ctx"] = ctx
+        captured["wire"] = dict(request_wire)
+        return []
+
+    link = TraderLink("peer", forwarder, max_hops=2)
+    ctx = CallContext.background(hops=9)
+    link.forward({"service_type": "CarRentalService", "hop_limit": 9}, ctx)
+    assert captured["wire"]["hop_limit"] == 2
+    assert captured["ctx"].hops == 2
+    assert captured["ctx"].trace_id == ctx.trace_id

@@ -4,7 +4,7 @@ import pytest
 
 from repro.naming.refs import ServiceRef
 from repro.net.endpoints import Address
-from repro.sidl.types import DOUBLE, EnumType, InterfaceType, LONG, OperationType, STRING
+from repro.sidl.types import DOUBLE, InterfaceType, LONG, OperationType, STRING
 from repro.trader.errors import (
     InvalidOfferProperties,
     OfferNotFound,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.generic_client import GenericClient
 from repro.sidl.fsm import FsmViolation
-from repro.services.car_rental import start_car_rental
 from repro.services.directory import start_directory
 from repro.uims.controller import OperationController, ServicePanel
 from repro.uims.render import render, render_panel

@@ -1,6 +1,5 @@
 """Tests for SID → form generation: one rule per type constructor (Fig. 7)."""
 
-import pytest
 
 from repro.sidl.builder import load_service_description
 from repro.sidl.types import (
