@@ -40,7 +40,14 @@ Quickstart::
         "CarModel": "AUDI", "BookingDate": "1994-06-21", "Days": 3}})
 """
 
-from repro.context import CallContext, RetryPolicy, SpanRecord, current_context, use_context
+from repro.context import (
+    CallContext,
+    DeadlineLedger,
+    RetryPolicy,
+    SpanRecord,
+    current_context,
+    use_context,
+)
 from repro.errors import (
     BindingError,
     CallTimeout,
@@ -56,6 +63,7 @@ __version__ = "1.0.0"
 __all__ = [
     "BindingError",
     "CallContext",
+    "DeadlineLedger",
     "CallTimeout",
     "CommunicationError",
     "ConfigurationError",

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import itertools
 import math
+import threading
 import uuid
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -210,6 +211,20 @@ class CallContext:
         visited = self.visited if node is None else self.visited + (node,)
         return self.derive(hops=hops, visited=visited)
 
+    def split(self, n: int, now: float) -> List["CallContext"]:
+        """Divide the remaining deadline budget evenly over ``n`` children.
+
+        Each child shares the trace id and span chain but owns ``1/n`` of
+        the deadline budget still left at ``now`` — the static form of the
+        federation fan-out's per-link split (:class:`DeadlineLedger` is the
+        dynamic one).  Without a deadline the children are unbounded too.
+        """
+        count = max(1, n)
+        if self.deadline is None:
+            return [self.derive() for _ in range(count)]
+        share = self.remaining(now) / count
+        return [self.derive(deadline=now + share) for _ in range(count)]
+
     # -- span chain --------------------------------------------------------
 
     def record_span(self, span: SpanRecord) -> None:
@@ -258,6 +273,46 @@ class CallContext:
             hops=wire.get("hops"),
             visited=tuple(wire.get("visited", ())),
         )
+
+
+class DeadlineLedger:
+    """Splits one context's deadline budget across concurrent branches.
+
+    The federation fan-out gives every outstanding link a *lease* on the
+    remaining budget: ``lease()`` returns a child context whose deadline is
+    ``now + remaining / outstanding``.  When a branch finishes it calls
+    :meth:`release`, shrinking the outstanding count — budget a fast link
+    did not use is thereby re-donated to branches that lease after it.
+    Thread-safe; branches already running keep the lease they were issued.
+    """
+
+    def __init__(self, ctx: CallContext, clock: Clock, outstanding: int) -> None:
+        self._ctx = ctx
+        self._clock = clock
+        self._outstanding = max(1, outstanding)
+        self._lock = threading.Lock()
+
+    def lease(self) -> CallContext:
+        """A child context owning this branch's share of what is left."""
+        with self._lock:
+            if self._ctx.deadline is None:
+                return self._ctx.derive()
+            now = self._clock()
+            share = self._ctx.remaining(now) / self._outstanding
+            return self._ctx.derive(deadline=now + share)
+
+    def release(self) -> None:
+        """A branch finished; its unused share flows back to the rest."""
+        with self._lock:
+            if self._outstanding > 1:
+                self._outstanding -= 1
+
+    def remaining(self) -> float:
+        """Seconds left on the parent budget (``inf`` when unbounded)."""
+        return self._ctx.remaining(self._clock())
+
+    def expired(self) -> bool:
+        return self._ctx.expired(self._clock())
 
 
 # -- ambient context --------------------------------------------------------

@@ -27,7 +27,7 @@ from repro.trader.errors import (
     TraderError,
     UnknownServiceType,
 )
-from repro.trader.federation import TraderLink
+from repro.trader.federation import DEFAULT_FANOUT_WORKERS, TraderLink, fan_out
 from repro.trader.offers import OfferStore, ServiceOffer
 from repro.trader.policies import Preference, parse_preference
 from repro.trader.service_types import ServiceType, service_type_from_sid
@@ -43,6 +43,7 @@ from repro.trader.type_manager import TypeManager
 __all__ = [
     "BindingEvaluator",
     "Constraint",
+    "DEFAULT_FANOUT_WORKERS",
     "ConstraintSyntaxError",
     "dynamic_property",
     "is_dynamic",
@@ -62,6 +63,7 @@ __all__ = [
     "TraderService",
     "TypeManager",
     "UnknownServiceType",
+    "fan_out",
     "parse_constraint",
     "parse_preference",
     "service_type_from_sid",

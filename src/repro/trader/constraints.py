@@ -16,7 +16,8 @@ fail to match, not take the trader down.
 from __future__ import annotations
 
 import re
-from typing import Any, Dict, List, Optional
+from functools import lru_cache
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.trader.errors import ConstraintSyntaxError
 
@@ -62,11 +63,22 @@ def _tokenize(text: str) -> List[str]:
 
 
 class Constraint:
-    """A parsed constraint; evaluate against property dicts."""
+    """A parsed constraint; evaluate against property dicts.
+
+    ``equality_conjuncts`` lists the ``(property, literal)`` pairs that the
+    whole constraint requires to hold exactly — the top-level ``and``-chain
+    of ``Prop == literal`` comparisons.  An offer whose stored value for
+    such a property differs from the literal can never satisfy the
+    constraint, which lets an offer store pre-filter candidates by index
+    before paying for full evaluation.  Empty for every other shape.
+    """
 
     def __init__(self, source: str, root) -> None:
         self.source = source
         self._root = root
+        self.equality_conjuncts: Tuple[Tuple[str, Any], ...] = getattr(
+            root, "eq_conjuncts", ()
+        )
 
     def evaluate(self, properties: Dict[str, Any]) -> bool:
         """True when the offer's properties satisfy the constraint."""
@@ -79,14 +91,29 @@ class Constraint:
 _ALWAYS_TRUE = Constraint("", lambda properties: True)
 
 
-def parse_constraint(text: Optional[str]) -> Constraint:
-    """Parse constraint text; ``None``/blank matches every offer."""
-    if text is None or not text.strip():
-        return _ALWAYS_TRUE
+@lru_cache(maxsize=1024)
+def _compile(text: str) -> Constraint:
+    """Parse ``text`` into a :class:`Constraint`; pure, hence cacheable.
+
+    Evaluation closes over nothing but the (immutable) parse, so one
+    compiled constraint is safely shared across imports and threads;
+    failed parses raise and are never cached.
+    """
     parser = _Parser(_tokenize(text))
     root = parser.parse_or()
     parser.expect("\0")
     return Constraint(text, root)
+
+
+def parse_constraint(text: Optional[str]) -> Constraint:
+    """Parse constraint text; ``None``/blank matches every offer.
+
+    Compiles are memoised by constraint text (the import hot path parses
+    the same handful of query strings over and over).
+    """
+    if text is None or not text.strip():
+        return _ALWAYS_TRUE
+    return _compile(text)
 
 
 def _truth(value: Any) -> bool:
@@ -200,25 +227,22 @@ class _Parser:
             return _make_negate(inner)
         if re.fullmatch(r"\d+\.\d+", token):
             self.advance()
-            value = float(token)
-            return lambda props, v=value: v
+            return _make_literal(float(token))
         if re.fullmatch(r"\d+", token):
             self.advance()
-            value = int(token)
-            return lambda props, v=value: v
+            return _make_literal(int(token))
         if token and token[0] in "'\"":
             self.advance()
-            value = token[1:-1]
-            return lambda props, v=value: v
+            return _make_literal(token[1:-1])
         if token == "true":
             self.advance()
-            return lambda props: True
+            return _make_literal(True)
         if token == "false":
             self.advance()
-            return lambda props: False
+            return _make_literal(False)
         if _is_ident(token):
             self.advance()
-            return lambda props, name=token: props.get(name, MISSING)
+            return _make_property(token)
         raise ConstraintSyntaxError(f"unexpected token {token!r}")
 
 
@@ -226,12 +250,33 @@ def _is_ident(token: str) -> bool:
     return bool(re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", token)) and token not in _KEYWORDS
 
 
+def _make_literal(value):
+    def literal(props, v=value):
+        return v
+
+    literal.literal_value = value
+    return literal
+
+
+def _make_property(name: str):
+    def lookup(props, key=name):
+        return props.get(key, MISSING)
+
+    lookup.prop_name = name
+    return lookup
+
+
 def _make_or(left, right):
     return lambda props: _truth(left(props)) or _truth(right(props))
 
 
 def _make_and(left, right):
-    return lambda props: _truth(left(props)) and _truth(right(props))
+    combined = lambda props: _truth(left(props)) and _truth(right(props))  # noqa: E731
+    # An and-node requires every equality its children require.
+    combined.eq_conjuncts = getattr(left, "eq_conjuncts", ()) + getattr(
+        right, "eq_conjuncts", ()
+    )
+    return combined
 
 
 def _make_comparison(left, operator: str, right):
@@ -255,6 +300,14 @@ def _make_comparison(left, operator: str, right):
         except TypeError:
             return False
 
+    if operator == "==":
+        name = getattr(left, "prop_name", None)
+        value = getattr(right, "literal_value", MISSING)
+        if name is None:  # also recognise the mirrored `literal == Prop`
+            name = getattr(right, "prop_name", None)
+            value = getattr(left, "literal_value", MISSING)
+        if name is not None and value is not MISSING:
+            compare.eq_conjuncts = ((name, value),)
     return compare
 
 

@@ -17,12 +17,18 @@ and as a compatibility surface for pre-context callers.
 from __future__ import annotations
 
 import inspect
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.context import CallContext
+import math
+
+from repro.context import CallContext, Clock, DeadlineLedger, SpanRecord, use_context
 
 Forwarder = Callable[..., List[Dict[str, Any]]]
+
+#: Default cap on concurrent link forwards during a fan-out.
+DEFAULT_FANOUT_WORKERS = 8
 
 
 def _accepts_ctx(forwarder: Forwarder) -> bool:
@@ -69,3 +75,82 @@ class TraderLink:
         if self._wants_ctx:
             return self.forwarder(capped, ctx=ctx)
         return self.forwarder(capped)
+
+
+def fan_out(
+    links: List[TraderLink],
+    request_wire: Dict[str, Any],
+    ctx: CallContext,
+    clock: Clock,
+    workers: int = DEFAULT_FANOUT_WORKERS,
+    needed: int = 0,
+) -> List[Optional[List[Dict[str, Any]]]]:
+    """Forward one import over every link concurrently, splitting the budget.
+
+    Each link runs on a bounded worker pool and receives a *lease* on the
+    shared deadline: ``remaining / outstanding`` at the moment it starts,
+    re-donated through the :class:`~repro.context.DeadlineLedger` as fast
+    links finish (see docs/PROTOCOL.md, "Deadline splitting").  The leased
+    context is installed ambiently in the worker via ``use_context`` so
+    forwarders that consult :func:`~repro.context.current_context` — and
+    anything they call — inherit the query's deadline, hops, and trace.
+
+    Degrades the way the serial sweep does: an unreachable peer yields
+    ``None`` in its slot (and an error span), an exhausted budget stops the
+    wait and returns whatever has arrived, and with ``needed > 0`` the wait
+    ends early once that many offers have been gathered.  Results come back
+    in link order regardless of completion order, so merges stay
+    deterministic.
+    """
+    links = list(links)
+    results: List[Optional[List[Dict[str, Any]]]] = [None] * len(links)
+    if not links:
+        return results
+    ledger = DeadlineLedger(ctx, clock, len(links))
+
+    def forward_one(index: int, link: TraderLink) -> None:
+        leased = ledger.lease()
+        try:
+            if leased.expired(clock()):
+                leased.record_span(
+                    SpanRecord(
+                        "federation",
+                        f"link {link.name}",
+                        started_at=clock(),
+                        outcome="expired",
+                    )
+                )
+                return
+            with use_context(leased):
+                with leased.span("federation", f"link {link.name}", clock):
+                    results[index] = link.forward(request_wire, leased)
+        except Exception:  # noqa: BLE001 - unreachable peers are skipped
+            pass  # the span already recorded the failure outcome
+        finally:
+            ledger.release()
+
+    executor = ThreadPoolExecutor(
+        max_workers=max(1, min(workers, len(links))),
+        thread_name_prefix="trader-fanout",
+    )
+    pending = set()
+    try:
+        for index, link in enumerate(links):
+            pending.add(executor.submit(forward_one, index, link))
+        while pending:
+            budget = ledger.remaining()
+            timeout = None if math.isinf(budget) else budget
+            done, pending = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
+            if not done:
+                break  # budget spent: return the partial sweep
+            if needed > 0:
+                gathered = sum(len(r) for r in results if r)
+                if gathered >= needed:
+                    break
+    finally:
+        for future in pending:
+            future.cancel()
+        executor.shutdown(wait=False)
+    # Snapshot: links still running past an early exit must not mutate
+    # what the importer already merged.
+    return list(results)

@@ -4,9 +4,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional  # noqa: F401
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple  # noqa: F401
 
 from repro.naming.refs import ServiceRef
+from repro.trader.dynamic import is_dynamic
 from repro.trader.errors import OfferNotFound
 
 
@@ -54,13 +55,39 @@ class ServiceOffer:
         )
 
 
+def _indexable(value: Any) -> bool:
+    """Static, hashable values go in the equality index; the rest cannot.
+
+    A dynamic-property marker's stored form is a dict, and its *resolved*
+    value — the one constraints see — is unknown until import time, so
+    such offers must always survive index pre-filtering.
+    """
+    if is_dynamic(value):
+        return False
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True
+
+
 class OfferStore:
-    """Offers indexed by id and by service type."""
+    """Offers indexed by id, by service type, and by property equality.
+
+    The equality index maps ``(service_type, property) -> value -> ids``
+    so an import whose constraint pins ``Prop == literal`` can pre-filter
+    candidates without evaluating the constraint against every offer.
+    Values that cannot be indexed (unhashable, or dynamic-property
+    markers whose import-time value is unknown) land in a per-property
+    fallback set that every index lookup includes.
+    """
 
     def __init__(self, prefix: str = "offer") -> None:
         self._prefix = prefix
         self._by_id: Dict[str, ServiceOffer] = {}
         self._by_type: Dict[str, Dict[str, ServiceOffer]] = {}
+        self._eq_index: Dict[Tuple[str, str], Dict[Any, Set[str]]] = {}
+        self._unindexed: Dict[Tuple[str, str], Set[str]] = {}
         self._counter = itertools.count(1)
 
     def new_offer_id(self, service_type: str) -> str:
@@ -73,6 +100,7 @@ class OfferStore:
     def add(self, offer: ServiceOffer) -> None:
         self._by_id[offer.offer_id] = offer
         self._by_type.setdefault(offer.service_type, {})[offer.offer_id] = offer
+        self._index(offer)
 
     def get(self, offer_id: str) -> ServiceOffer:
         offer = self._by_id.get(offer_id)
@@ -87,17 +115,62 @@ class OfferStore:
         per_type.pop(offer_id, None)
         if not per_type:
             self._by_type.pop(offer.service_type, None)
+        self._unindex(offer)
         return offer
 
     def replace_properties(self, offer_id: str, properties: Dict[str, Any]) -> ServiceOffer:
         offer = self.get(offer_id)
+        self._unindex(offer)
         offer.properties = dict(properties)
+        self._index(offer)
         return offer
 
     def of_types(self, type_names: Iterable[str]) -> List[ServiceOffer]:
         offers: List[ServiceOffer] = []
         for type_name in type_names:
             offers.extend(self._by_type.get(type_name, {}).values())
+        return offers
+
+    def candidates(
+        self,
+        type_names: Iterable[str],
+        equalities: Iterable[Tuple[str, Any]],
+    ) -> List[ServiceOffer]:
+        """Offers of ``type_names`` that can still satisfy ``equalities``.
+
+        For each ``(property, literal)`` pair the index keeps only offers
+        whose stored value equals the literal — plus every offer whose
+        stored value is unindexable, since its import-time value may yet
+        match.  A superset of the true matches: callers still run the
+        full constraint, they just run it over far fewer offers.
+        """
+        equalities = list(equalities)
+        if not equalities:
+            return self.of_types(type_names)
+        offers: List[ServiceOffer] = []
+        for type_name in type_names:
+            per_type = self._by_type.get(type_name)
+            if not per_type:
+                continue
+            surviving: Optional[Set[str]] = None
+            for prop, literal in equalities:
+                bucket = set(self._unindexed.get((type_name, prop), ()))
+                try:
+                    exact = self._eq_index.get((type_name, prop), {}).get(literal)
+                except TypeError:  # unhashable literal: index can't help
+                    exact = set(per_type)
+                if exact:
+                    bucket |= exact
+                surviving = bucket if surviving is None else surviving & bucket
+                if not surviving:
+                    break
+            if surviving:
+                # _by_type preserves insertion order; keep it for determinism
+                offers.extend(
+                    offer
+                    for offer_id, offer in per_type.items()
+                    if offer_id in surviving
+                )
         return offers
 
     def all(self) -> List[ServiceOffer]:
@@ -108,3 +181,38 @@ class OfferStore:
 
     def __len__(self) -> int:
         return len(self._by_id)
+
+    # -- equality index maintenance -----------------------------------------
+
+    def _index(self, offer: ServiceOffer) -> None:
+        for prop, value in offer.properties.items():
+            key = (offer.service_type, prop)
+            if _indexable(value):
+                self._eq_index.setdefault(key, {}).setdefault(value, set()).add(
+                    offer.offer_id
+                )
+            else:
+                self._unindexed.setdefault(key, set()).add(offer.offer_id)
+
+    def _unindex(self, offer: ServiceOffer) -> None:
+        for prop, value in offer.properties.items():
+            key = (offer.service_type, prop)
+            if _indexable(value):
+                per_value = self._eq_index.get(key)
+                if per_value is None:
+                    continue
+                ids = per_value.get(value)
+                if ids is None:
+                    continue
+                ids.discard(offer.offer_id)
+                if not ids:
+                    del per_value[value]
+                if not per_value:
+                    del self._eq_index[key]
+            else:
+                ids = self._unindexed.get(key)
+                if ids is None:
+                    continue
+                ids.discard(offer.offer_id)
+                if not ids:
+                    del self._unindexed[key]

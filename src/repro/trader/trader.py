@@ -11,15 +11,16 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Union
 
-from repro.context import CallContext, current_context, use_context
+from repro.context import CallContext, Clock, current_context, use_context
 from repro.naming.refs import ServiceRef
 from repro.net.endpoints import Address
 from repro.rpc.client import RpcClient
 from repro.rpc.server import RpcProgram, RpcServer
+from repro.rpc.transport import SimTransport
 from repro.trader.constraints import parse_constraint
 from repro.trader.dynamic import resolve_properties
 from repro.trader.errors import TraderError
-from repro.trader.federation import TraderLink
+from repro.trader.federation import DEFAULT_FANOUT_WORKERS, TraderLink, fan_out
 from repro.trader.offers import OfferStore, ServiceOffer
 from repro.trader.policies import parse_preference
 from repro.trader.service_types import ServiceType
@@ -84,6 +85,8 @@ class LocalTrader:
         type_manager: Optional[TypeManager] = None,
         seed: int = 0,
         dynamic_evaluator=None,
+        fanout_workers: int = DEFAULT_FANOUT_WORKERS,
+        clock: Optional[Clock] = None,
     ) -> None:
         self.trader_id = trader_id
         self.types = type_manager or TypeManager()
@@ -93,6 +96,13 @@ class LocalTrader:
         # resolves dynamic-property markers at import time (ODP-style
         # late-bound attributes); None = dynamic properties never match
         self.dynamic_evaluator = dynamic_evaluator
+        # Federated sweeps over 2+ links fan out on a bounded worker pool
+        # (1 = always serial); ``clock`` feeds deadline splitting and the
+        # per-link spans.  None freezes time at each import's ``now`` —
+        # right for virtual-time tests, where budgets must not tick
+        # between forwards; wall-clock traders pass their transport clock.
+        self.fanout_workers = fanout_workers
+        self.clock = clock
         self.exports_accepted = 0
         self.imports_served = 0
 
@@ -180,8 +190,11 @@ class LocalTrader:
         type_names = self.types.matching_types(
             request.service_type, structural=request.structural
         )
+        # Equality conjuncts pinned by the constraint pre-filter candidates
+        # through the offer store's index; no conjuncts = full type scan.
+        candidates = self.offers.candidates(type_names, constraint.equality_conjuncts)
         matched = []
-        for offer in self.offers.of_types(type_names):
+        for offer in candidates:
             if offer.expired(now):
                 continue
             resolved = resolve_properties(offer.properties, self.dynamic_evaluator)
@@ -189,11 +202,24 @@ class LocalTrader:
                 if resolved is not offer.properties:
                     # importers see the fresh values, the store keeps markers
                     offer = ServiceOffer(
-                        offer.offer_id, offer.service_type, offer.ref,
-                        resolved, offer.exported_at,
+                        offer_id=offer.offer_id,
+                        service_type=offer.service_type,
+                        ref=offer.ref,
+                        properties=resolved,
+                        exported_at=offer.exported_at,
+                        expires_at=offer.expires_at,
                     )
                 matched.append(offer)
-        matched.extend(self._federated_matches(request, ctx, now))
+        # Under the default "first" preference a bounded import may stop as
+        # soon as enough candidates exist — merged order puts local offers
+        # ahead of remote ones, so the truncated set is unchanged.  Ranking
+        # preferences still see the full federated candidate set.
+        bounded_first = request.max_matches > 0 and preference.kind == "first"
+        if not (bounded_first and len(matched) >= request.max_matches):
+            needed = (
+                max(0, request.max_matches - len(matched)) if bounded_first else 0
+            )
+            matched.extend(self._federated_matches(request, ctx, now, needed=needed))
         unique: Dict[str, ServiceOffer] = {}
         for offer in matched:
             unique.setdefault(offer.offer_id, offer)
@@ -203,11 +229,14 @@ class LocalTrader:
         return ordered
 
     def select_best(
-        self, request: ImportRequest, ctx: Optional[CallContext] = None
+        self,
+        request: ImportRequest,
+        now: float = 0.0,
+        ctx: Optional[CallContext] = None,
     ) -> Optional[ServiceOffer]:
-        """The "best possible" single offer, or None."""
+        """The "best possible" single offer as of ``now``, or None."""
         narrowed = ImportRequest(**{**request.__dict__, "max_matches": 1})
-        offers = self.import_(narrowed, ctx=ctx)
+        offers = self.import_(narrowed, now, ctx)
         return offers[0] if offers else None
 
     def import_wire(
@@ -239,8 +268,18 @@ class LocalTrader:
         return ctx.derive(hops=hops, visited=merged)
 
     def _federated_matches(
-        self, request: ImportRequest, ctx: CallContext, now: float
+        self, request: ImportRequest, ctx: CallContext, now: float, needed: int = 0
     ) -> List[ServiceOffer]:
+        """Sweep the federation links; ``needed > 0`` allows early exit.
+
+        Two or more links fan out concurrently on a bounded worker pool,
+        with the remaining deadline split across outstanding links (see
+        :func:`repro.trader.federation.fan_out`).  A single link — or a
+        trader configured with ``fanout_workers=1``, as virtual-time sim
+        stacks are — keeps the serial sweep and its frozen-``now`` budget
+        check, so one slow peer still cannot spend a budget that has
+        already run out.
+        """
         if not ctx.can_hop() or not self.links:
             return []
         if ctx.seen(self.trader_id):
@@ -255,10 +294,25 @@ class LocalTrader:
         forwarded["visited"] = list(child.visited)
         forwarded["preference"] = ""  # peers return raw matches; we order
         forwarded["max_matches"] = 0
+        links = list(self.links.values())
+        if len(links) > 1 and self.fanout_workers > 1:
+            clock = self.clock or (lambda: now)
+            wire_lists = fan_out(
+                links, forwarded, child, clock,
+                workers=self.fanout_workers, needed=needed,
+            )
+            return [
+                ServiceOffer.from_wire(item)
+                for wires in wire_lists
+                if wires
+                for item in wires
+            ]
         gathered: List[ServiceOffer] = []
-        for link in self.links.values():
+        for link in links:
             if ctx.expired(now):
                 break  # budget spent: stop fanning out, return what we have
+            if needed > 0 and len(gathered) >= needed:
+                break  # enough candidates for a bounded import
             try:
                 results = link.forward(forwarded, child)
             except Exception:  # noqa: BLE001 - unreachable peers are skipped
@@ -296,6 +350,13 @@ class TraderService:
             from repro.trader.dynamic import BindingEvaluator
 
             self.trader.dynamic_evaluator = BindingEvaluator(client)
+        if client is not None:
+            if isinstance(client.transport, SimTransport):
+                # The virtual clock is advanced by the calling thread; a
+                # concurrent fan-out would fight over it — stay serial.
+                self.trader.fanout_workers = 1
+            elif self.trader.clock is None:
+                self.trader.clock = client.transport.now
         program = RpcProgram(TRADER_PROGRAM, 1, "trader")
         program.register(_PROC_EXPORT, self._export, "export")
         program.register(_PROC_WITHDRAW, self._withdraw, "withdraw")

@@ -10,7 +10,7 @@ argument.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.trader.errors import DuplicateServiceType, UnknownServiceType
 from repro.trader.service_types import ServiceType
@@ -23,6 +23,12 @@ class TypeManager:
         self._types: Dict[str, ServiceType] = {}
         self._registered_at: Dict[str, float] = {}
         self._masked: Set[str] = set()
+        # matching_types is the import hot path; memoise per (name,
+        # structural) until the type graph or mask set changes.
+        self._match_cache: Dict[Tuple[str, bool], List[str]] = {}
+
+    def _invalidate(self) -> None:
+        self._match_cache.clear()
 
     # -- management interface (§2.1: insert/delete service type entries) -----
 
@@ -38,19 +44,23 @@ class TypeManager:
                 )
         self._types[service_type.name] = service_type
         self._registered_at[service_type.name] = now
+        self._invalidate()
 
     def remove(self, name: str) -> bool:
         self._masked.discard(name)
         self._registered_at.pop(name, None)
+        self._invalidate()
         return self._types.pop(name, None) is not None
 
     def mask(self, name: str) -> None:
         """Hide a type from matching without deleting it (deprecation)."""
         self.get(name)
         self._masked.add(name)
+        self._invalidate()
 
     def unmask(self, name: str) -> None:
         self._masked.discard(name)
+        self._invalidate()
 
     def masked(self, name: str) -> bool:
         return name in self._masked
@@ -96,13 +106,18 @@ class TypeManager:
         ``structural=True`` also any unrelated type that structurally
         conforms.  Masked types never match.
         """
+        cached = self._match_cache.get((name, structural))
+        if cached is not None:
+            return list(cached)
         base = self.get(name)
         matches = {name} | self.declared_subtypes(name)
         if structural:
             for candidate in self._types.values():
                 if candidate.name not in matches and candidate.conforms_to(base):
                     matches.add(candidate.name)
-        return sorted(m for m in matches if m not in self._masked)
+        result = sorted(m for m in matches if m not in self._masked)
+        self._match_cache[(name, structural)] = result
+        return list(result)
 
     def is_subtype(self, sub_name: str, super_name: str) -> bool:
         if sub_name == super_name:

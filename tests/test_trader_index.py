@@ -1,0 +1,207 @@
+"""Indexed matching: constraint cache, type-match memo, equality index.
+
+Every cache on the import hot path must be invalidated by the operation
+that changes its inputs — export/withdraw/modify for the offer index,
+add/remove/mask for the type-match memo — or imports would answer from a
+stale world.
+"""
+
+from repro.naming.refs import ServiceRef
+from repro.net.endpoints import Address
+from repro.sidl.types import DOUBLE, InterfaceType, LONG, OperationType, STRING
+from repro.trader.constraints import parse_constraint
+from repro.trader.dynamic import dynamic_property
+from repro.trader.service_types import ServiceType
+from repro.trader.trader import ImportRequest, LocalTrader
+
+
+def rental_type(name="CarRentalService", supers=()):
+    return ServiceType(
+        name,
+        InterfaceType("I", [OperationType("SelectCar", [], LONG)]),
+        [("ChargePerDay", DOUBLE), ("City", STRING)],
+        super_types=list(supers),
+    )
+
+
+def make_trader(**kwargs):
+    trader = LocalTrader("t", **kwargs)
+    trader.add_type(rental_type())
+    return trader
+
+
+def export(trader, name, charge, city="HH", type_name="CarRentalService", **kw):
+    return trader.export(
+        type_name,
+        ServiceRef.create(name, Address("t", 1), 4711),
+        {"ChargePerDay": charge, "City": city},
+        **kw,
+    )
+
+
+def names(offers):
+    return sorted(offer.service_ref().name for offer in offers)
+
+
+# -- constraint compile cache ------------------------------------------------
+
+
+def test_parse_constraint_is_cached_by_text():
+    first = parse_constraint("ChargePerDay < 90 and City == 'HH'")
+    second = parse_constraint("ChargePerDay < 90 and City == 'HH'")
+    assert first is second
+    assert first.evaluate({"ChargePerDay": 50.0, "City": "HH"})
+    assert not first.evaluate({"ChargePerDay": 50.0, "City": "B"})
+
+
+def test_equality_conjuncts_extracted_from_and_chain():
+    constraint = parse_constraint(
+        "City == 'HH' and ChargePerDay < 90 and Seats == 4"
+    )
+    assert dict(constraint.equality_conjuncts) == {"City": "HH", "Seats": 4}
+    # Mirrored literal-first comparisons count too.
+    assert parse_constraint("'HH' == City").equality_conjuncts == (("City", "HH"),)
+    # Disjunctions, negations, and non-equality shapes pin nothing.
+    assert parse_constraint("City == 'HH' or Seats == 4").equality_conjuncts == ()
+    assert parse_constraint("not City == 'HH'").equality_conjuncts == ()
+    assert parse_constraint("ChargePerDay < 90").equality_conjuncts == ()
+    # Prop-to-prop equality is not a literal pin.
+    assert parse_constraint("City == OtherCity").equality_conjuncts == ()
+
+
+# -- offer-store equality index ---------------------------------------------
+
+
+def test_index_prefilter_matches_linear_scan():
+    trader = make_trader()
+    export(trader, "hh-1", 40.0, "HH")
+    export(trader, "hh-2", 90.0, "HH")
+    export(trader, "b-1", 40.0, "B")
+    offers = trader.import_(
+        ImportRequest("CarRentalService", "City == 'HH' and ChargePerDay < 50")
+    )
+    assert names(offers) == ["hh-1"]
+
+
+def test_export_withdraw_modify_keep_index_fresh():
+    trader = make_trader()
+    request = ImportRequest("CarRentalService", "City == 'HH'")
+    assert trader.import_(request) == []
+    offer_id = export(trader, "hh-1", 40.0, "HH")
+    assert names(trader.import_(request)) == ["hh-1"]
+    trader.modify(offer_id, {"ChargePerDay": 40.0, "City": "B"})
+    assert trader.import_(request) == []
+    assert names(trader.import_(ImportRequest("CarRentalService", "City == 'B'"))) == [
+        "hh-1"
+    ]
+    trader.modify(offer_id, {"ChargePerDay": 40.0, "City": "HH"})
+    assert names(trader.import_(request)) == ["hh-1"]
+    trader.withdraw(offer_id)
+    assert trader.import_(request) == []
+
+
+def test_dynamic_property_offers_survive_prefilter():
+    marker = dynamic_property(
+        ServiceRef.create("svc", Address("t", 1), 4711), "CurrentCity"
+    )
+    trader = make_trader(dynamic_evaluator=lambda m: "HH")
+    trader.export(
+        "CarRentalService",
+        ServiceRef.create("dyn-1", Address("t", 1), 4711),
+        {"ChargePerDay": 40.0, "City": marker},
+    )
+    # Stored value is the marker dict, but the live value matches: the
+    # index must not filter the offer out before resolution.
+    offers = trader.import_(ImportRequest("CarRentalService", "City == 'HH'"))
+    assert names(offers) == ["dyn-1"]
+
+
+def test_unhashable_property_values_survive_prefilter():
+    trader = make_trader()
+    trader.export(
+        "CarRentalService",
+        ServiceRef.create("tagged", Address("t", 1), 4711),
+        {"ChargePerDay": 10.0, "City": "HH", "Models": ["AUDI", "VW"]},
+    )
+    offers = trader.import_(
+        ImportRequest("CarRentalService", "City == 'HH' and 'AUDI' in Models")
+    )
+    assert names(offers) == ["tagged"]
+
+
+def test_contradictory_conjuncts_short_circuit_to_empty():
+    trader = make_trader()
+    export(trader, "hh-1", 40.0, "HH")
+    offers = trader.import_(
+        ImportRequest("CarRentalService", "City == 'HH' and City == 'B'")
+    )
+    assert offers == []
+
+
+# -- type-match memo ---------------------------------------------------------
+
+
+def test_add_type_invalidates_matching_memo():
+    trader = make_trader()
+    export(trader, "base-1", 10.0)
+    assert len(trader.import_(ImportRequest("CarRentalService"))) == 1
+    trader.add_type(rental_type("LuxuryRental", supers=["CarRentalService"]))
+    export(trader, "lux-1", 99.0, type_name="LuxuryRental")
+    # A stale memo would still answer with the pre-subtype match set.
+    assert names(trader.import_(ImportRequest("CarRentalService"))) == [
+        "base-1",
+        "lux-1",
+    ]
+
+
+def test_remove_type_invalidates_matching_memo():
+    trader = make_trader()
+    trader.add_type(rental_type("LuxuryRental", supers=["CarRentalService"]))
+    export(trader, "lux-1", 99.0, type_name="LuxuryRental")
+    assert len(trader.import_(ImportRequest("CarRentalService"))) == 1
+    trader.remove_type("LuxuryRental")
+    assert trader.import_(ImportRequest("CarRentalService")) == []
+
+
+def test_mask_and_unmask_invalidate_matching_memo():
+    trader = make_trader()
+    export(trader, "base-1", 10.0)
+    assert len(trader.import_(ImportRequest("CarRentalService"))) == 1
+    trader.mask_type("CarRentalService")
+    assert trader.import_(ImportRequest("CarRentalService")) == []
+    trader.types.unmask("CarRentalService")
+    assert len(trader.import_(ImportRequest("CarRentalService"))) == 1
+
+
+# -- satellite regressions ---------------------------------------------------
+
+
+def test_import_preserves_expiry_on_resolved_dynamic_offers():
+    """Regression: the dynamic-resolution rebuild dropped ``expires_at``."""
+    marker = dynamic_property(
+        ServiceRef.create("svc", Address("t", 1), 4711), "CurrentCharge"
+    )
+    trader = make_trader(dynamic_evaluator=lambda m: 55.0)
+    trader.export(
+        "CarRentalService",
+        ServiceRef.create("dyn-1", Address("t", 1), 4711),
+        {"ChargePerDay": marker, "City": "HH"},
+        now=0.0,
+        lifetime=10.0,
+    )
+    offers = trader.import_(ImportRequest("CarRentalService"), now=1.0)
+    assert len(offers) == 1
+    assert offers[0].properties["ChargePerDay"] == 55.0
+    assert offers[0].expires_at == 10.0
+    # And the expiry still bites on the rebuilt offer's next import.
+    assert trader.import_(ImportRequest("CarRentalService"), now=10.0) == []
+
+
+def test_select_best_honours_now():
+    """Regression: select_best ignored ``now`` so expired offers won."""
+    trader = make_trader()
+    export(trader, "stale", 1.0, lifetime=5.0)
+    export(trader, "fresh", 2.0)
+    request = ImportRequest("CarRentalService", preference="min ChargePerDay")
+    assert trader.select_best(request, now=1.0).service_ref().name == "stale"
+    assert trader.select_best(request, now=6.0).service_ref().name == "fresh"

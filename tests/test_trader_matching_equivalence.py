@@ -1,0 +1,123 @@
+"""Property-based equivalence: indexed matching == uncached linear scan.
+
+The constraint-compile cache, the type-match memo, and the equality-index
+pre-filter are pure optimisations: for any offer population and any
+well-formed constraint, the trader must return exactly the offers a naive
+linear scan with a fresh parse would.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.naming.refs import ServiceRef
+from repro.net.endpoints import Address
+from repro.sidl.types import InterfaceType, LONG, OperationType
+from repro.trader.constraints import Constraint, _Parser, _tokenize
+from repro.trader.service_types import ServiceType
+from repro.trader.trader import ImportRequest, LocalTrader
+
+PROPS = ["a", "b", "c"]
+VALUES = [0, 1, 2, "x", "y"]
+
+
+def _literal(value):
+    return repr(value) if isinstance(value, str) else str(value)
+
+
+comparisons = st.one_of(
+    st.tuples(
+        st.sampled_from(PROPS),
+        st.sampled_from(["==", "!=", "<", "<=", ">", ">="]),
+        st.sampled_from(VALUES),
+    ).map(lambda t: f"{t[0]} {t[1]} {_literal(t[2])}"),
+    st.tuples(
+        st.sampled_from(PROPS),
+        st.lists(st.sampled_from(VALUES), min_size=1, max_size=3),
+    ).map(lambda t: f"{t[0]} in [{', '.join(_literal(v) for v in t[1])}]"),
+    st.sampled_from(PROPS).map(lambda p: f"exist {p}"),
+)
+
+
+def _combine(children):
+    return st.one_of(
+        st.tuples(children, children).map(lambda t: f"({t[0]} and {t[1]})"),
+        st.tuples(children, children).map(lambda t: f"({t[0]} or {t[1]})"),
+        children.map(lambda c: f"not {c}"),
+    )
+
+
+constraints = st.recursive(comparisons, _combine, max_leaves=6)
+
+# An offer's properties: each prop independently absent or one of VALUES.
+offer_properties = st.dictionaries(
+    st.sampled_from(PROPS), st.sampled_from(VALUES), max_size=len(PROPS)
+)
+
+
+def fresh_parse(text):
+    """A brand-new parse, bypassing the lru_cache entirely."""
+    parser = _Parser(_tokenize(text))
+    root = parser.parse_or()
+    parser.expect("\0")
+    return Constraint(text, root)
+
+
+def build_trader(property_dicts):
+    trader = LocalTrader("eq")
+    trader.add_type(
+        ServiceType(
+            "T", InterfaceType("I", [OperationType("Op", [], LONG)]), []
+        )
+    )
+    for index, properties in enumerate(property_dicts):
+        trader.export(
+            "T",
+            ServiceRef.create(f"o{index}", Address("eq", 1), 4711),
+            dict(properties),
+        )
+    return trader
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    offers=st.lists(offer_properties, max_size=8),
+    constraint_text=constraints,
+)
+def test_indexed_matching_equals_linear_scan(offers, constraint_text):
+    trader = build_trader(offers)
+    reference = fresh_parse(constraint_text)
+    expected = {
+        offer.offer_id
+        for offer in trader.offers.all()
+        if reference.evaluate(offer.properties)
+    }
+    actual = {
+        offer.offer_id
+        for offer in trader.import_(ImportRequest("T", constraint_text))
+    }
+    assert actual == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    offers=st.lists(offer_properties, min_size=1, max_size=6),
+    constraint_text=constraints,
+    modified=offer_properties,
+)
+def test_equivalence_survives_modify_and_withdraw(offers, constraint_text, modified):
+    trader = build_trader(offers)
+    ids = [offer.offer_id for offer in trader.offers.all()]
+    trader.modify(ids[0], dict(modified))
+    if len(ids) > 1:
+        trader.withdraw(ids[1])
+    reference = fresh_parse(constraint_text)
+    expected = {
+        offer.offer_id
+        for offer in trader.offers.all()
+        if reference.evaluate(offer.properties)
+    }
+    actual = {
+        offer.offer_id
+        for offer in trader.import_(ImportRequest("T", constraint_text))
+    }
+    assert actual == expected
