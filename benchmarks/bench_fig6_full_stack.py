@@ -117,18 +117,27 @@ def test_layer_cost_breakdown_via_spans(cosm, capsys):
     Instead of benchmarking each layer in isolation, run a single
     trader-import → bind → invoke cascade under one
     :class:`~repro.context.CallContext` and read the per-layer elapsed
-    times off its span chain — the Fig. 6 breakdown from live data."""
+    times off its span chain — the Fig. 6 breakdown from live data.  The
+    finished chain also flushes through the telemetry hub, and the
+    report's aggregation reproduces the same per-layer picture (the full
+    grid lives in ``python -m repro telemetry-report``)."""
+    from repro.telemetry.exporters import RingExporter
+    from repro.telemetry.hub import use_exporter
+    from repro.telemetry.report import aggregate_layers
+
     stack = cosm["stack"]
     client = stack.client()
     trader = cosm["trader"]
 
-    ctx = CallContext.with_timeout(30.0, client.transport.now())
-    offers = trader.import_(ImportRequest("CarRentalService"), ctx=ctx)
-    assert offers
-    generic = GenericClient(client)
-    binding = generic.bind(offers[0].service_ref(), ctx=ctx)
-    result = binding.invoke("SelectCar", {"selection": SELECTION}, ctx=ctx)
-    assert result.value["available"] is True
+    with use_exporter(RingExporter()) as ring:
+        ctx = CallContext.with_timeout(30.0, client.transport.now())
+        offers = trader.import_(ImportRequest("CarRentalService"), ctx=ctx)
+        assert offers
+        generic = GenericClient(client)
+        binding = generic.bind(offers[0].service_ref(), ctx=ctx)
+        result = binding.invoke("SelectCar", {"selection": SELECTION}, ctx=ctx)
+        assert result.value["available"] is True
+        ctx.finish()
 
     costs = ctx.layer_costs()
     # Every layer the cascade crossed shows up, attributed to one trace.
@@ -137,6 +146,14 @@ def test_layer_cost_breakdown_via_spans(cosm, capsys):
     # The wrapping layers each contain at least one RPC, so the
     # communication level must account for positive virtual time.
     assert costs["rpc"] >= 0.0
+    # The hub saw the same chain (plus the server-side chains of the same
+    # trace); the report aggregation agrees with the raw span totals.
+    chains = ring.chains()
+    assert {chain.trace_id for chain in chains} == {ctx.trace_id}
+    layers = aggregate_layers(chains)
+    for layer in ("trader", "binder", "generic", "rpc", "server"):
+        assert layers[layer]["count"] > 0
+        assert layers[layer]["p50"] <= layers[layer]["p95"] <= layers[layer]["max"]
     print(f"\ntrace {ctx.trace_id} layer costs (virtual seconds):")
     for layer, elapsed in sorted(costs.items(), key=lambda kv: -kv[1]):
         print(f"  {layer:<10s} {elapsed:.6f}")

@@ -30,6 +30,7 @@ from typing import Any, Dict, List
 from repro.naming.refs import ServiceRef
 from repro.net.endpoints import Address
 from repro.sidl.types import DOUBLE, InterfaceType, LONG, OperationType, STRING
+from repro.telemetry.metrics import METRICS
 from repro.trader.constraints import Constraint, _Parser, _tokenize
 from repro.trader.federation import TraderLink
 from repro.trader.service_types import ServiceType
@@ -166,6 +167,11 @@ def measure_local(offer_count: int, conjuncts: int, repeats: int) -> Dict[str, A
         return statistics.median(samples)
 
     seed = timed(lambda: seed_scan(trader, text))
+    # The offer store counts how each import was served: equality pins go
+    # through the property index, pin-free constraints fall back to the
+    # full type scan.  Deltas confirm which path the row measured.
+    hits_before = METRICS.counter("offers.index_hits", (trader.trader_id,))
+    scans_before = METRICS.counter("offers.fallback_scans", (trader.trader_id,))
     indexed = timed(lambda: trader.import_(request))
     return {
         "offers": offer_count,
@@ -175,6 +181,10 @@ def measure_local(offer_count: int, conjuncts: int, repeats: int) -> Dict[str, A
         "seed_linear_s": round(seed, 6),
         "indexed_s": round(indexed, 6),
         "speedup": round(seed / indexed, 2) if indexed else None,
+        "index_hits": METRICS.counter("offers.index_hits", (trader.trader_id,))
+        - hits_before,
+        "fallback_scans": METRICS.counter("offers.fallback_scans", (trader.trader_id,))
+        - scans_before,
     }
 
 
@@ -234,6 +244,12 @@ def main() -> None:
         assert row["parallel_import_s"] < row["latency_sum_s"], row
     big = [r for r in report["local_matching"] if r["eq_conjuncts"] > 0]
     assert any(r["speedup"] and r["speedup"] > 1.0 for r in big), big
+    # Counter deltas must agree with the path each row claims to measure.
+    for row in report["local_matching"]:
+        if row["eq_conjuncts"] > 0:
+            assert row["index_hits"] > 0 and row["fallback_scans"] == 0, row
+        else:
+            assert row["fallback_scans"] > 0 and row["index_hits"] == 0, row
     print(f"wrote {args.out}")
 
 

@@ -4,9 +4,16 @@ Runs a compact end-to-end narrative on a simulated network: an innovative
 service registers at a browser, a generic client drives it through a
 generated UI, the service matures into a trader offer, and an importer
 selects and books through the trader — the whole arc of the paper.
+
+Subcommands::
+
+    python -m repro                     # the tour (default)
+    python -m repro telemetry-report …  # per-layer latency report
 """
 
 from __future__ import annotations
+
+import sys
 
 from repro.core import BrowserService, CosmMediator, GenericClient, make_tradable
 from repro.net import SimNetwork
@@ -18,7 +25,20 @@ from repro.trader.trader import TraderClient, TraderService
 from repro.uims.session import UiSession
 
 
-def main() -> None:
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "telemetry-report":
+        from repro.telemetry import report
+
+        return report.main(argv[1:])
+    if argv:
+        print(f"unknown subcommand {argv[0]!r}; known: telemetry-report", file=sys.stderr)
+        return 2
+    tour()
+    return 0
+
+
+def tour() -> None:
     print(__doc__.strip().splitlines()[0])
     print("=" * 64)
     net = SimNetwork()
@@ -78,4 +98,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -116,6 +116,13 @@ class CallContext:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     spans: List[SpanRecord] = field(default_factory=list)
     spans_dropped: int = 0
+    # Guards the shared span chain: worker threads (federation fan-out)
+    # append to the parent's list concurrently.  ``derive``/``hop`` pass
+    # the lock through ``replace`` so one chain always has one lock.
+    _span_lock: Any = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+    finished: bool = field(default=False, repr=False, compare=False)
 
     # -- constructors ------------------------------------------------------
 
@@ -228,10 +235,26 @@ class CallContext:
     # -- span chain --------------------------------------------------------
 
     def record_span(self, span: SpanRecord) -> None:
-        if len(self.spans) >= SPAN_LIMIT:
-            self.spans_dropped += 1
-            return
-        self.spans.append(span)
+        with self._span_lock:
+            if len(self.spans) >= SPAN_LIMIT:
+                self.spans_dropped += 1
+                dropped = True
+            else:
+                self.spans.append(span)
+                dropped = False
+        if dropped:
+            # Overflow is observable, not silent: exporter output carries
+            # the per-chain count and the registry the process total.
+            from repro.telemetry.metrics import METRICS
+
+            METRICS.inc("context.spans_dropped")
+
+    def share_chain(self, other: "CallContext") -> None:
+        """Join ``other``'s span chain (list *and* lock) — used by the
+        RPC client's legacy shim so ambient and shim contexts append to
+        one chain under one lock."""
+        self.spans = other.spans
+        self._span_lock = other._span_lock
 
     @contextmanager
     def span(self, layer: str, operation: str, clock: Clock) -> Iterator[SpanRecord]:
@@ -248,10 +271,25 @@ class CallContext:
 
     def layer_costs(self) -> Dict[str, float]:
         """Total elapsed seconds per layer, from the span chain."""
+        with self._span_lock:
+            spans = list(self.spans)
         costs: Dict[str, float] = {}
-        for span in self.spans:
+        for span in spans:
             costs[span.layer] = costs.get(span.layer, 0.0) + span.elapsed
         return costs
+
+    def finish(self) -> None:
+        """Mark the request done and flush the span chain into the
+        process :class:`~repro.telemetry.hub.TelemetryHub` (a no-op when
+        no exporter is installed, and idempotent).  The RPC server and
+        client flush best-effort at their dispatch/reply boundaries;
+        ``finish()`` is the explicit form for the top of a request."""
+        if self.finished:
+            return
+        self.finished = True
+        from repro.telemetry.hub import flush_context
+
+        flush_context(self)
 
     # -- wire form ---------------------------------------------------------
 

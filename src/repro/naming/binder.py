@@ -27,6 +27,7 @@ from repro.naming.refs import ServiceRef
 from repro.rpc.client import RpcClient
 from repro.rpc.errors import RpcError
 from repro.sidl.sid import ServiceDescription
+from repro.telemetry.metrics import METRICS
 
 PROC_GET_SID = 1
 PROC_BIND = 2
@@ -146,9 +147,11 @@ class Binder:
                     ref.address, ref.prog, ref.vers, PROC_BIND, {}
                 )
         except RpcError as exc:
+            METRICS.inc("binder.bind_failures", (ref.name,))
             raise BindingError(f"cannot bind to {ref.name} at {ref.address}: {exc}")
         binding = Binding(self._client, ref, session_id, ctx=ctx)
         self.bindings_established += 1
+        METRICS.inc("binder.bindings", (ref.name,))
         if fetch_sid:
             binding.fetch_sid()
         return binding

@@ -21,6 +21,8 @@ from repro.rpc.errors import (
 from repro.rpc.message import ReplyStatus, RpcCall, RpcReply
 from repro.rpc.transport import Transport
 from repro.rpc.xdr import decode_value, encode_value
+from repro.telemetry.hub import flush_context
+from repro.telemetry.metrics import METRICS
 
 
 class RpcClient:
@@ -69,6 +71,7 @@ class RpcClient:
         """Entry point from the dispatcher."""
         if reply.xid in self._retired:
             self.duplicate_replies_dropped += 1
+            METRICS.inc("rpc.client.duplicate_replies_dropped")
             return
         self._pending[reply.xid] = reply
 
@@ -85,6 +88,7 @@ class RpcClient:
         context: Optional[CallContext],
         timeout: Optional[float],
         retries: Optional[int],
+        ambient: Optional[CallContext],
     ) -> CallContext:
         """Resolve the context governing one call.
 
@@ -92,13 +96,13 @@ class RpcClient:
         is built from the legacy kwargs (or the client's configured
         defaults) — and when this call happens *inside* an RPC handler,
         the ambient request context narrows it: the shim inherits the
-        trace id, span chain, hop budget, and scope, and its deadline is
-        capped by the caller's remaining budget.  Local configuration
-        still paces attempts; the inherited deadline bounds the total.
+        trace id, span chain (list and lock), hop budget, and scope, and
+        its deadline is capped by the caller's remaining budget.  Local
+        configuration still paces attempts; the inherited deadline
+        bounds the total.
         """
         if context is not None:
             return context
-        ambient = current_context()
         shim = CallContext.from_legacy(
             self.timeout if timeout is None else timeout,
             self.retries if retries is None else retries,
@@ -106,7 +110,7 @@ class RpcClient:
             trace_id=ambient.trace_id if ambient is not None else None,
         )
         if ambient is not None:
-            shim.spans = ambient.spans
+            shim.share_chain(ambient)
             if ambient.deadline is not None:
                 shim.deadline = min(shim.deadline, ambient.deadline)
             shim.hops = ambient.hops
@@ -156,9 +160,18 @@ class RpcClient:
         context: Optional[CallContext] = None,
     ) -> RpcReply:
         """Send pre-encoded bytes and return the raw reply."""
-        ctx = self._effective_context(context, timeout, retries)
-        with ctx.span("rpc", f"call {prog}:{proc}", self.transport.now):
-            return self._call_attempts(ctx, destination, prog, vers, proc, body)
+        ambient = current_context() if context is None else None
+        ctx = self._effective_context(context, timeout, retries, ambient)
+        # A shim built with no ambient request owns its chain: nobody
+        # else will ever see it, so flush it at the reply boundary
+        # (a no-op unless an exporter is installed).
+        owns_chain = context is None and ambient is None
+        try:
+            with ctx.span("rpc", f"call {prog}:{proc}", self.transport.now):
+                return self._call_attempts(ctx, destination, prog, vers, proc, body)
+        finally:
+            if owns_chain:
+                flush_context(ctx)
 
     def _call_attempts(
         self,
@@ -170,7 +183,9 @@ class RpcClient:
         body: bytes,
     ) -> RpcReply:
         now = self.transport.now()
+        labels = (str(prog), str(proc))
         if ctx.expired(now):
+            METRICS.inc("rpc.client.deadline_exceeded", labels)
             raise DeadlineExceeded(
                 f"deadline expired before calling {destination} "
                 f"(trace {ctx.trace_id})"
@@ -186,18 +201,21 @@ class RpcClient:
             for attempt in range(attempts):
                 now = self.transport.now()
                 if ctx.expired(now):
+                    METRICS.inc("rpc.client.deadline_exceeded", labels)
                     raise DeadlineExceeded(
                         f"deadline expired after {attempt} attempt(s) to "
                         f"{destination} (trace {ctx.trace_id})"
                     )
                 if attempt:
                     self.retransmissions += 1
+                    METRICS.inc("rpc.client.retransmissions", labels)
                 self.calls_sent += 1
                 wait = ctx.attempt_timeout(now, attempts - attempt)
                 self.transport.send(destination, encoded)
                 if self.transport.wait(lambda: xid in self._pending, wait):
                     return self._pending.pop(xid)
             if ctx.expired(self.transport.now()) and ctx.retry.attempt_timeout is None:
+                METRICS.inc("rpc.client.deadline_exceeded", labels)
                 raise DeadlineExceeded(
                     f"no reply from {destination} within the deadline "
                     f"(trace {ctx.trace_id})"

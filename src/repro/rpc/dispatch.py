@@ -14,6 +14,7 @@ from repro.net.endpoints import Address
 from repro.rpc.errors import XdrError
 from repro.rpc.message import ReplyStatus, RpcCall, RpcReply, decode_message
 from repro.rpc.transport import Transport
+from repro.telemetry.metrics import METRICS
 
 
 class RpcDispatcher:
@@ -39,6 +40,7 @@ class RpcDispatcher:
             message = decode_message(payload)
         except XdrError:
             self.malformed_count += 1
+            METRICS.inc("rpc.dispatch.malformed")
             return
         if isinstance(message, RpcCall):
             if self.server is not None:
@@ -47,6 +49,10 @@ class RpcDispatcher:
                     and self.transport.now() >= message.deadline
                 ):
                     self.expired_rejected += 1
+                    METRICS.inc(
+                        "rpc.dispatch.expired_rejected",
+                        (str(message.prog), str(message.proc)),
+                    )
                     reply = RpcReply(message.xid, ReplyStatus.DEADLINE_EXCEEDED)
                     self.transport.send(source, reply.encode())
                     return

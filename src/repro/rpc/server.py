@@ -13,6 +13,8 @@ from repro.rpc.errors import XdrError
 from repro.rpc.message import ReplyStatus, RpcCall, RpcReply
 from repro.rpc.transport import Transport
 from repro.rpc.xdr import decode_value, encode_value
+from repro.telemetry.hub import flush_context
+from repro.telemetry.metrics import METRICS
 
 Handler = Callable[..., Any]
 
@@ -106,6 +108,7 @@ class RpcServer:
             cached = self._reply_cache.get(cache_key)
             if cached is not None:
                 self.duplicates_suppressed += 1
+                METRICS.inc("rpc.server.duplicates_suppressed")
                 self.transport.send(source, cached.encode())
                 return
         reply = self._execute(call)
@@ -121,6 +124,9 @@ class RpcServer:
         # execution (the client has given up on the answer anyway).
         if call.deadline is not None and self.transport.now() >= call.deadline:
             self.deadlines_rejected += 1
+            METRICS.inc(
+                "rpc.server.deadline_rejected", (str(call.prog), str(call.proc))
+            )
             return RpcReply(call.xid, ReplyStatus.DEADLINE_EXCEEDED)
         program = self._programs.get((call.prog, call.vers))
         if program is None:
@@ -137,22 +143,38 @@ class RpcServer:
         # it ambient for the handler: nested calls (federation forwards,
         # 2PC rounds, value-adding services) inherit deadline and trace.
         ctx = self._context_for(call)
+        started = self.transport.now()
         try:
+            try:
+                if ctx is not None:
+                    with ctx.span(
+                        "server", f"{program.name}:{call.proc}", self.transport.now
+                    ):
+                        with use_context(ctx):
+                            result = handler(args)
+                else:
+                    result = handler(args)
+            except Exception as exc:  # noqa: BLE001 - faults cross the wire as data
+                fault = {"kind": type(exc).__name__, "detail": str(exc)}
+                return RpcReply(call.xid, ReplyStatus.REMOTE_FAULT, encode_value(fault))
+            try:
+                body = encode_value(result)
+            except XdrError as exc:
+                fault = {"kind": "XdrError", "detail": str(exc)}
+                return RpcReply(call.xid, ReplyStatus.REMOTE_FAULT, encode_value(fault))
+            return RpcReply(call.xid, ReplyStatus.SUCCESS, body)
+        finally:
+            # Measured service time per (program, proc) — the estimate the
+            # planned deadline-aware shedding compares budgets against.
+            METRICS.observe(
+                "rpc.server.handler_seconds",
+                self.transport.now() - started,
+                (program.name, str(call.proc)),
+            )
             if ctx is not None:
-                with ctx.span("server", f"{program.name}:{call.proc}", self.transport.now):
-                    with use_context(ctx):
-                        result = handler(args)
-            else:
-                result = handler(args)
-        except Exception as exc:  # noqa: BLE001 - faults cross the wire as data
-            fault = {"kind": type(exc).__name__, "detail": str(exc)}
-            return RpcReply(call.xid, ReplyStatus.REMOTE_FAULT, encode_value(fault))
-        try:
-            body = encode_value(result)
-        except XdrError as exc:
-            fault = {"kind": "XdrError", "detail": str(exc)}
-            return RpcReply(call.xid, ReplyStatus.REMOTE_FAULT, encode_value(fault))
-        return RpcReply(call.xid, ReplyStatus.SUCCESS, body)
+                # The server-side chain ends here; flush best-effort
+                # (no-op unless an exporter is installed).
+                flush_context(ctx)
 
     @staticmethod
     def _context_for(call: RpcCall) -> Optional[CallContext]:

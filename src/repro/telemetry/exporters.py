@@ -1,0 +1,264 @@
+"""Span exporters: where finished call-context chains go.
+
+A :class:`~repro.context.CallContext` accumulates a chain of
+``SpanRecord``s as a request crosses the Fig. 6 layers; when the chain is
+finished (``ctx.finish()``, or the best-effort flush at the RPC server
+dispatch / client reply boundaries) the :class:`~repro.telemetry.hub.
+TelemetryHub` hands it to every installed exporter as a
+:class:`TraceChain`.
+
+Three implementations, mirroring the usual observability deployment
+shapes:
+
+* :class:`RingExporter` — a bounded in-memory ring, the "recent traces"
+  buffer reports and tests read back;
+* :class:`JsonlExporter` — an append-only JSONL file, one chain per
+  line; on any I/O failure it degrades to a **no-op** and bumps the
+  ``telemetry.export_errors`` counter (telemetry must never fail a
+  request);
+* :class:`OtlpExporter` — OTLP-shaped dicts (``resourceSpans`` →
+  ``scopeSpans`` → ``spans`` nesting with ``traceId``/``spanId``/
+  ``parentSpanId``), handed to a sink callable or collected in memory.
+
+Parent links are *derived* from the chain: spans are appended on
+completion, so a span's parent is the first span completed after it
+whose ``[start, end]`` interval encloses its own — exact for the nested
+``with ctx.span(...)`` discipline every layer uses.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.telemetry.metrics import METRICS
+
+
+@dataclass
+class TraceChain:
+    """One finished span chain, as handed to exporters."""
+
+    trace_id: str
+    spans: List[Any] = field(default_factory=list)  # SpanRecord, duck-typed
+    dropped: int = 0  # spans lost to the SPAN_LIMIT cap
+
+    def layers(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.layer)
+        return list(seen)
+
+    def to_wire(self) -> Dict[str, Any]:
+        parents = derive_parents(self.spans)
+        return {
+            "trace_id": self.trace_id,
+            "dropped": self.dropped,
+            "spans": [
+                dict(
+                    span.to_wire(),
+                    span_id=span_id(self.trace_id, index),
+                    parent_id=(
+                        None if parents[index] is None
+                        else span_id(self.trace_id, parents[index])
+                    ),
+                )
+                for index, span in enumerate(self.spans)
+            ],
+        }
+
+
+def span_id(trace_id: str, index: int) -> str:
+    """Deterministic span id: chain position scoped by the trace."""
+    return f"{trace_id}-s{index:04d}"
+
+
+def derive_parents(spans: List[Any]) -> List[Optional[int]]:
+    """Parent index per span, from completion order + interval containment.
+
+    Spans are appended when they *complete* (the ``finally`` of
+    ``ctx.span``), so an enclosing span always appears later in the chain
+    than its children.  The parent of span ``i`` is therefore the first
+    span after it whose interval contains ``i``'s — the tightest
+    enclosing frame even when virtual time makes intervals degenerate.
+    """
+    ends = [span.started_at + span.elapsed for span in spans]
+    parents: List[Optional[int]] = [None] * len(spans)
+    for index, span in enumerate(spans):
+        for candidate in range(index + 1, len(spans)):
+            if (
+                spans[candidate].started_at <= span.started_at
+                and ends[candidate] >= ends[index]
+            ):
+                parents[index] = candidate
+                break
+    return parents
+
+
+class SpanExporter:
+    """Exporter protocol: receive one finished chain.  Must not raise —
+    the hub guards regardless and counts ``telemetry.export_errors``."""
+
+    def export(self, chain: TraceChain) -> None:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+
+class RingExporter(SpanExporter):
+    """Keeps the most recent ``capacity`` chains in memory (FIFO eviction)."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._chains: "deque[TraceChain]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.exported = 0
+        self.evicted = 0
+
+    def export(self, chain: TraceChain) -> None:
+        with self._lock:
+            if len(self._chains) == self.capacity:
+                self.evicted += 1
+            self._chains.append(chain)
+            self.exported += 1
+
+    def chains(self) -> List[TraceChain]:
+        """Oldest-first snapshot of the retained chains."""
+        with self._lock:
+            return list(self._chains)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._chains.clear()
+
+
+class JsonlExporter(SpanExporter):
+    """Appends one JSON object per chain to a file.
+
+    The file is opened lazily on first export.  Any ``OSError`` —
+    unwritable path, disk full, closed descriptor — permanently disables
+    the exporter (it becomes a no-op) and bumps the
+    ``telemetry.export_errors`` counter with the ``jsonl`` label:
+    observability degrades, requests do not.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.disabled = False
+        self.lines_written = 0
+        self._handle = None
+        self._lock = threading.Lock()
+
+    def export(self, chain: TraceChain) -> None:
+        if self.disabled:
+            return
+        line = json.dumps(chain.to_wire())
+        with self._lock:
+            try:
+                if self._handle is None:
+                    self._handle = open(self.path, "a", encoding="utf-8")
+                self._handle.write(line + "\n")
+                self._handle.flush()
+                self.lines_written += 1
+            except OSError:
+                self.disabled = True
+                METRICS.inc("telemetry.export_errors", ("jsonl",))
+                self._close_quietly()
+
+    def close(self) -> None:
+        with self._lock:
+            self._close_quietly()
+
+    def _close_quietly(self) -> None:
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            try:
+                handle.close()
+            except OSError:
+                pass
+
+
+class OtlpExporter(SpanExporter):
+    """Emits OTLP-shaped dicts (the OTLP/JSON trace format, dict form).
+
+    Each chain becomes one ``{"resourceSpans": [...]}`` batch with the
+    standard resource → scope → span nesting; span ``attributes`` carry
+    the COSM ``layer``/``operation``/``outcome`` triple, and timestamps
+    are nanoseconds on the exporting clock (virtual seconds × 1e9 for sim
+    stacks).  Batches go to ``sink`` when given, else pile up in
+    ``self.batches`` for a shipper to drain.
+    """
+
+    def __init__(
+        self,
+        service_name: str = "cosm",
+        sink: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> None:
+        self.service_name = service_name
+        self.sink = sink
+        self.batches: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+
+    def export(self, chain: TraceChain) -> None:
+        batch = self.encode(chain)
+        if self.sink is not None:
+            self.sink(batch)
+            return
+        with self._lock:
+            self.batches.append(batch)
+
+    def encode(self, chain: TraceChain) -> Dict[str, Any]:
+        parents = derive_parents(chain.spans)
+        spans = []
+        for index, span in enumerate(chain.spans):
+            parent = parents[index]
+            record: Dict[str, Any] = {
+                "traceId": chain.trace_id,
+                "spanId": span_id(chain.trace_id, index),
+                "name": f"{span.layer}/{span.operation}",
+                "startTimeUnixNano": int(span.started_at * 1e9),
+                "endTimeUnixNano": int((span.started_at + span.elapsed) * 1e9),
+                "attributes": [
+                    _attribute("cosm.layer", span.layer),
+                    _attribute("cosm.operation", span.operation),
+                    _attribute("cosm.outcome", span.outcome),
+                ],
+                "status": (
+                    {"code": "STATUS_CODE_OK"}
+                    if span.outcome == "ok"
+                    else {"code": "STATUS_CODE_ERROR", "message": span.outcome}
+                ),
+            }
+            if parent is not None:
+                record["parentSpanId"] = span_id(chain.trace_id, parent)
+            spans.append(record)
+        return {
+            "resourceSpans": [
+                {
+                    "resource": {
+                        "attributes": [
+                            _attribute("service.name", self.service_name),
+                            _attribute("cosm.spans_dropped", chain.dropped),
+                        ]
+                    },
+                    "scopeSpans": [
+                        {
+                            "scope": {"name": "repro.telemetry"},
+                            "spans": spans,
+                        }
+                    ],
+                }
+            ]
+        }
+
+
+def _attribute(key: str, value: Any) -> Dict[str, Any]:
+    if isinstance(value, bool):
+        wrapped: Dict[str, Any] = {"boolValue": value}
+    elif isinstance(value, int):
+        wrapped = {"intValue": str(value)}
+    elif isinstance(value, float):
+        wrapped = {"doubleValue": value}
+    else:
+        wrapped = {"stringValue": str(value)}
+    return {"key": key, "value": wrapped}

@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, List, Optional
 import math
 
 from repro.context import CallContext, Clock, DeadlineLedger, SpanRecord, use_context
+from repro.telemetry.metrics import METRICS
 
 Forwarder = Callable[..., List[Dict[str, Any]]]
 
@@ -120,12 +121,15 @@ def fan_out(
                         outcome="expired",
                     )
                 )
+                METRICS.inc("federation.link", (link.name, "expired"))
                 return
             with use_context(leased):
                 with leased.span("federation", f"link {link.name}", clock):
                     results[index] = link.forward(request_wire, leased)
+            METRICS.inc("federation.link", (link.name, "ok"))
         except Exception:  # noqa: BLE001 - unreachable peers are skipped
-            pass  # the span already recorded the failure outcome
+            # the span already recorded the failure outcome
+            METRICS.inc("federation.link", (link.name, "unreachable"))
         finally:
             ledger.release()
 

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple  # noqa: F401
 
 from repro.naming.refs import ServiceRef
+from repro.telemetry.metrics import METRICS
 from repro.trader.dynamic import is_dynamic
 from repro.trader.errors import OfferNotFound
 
@@ -146,7 +147,11 @@ class OfferStore:
         """
         equalities = list(equalities)
         if not equalities:
+            # No pinned conjunct: the full per-type scan.  Counted, so
+            # benchmark output can say *why* an import was fast or slow.
+            METRICS.inc("offers.fallback_scans", (self._prefix,))
             return self.of_types(type_names)
+        METRICS.inc("offers.index_hits", (self._prefix,))
         offers: List[ServiceOffer] = []
         for type_name in type_names:
             per_type = self._by_type.get(type_name)

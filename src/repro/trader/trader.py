@@ -17,6 +17,7 @@ from repro.net.endpoints import Address
 from repro.rpc.client import RpcClient
 from repro.rpc.server import RpcProgram, RpcServer
 from repro.rpc.transport import SimTransport
+from repro.telemetry.metrics import METRICS
 from repro.trader.constraints import parse_constraint
 from repro.trader.dynamic import resolve_properties
 from repro.trader.errors import TraderError
@@ -185,6 +186,7 @@ class LocalTrader:
         """
         ctx = self._import_context(request, ctx)
         self.imports_served += 1
+        METRICS.inc("trader.imports", (self.trader_id,))
         constraint = parse_constraint(request.constraint)
         preference = parse_preference(request.preference)
         type_names = self.types.matching_types(
@@ -280,7 +282,13 @@ class LocalTrader:
         check, so one slow peer still cannot spend a budget that has
         already run out.
         """
-        if not ctx.can_hop() or not self.links:
+        if not self.links:
+            return []
+        if not ctx.can_hop():
+            # Links exist but the budget is spent: the query stops
+            # travelling here.  Counted — hop exhaustion is the federated
+            # search's principal truncation signal.
+            METRICS.inc("trader.hop_exhausted", (self.trader_id,))
             return []
         if ctx.seen(self.trader_id):
             return []
@@ -308,15 +316,22 @@ class LocalTrader:
                 for item in wires
             ]
         gathered: List[ServiceOffer] = []
-        for link in links:
+        clock = self.clock or (lambda: now)
+        for position, link in enumerate(links):
             if ctx.expired(now):
-                break  # budget spent: stop fanning out, return what we have
+                # budget spent: stop fanning out, return what we have
+                for skipped in links[position:]:
+                    METRICS.inc("federation.link", (skipped.name, "expired"))
+                break
             if needed > 0 and len(gathered) >= needed:
                 break  # enough candidates for a bounded import
             try:
-                results = link.forward(forwarded, child)
+                with child.span("federation", f"link {link.name}", clock):
+                    results = link.forward(forwarded, child)
             except Exception:  # noqa: BLE001 - unreachable peers are skipped
+                METRICS.inc("federation.link", (link.name, "unreachable"))
                 continue
+            METRICS.inc("federation.link", (link.name, "ok"))
             gathered.extend(ServiceOffer.from_wire(item) for item in results)
         return gathered
 
@@ -354,8 +369,11 @@ class TraderService:
             if isinstance(client.transport, SimTransport):
                 # The virtual clock is advanced by the calling thread; a
                 # concurrent fan-out would fight over it — stay serial.
+                # The serial sweep never reads the clock for budget checks
+                # (those stay frozen at each import's ``now``), so the
+                # transport clock is safe to use for span timing.
                 self.trader.fanout_workers = 1
-            elif self.trader.clock is None:
+            if self.trader.clock is None:
                 self.trader.clock = client.transport.now
         program = RpcProgram(TRADER_PROGRAM, 1, "trader")
         program.register(_PROC_EXPORT, self._export, "export")

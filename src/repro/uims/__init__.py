@@ -16,7 +16,7 @@ the same mapping with a headless widget model and a text renderer:
 
 from repro.uims.controller import OperationController, ServicePanel
 from repro.uims.formgen import form_for_operation, widget_for_type
-from repro.uims.html import render_html, render_panel_html
+from repro.uims.html import render_html, render_page_html, render_panel_html
 from repro.uims.render import render, render_panel
 from repro.uims.session import UiSession
 from repro.uims.widgets import (
@@ -31,6 +31,7 @@ from repro.uims.widgets import (
     ListEditor,
     NumberField,
     ResultPanel,
+    Table,
     TextField,
     UnionEditor,
     Widget,
@@ -50,6 +51,7 @@ __all__ = [
     "OperationController",
     "ResultPanel",
     "ServicePanel",
+    "Table",
     "TextField",
     "UiSession",
     "UnionEditor",
@@ -57,6 +59,7 @@ __all__ = [
     "form_for_operation",
     "render",
     "render_html",
+    "render_page_html",
     "render_panel",
     "render_panel_html",
     "widget_for_type",

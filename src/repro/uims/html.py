@@ -24,6 +24,7 @@ from repro.uims.widgets import (
     ListEditor,
     NumberField,
     ResultPanel,
+    Table,
     TextField,
     UnionEditor,
     Widget,
@@ -41,6 +42,10 @@ _PAGE = """<!DOCTYPE html>
  .result {{ background: #f4f4f4; padding: .5em; font-family: monospace; }}
  label {{ display: inline-block; min-width: 10em; }}
  .widget {{ margin: .25em 0; }}
+ table {{ border-collapse: collapse; margin: .5em 0; }}
+ th, td {{ border: 1px solid #999; padding: .25em .6em; text-align: right; }}
+ th:first-child, td:first-child {{ text-align: left; }}
+ caption {{ font-weight: bold; text-align: left; padding-bottom: .25em; }}
 </style></head>
 <body>
 <h1>{title}</h1>
@@ -52,6 +57,13 @@ _PAGE = """<!DOCTYPE html>
 
 def escape(text: str) -> str:
     return _html.escape(str(text), quote=True)
+
+
+def _cell(value) -> str:
+    """Table-cell formatting: compact fixed-point for floats."""
+    if isinstance(value, float):
+        return f"{value:.6f}"
+    return str(value)
 
 
 def render_html(widget: Widget) -> str:
@@ -67,6 +79,16 @@ def render_panel_html(panel) -> str:
         state=escape(panel.state_label.text),
         body=body,
     )
+
+
+def render_page_html(title: str, widgets: List[Widget], state: str = "") -> str:
+    """Render arbitrary widget trees as one self-contained page.
+
+    The telemetry report uses this to publish result tables through the
+    same backend that renders generated service forms.
+    """
+    body = "\n".join(render_html(widget) for widget in widgets)
+    return _PAGE.format(title=escape(title), state=escape(state), body=body)
 
 
 def _render(widget: Widget) -> List[str]:
@@ -141,6 +163,16 @@ def _render(widget: Widget) -> List[str]:
             lines.append(f'<p class="state">state: {escape(widget.state)}</p>')
         for button in widget.bind_buttons:
             lines.extend(_render(button))
+        return lines
+    if isinstance(widget, Table):
+        lines = ["<table>", f"<caption>{escape(widget.label)}</caption>", "<tr>"]
+        lines.extend(f"<th>{escape(column)}</th>" for column in widget.columns)
+        lines.append("</tr>")
+        for row in widget.rows:
+            lines.append("<tr>")
+            lines.extend(f"<td>{escape(_cell(value))}</td>" for value in row)
+            lines.append("</tr>")
+        lines.append("</table>")
         return lines
     if isinstance(widget, Label):
         return [f"<p>{escape(widget.text)}</p>"]

@@ -16,12 +16,20 @@ from repro.uims.widgets import (
     ListEditor,
     NumberField,
     ResultPanel,
+    Table,
     TextField,
     UnionEditor,
     Widget,
 )
 
 _INDENT = "  "
+
+
+def _cell(value) -> str:
+    """Table-cell formatting: compact fixed-point for floats."""
+    if isinstance(value, float):
+        return f"{value:.6f}"
+    return str(value)
 
 
 def render(widget: Widget, indent: int = 0) -> str:
@@ -86,6 +94,24 @@ def _render_lines(widget: Widget, indent: int) -> List[str]:
             lines.append(f"{pad}state:  {widget.state}")
         for button in widget.bind_buttons:
             lines.extend(_render_lines(button, indent))
+        return lines
+    if isinstance(widget, Table):
+        cells = [widget.columns] + [
+            [_cell(value) for value in row] for row in widget.rows
+        ]
+        widths = [
+            max(len(row[column]) for row in cells)
+            for column in range(len(widget.columns))
+        ]
+        lines = [f"{pad}{widget.label}:"]
+        for index, row in enumerate(cells):
+            line = "  ".join(
+                text.ljust(width) if position == 0 else text.rjust(width)
+                for position, (text, width) in enumerate(zip(row, widths))
+            )
+            lines.append(f"{pad}{_INDENT}{line.rstrip()}")
+            if index == 0:
+                lines.append(f"{pad}{_INDENT}{'-' * (sum(widths) + 2 * (len(widths) - 1))}")
         return lines
     if isinstance(widget, Label):
         return [f"{pad}{widget.text}"]

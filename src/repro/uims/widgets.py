@@ -290,6 +290,37 @@ class BindButton(Button):
         self.ref = ref
 
 
+class Table(Widget):
+    """A read-only grid: column headers plus value rows.
+
+    Services and reports (e.g. the telemetry layer-latency report) show
+    tabular results; like every widget here it is pure state — the text
+    and HTML backends render it.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        columns: List[str],
+        rows: Optional[List[List[Any]]] = None,
+        path: str = "",
+    ) -> None:
+        super().__init__(label, path)
+        self.columns = list(columns)
+        self.rows: List[List[Any]] = [list(row) for row in (rows or [])]
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise UiError(
+                f"{self.path or self.label}: row of {len(cells)} cells "
+                f"against {len(self.columns)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def get_value(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
 class ResultPanel(Widget):
     """Displays the decoded result of the last invocation."""
 
