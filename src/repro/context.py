@@ -73,22 +73,38 @@ class RetryPolicy:
 
 @dataclass
 class SpanRecord:
-    """One layer's record of one operation, appended to the span chain."""
+    """One layer's record of one operation, appended to the span chain.
+
+    ``events`` are point-in-time wire-level occurrences inside the span
+    — a retransmission, a shed reply — each a dict with at least
+    ``name`` and ``at`` (the transport clock when it happened).  They
+    ride through every export form, giving per-attempt visibility that
+    the aggregate counters cannot.
+    """
 
     layer: str
     operation: str
     started_at: float
     elapsed: float = 0.0
     outcome: str = "ok"
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    def add_event(self, name: str, at: float, **attributes: Any) -> None:
+        event: Dict[str, Any] = {"name": name, "at": at}
+        event.update(attributes)
+        self.events.append(event)
 
     def to_wire(self) -> Dict[str, Any]:
-        return {
+        wire = {
             "layer": self.layer,
             "operation": self.operation,
             "started_at": self.started_at,
             "elapsed": self.elapsed,
             "outcome": self.outcome,
         }
+        if self.events:
+            wire["events"] = [dict(event) for event in self.events]
+        return wire
 
 
 #: Span chains are bounded so long-running benchmarks cannot grow a

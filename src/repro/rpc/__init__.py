@@ -24,16 +24,19 @@ from repro.rpc.errors import (
     RemoteFault,
     RpcError,
     RpcTimeout,
+    ServerShedding,
 )
 from repro.rpc.message import RpcCall, RpcReply, ReplyStatus
 from repro.rpc.multicast import MulticastCaller
 from repro.rpc.portmap import PORTMAP_PORT, PORTMAP_PROGRAM, Portmapper, portmap_lookup
-from repro.rpc.server import RpcProgram, RpcServer
+from repro.rpc.server import AdmissionPolicy, AdmissionQueue, RpcProgram, RpcServer
 from repro.rpc.transport import SimTransport, TcpTransport, Transport
 from repro.rpc.txn import TransactionCoordinator, TransactionParticipant, TxnOutcome
 from repro.rpc.xdr import XdrDecoder, XdrEncoder, decode_value, encode_value
 
 __all__ = [
+    "AdmissionPolicy",
+    "AdmissionQueue",
     "DeadlineExceeded",
     "GarbageArguments",
     "MulticastCaller",
@@ -51,6 +54,7 @@ __all__ = [
     "RpcReply",
     "RpcServer",
     "RpcTimeout",
+    "ServerShedding",
     "SimTransport",
     "TcpTransport",
     "Transport",

@@ -6,7 +6,7 @@ import itertools
 from collections import OrderedDict
 from typing import Any, Dict, Optional
 
-from repro.context import CallContext, current_context
+from repro.context import CallContext, SpanRecord, current_context
 from repro.net.endpoints import Address
 from repro.rpc.dispatch import dispatcher_for
 from repro.rpc.errors import (
@@ -17,6 +17,7 @@ from repro.rpc.errors import (
     RemoteFault,
     RpcError,
     RpcTimeout,
+    ServerShedding,
 )
 from repro.rpc.message import ReplyStatus, RpcCall, RpcReply
 from repro.rpc.transport import Transport
@@ -145,6 +146,14 @@ class RpcClient:
             raise DeadlineExceeded(
                 f"{destination} rejected prog={prog} proc={proc}: deadline expired"
             )
+        if reply.status is ReplyStatus.SHED:
+            # The server declined under load while our budget was still
+            # live.  Surface it as immediately retryable — the caller
+            # should try an alternate offer, not hammer this server.
+            raise ServerShedding(
+                f"{destination} shed prog={prog} proc={proc} under load; "
+                f"retry against an alternate offer"
+            )
         fault = decode_value(reply.body)
         raise RemoteFault(fault.get("kind", "Error"), fault.get("detail", ""))
 
@@ -167,8 +176,10 @@ class RpcClient:
         # (a no-op unless an exporter is installed).
         owns_chain = context is None and ambient is None
         try:
-            with ctx.span("rpc", f"call {prog}:{proc}", self.transport.now):
-                return self._call_attempts(ctx, destination, prog, vers, proc, body)
+            with ctx.span("rpc", f"call {prog}:{proc}", self.transport.now) as span:
+                return self._call_attempts(
+                    ctx, destination, prog, vers, proc, body, span
+                )
         finally:
             if owns_chain:
                 flush_context(ctx)
@@ -181,6 +192,7 @@ class RpcClient:
         vers: int,
         proc: int,
         body: bytes,
+        span: Optional[SpanRecord] = None,
     ) -> RpcReply:
         now = self.transport.now()
         labels = (str(prog), str(proc))
@@ -209,11 +221,22 @@ class RpcClient:
                 if attempt:
                     self.retransmissions += 1
                     METRICS.inc("rpc.client.retransmissions", labels)
+                    if span is not None:
+                        # Wire-level visibility: each extra attempt is an
+                        # event on the rpc span, exported with the chain.
+                        span.add_event("retransmission", at=now, attempt=attempt)
                 self.calls_sent += 1
                 wait = ctx.attempt_timeout(now, attempts - attempt)
                 self.transport.send(destination, encoded)
                 if self.transport.wait(lambda: xid in self._pending, wait):
-                    return self._pending.pop(xid)
+                    reply = self._pending.pop(xid)
+                    if reply.status is ReplyStatus.SHED:
+                        METRICS.inc("rpc.client.shed_received", labels)
+                        if span is not None:
+                            span.add_event(
+                                "shed", at=self.transport.now(), attempt=attempt
+                            )
+                    return reply
             if ctx.expired(self.transport.now()) and ctx.retry.attempt_timeout is None:
                 METRICS.inc("rpc.client.deadline_exceeded", labels)
                 raise DeadlineExceeded(

@@ -20,11 +20,14 @@ from repro.telemetry.metrics import METRICS
 class RpcDispatcher:
     """Routes decoded RPC messages to the attached client/server.
 
-    Calls whose wire deadline has already passed are answered with
-    ``DEADLINE_EXCEEDED`` right here, before the server's duplicate cache
-    or argument decoding spend any work on them — the caller has given up
-    on the result either way.  (The server repeats the check inside
-    ``_execute`` for callers that bypass the dispatcher.)
+    Servers that perform their own admission control (``owns_admission``
+    on :class:`~repro.rpc.server.RpcServer`) receive every call intact:
+    deadline rejection, shedding, and duplicate handling happen in one
+    place, with one set of counters, *behind* the at-most-once cache (a
+    cached reply replays even for a late retransmission).  For foreign
+    server objects without that attribute the dispatcher keeps the legacy
+    pre-check: calls whose wire deadline has already passed are answered
+    ``DEADLINE_EXCEEDED`` before the server sees them.
     """
 
     def __init__(self, transport: Transport) -> None:
@@ -44,6 +47,9 @@ class RpcDispatcher:
             return
         if isinstance(message, RpcCall):
             if self.server is not None:
+                if getattr(self.server, "owns_admission", False):
+                    self.server.handle_call(source, message)
+                    return
                 if (
                     message.deadline is not None
                     and self.transport.now() >= message.deadline

@@ -23,6 +23,20 @@ class DeadlineExceeded(RpcTimeout):
     """
 
 
+class ServerShedding(RpcError):
+    """The server shed the call under load (``ReplyStatus.SHED``).
+
+    The call's deadline budget was still live when the server declined
+    it — the server judged (from its service-time histogram) that the
+    work could not finish inside the remaining budget, or its admission
+    queue was full.  Deliberately *not* a :class:`RpcTimeout`: the right
+    reaction is to retry immediately against an alternate offer, not to
+    retransmit into the overloaded server or treat the peer as dead.
+    """
+
+    retryable = True
+
+
 class ProgramUnavailable(RpcError):
     """The destination server does not host the requested program."""
 

@@ -36,6 +36,13 @@ class ReplyStatus(enum.IntEnum):
     GARBAGE_ARGS = 3
     REMOTE_FAULT = 4
     DEADLINE_EXCEEDED = 5
+    #: The server declined the call under load *before* running it: the
+    #: estimated service time exceeded the call's remaining deadline
+    #: budget, or the admission queue was full.  Distinct from
+    #: DEADLINE_EXCEEDED — the budget was still live, so the caller
+    #: should immediately retry against an alternate offer rather than
+    #: retransmit into the overloaded server.
+    SHED = 6
 
 
 @dataclass(frozen=True)

@@ -1,9 +1,37 @@
-"""RPC server: program registry, dispatch, at-most-once duplicate cache."""
+"""RPC server: program registry, admission control, at-most-once cache.
+
+Inbound calls pass through deadline-aware **admission control** before
+any handler runs (the Controlling/Communication-level scaling concern of
+Fig. 6: under overload a server must not burn handler time on work whose
+deadline will lapse mid-execution):
+
+* **arrival check** — a call whose wire deadline has already passed is
+  answered ``DEADLINE_EXCEEDED``; a call whose *remaining* budget is
+  smaller than the server's service-time estimate for that procedure
+  (the ``rpc.server.handler_seconds`` histogram quantile) is answered
+  ``SHED`` without executing;
+* **bounded, deadline-ordered queue** — admitted calls enter a bounded
+  queue ordered by deadline (ties by arrival); on overflow the entry
+  with the *latest* deadline is shed, so urgent work displaces
+  patient work and queue depth never exceeds the bound;
+* **dequeue re-check** — queued work that aged out while waiting is
+  dropped before execution (``DEADLINE_EXCEEDED`` if the budget lapsed,
+  ``SHED`` if what is left no longer covers the estimate).
+
+Duplicate retransmissions of a call that is still queued or executing
+are coalesced (no reply — the original will answer), closing the
+at-most-once gap a queued duplicate would otherwise open.
+"""
 
 from __future__ import annotations
 
+import heapq
+import itertools
+import math
+import threading
 from collections import OrderedDict
-from typing import Any, Callable, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.context import CallContext, use_context
 from repro.errors import ConfigurationError
@@ -14,9 +42,106 @@ from repro.rpc.message import ReplyStatus, RpcCall, RpcReply
 from repro.rpc.transport import Transport
 from repro.rpc.xdr import decode_value, encode_value
 from repro.telemetry.hub import flush_context
-from repro.telemetry.metrics import METRICS
+from repro.telemetry.metrics import METRICS, MetricsRegistry
 
 Handler = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """How a server decides which inbound calls are worth executing.
+
+    ``shed`` turns the statistical rejection on; with it off the queue
+    still bounds memory but every live-deadline call is admitted (the
+    pre-admission behaviour, used as the bench baseline).
+
+    ``defer_while_busy`` makes the queue a real waiting line: arrivals
+    during handler execution are parked and drained deadline-first when
+    the handler finishes.  It defaults to **off** because the historic
+    servers process nested arrivals reentrantly — cyclic federation
+    topologies (trader A importing from B while B imports from A) rely
+    on that to answer each other mid-call.  Dedicated worker servers
+    (the overload bench, TCP fleets) turn it on to get deadline-ordered
+    scheduling under load.
+    """
+
+    capacity: int = 256
+    quantile: float = 0.95
+    min_samples: int = 5
+    shed: bool = True
+    defer_while_busy: bool = False
+
+
+class AdmissionQueue:
+    """Bounded priority queue ordered by ``(deadline, arrival)``.
+
+    Calls without a deadline sort last (an infinite deadline: they can
+    wait).  The ``(deadline, seq)`` key is a total order — ties on
+    deadline resolve by arrival sequence — so pops are deterministic.
+    On overflow the *latest-deadline* entry is evicted and returned to
+    the caller to shed; the arriving entry itself may be that loser.
+    Thread-safe: TCP reader threads enqueue concurrently.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"admission queue capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        # heap entries: (order, seq, item, key); the unique seq breaks
+        # deadline ties by arrival and keeps items out of comparisons
+        self._heap: List[Tuple[float, int, Any, Any]] = []
+        self._seq = itertools.count()
+        self._keys: Set[Any] = set()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def pending(self, key: Any) -> bool:
+        """True while an entry with this coalescing key is queued."""
+        with self._lock:
+            return key in self._keys
+
+    def push(self, item: Any, deadline: Optional[float], key: Any = None) -> Optional[Any]:
+        """Admit ``item``; returns the item shed to stay within bounds.
+
+        The returned item is ``None`` when the queue had room, the
+        evicted latest-deadline entry when the arrival displaced it, or
+        ``item`` itself when the arrival *is* the latest-deadline entry.
+        """
+        order = math.inf if deadline is None else deadline
+        with self._lock:
+            seq = next(self._seq)
+            if len(self._heap) >= self.capacity:
+                worst = max(range(len(self._heap)), key=lambda i: self._heap[i][:2])
+                if (order, seq) >= self._heap[worst][:2]:
+                    return item  # arrival loses: it is the latest-deadline entry
+                evicted = self._heap[worst]
+                self._heap[worst] = self._heap[-1]
+                self._heap.pop()
+                heapq.heapify(self._heap)
+                if evicted[3] is not None:
+                    self._keys.discard(evicted[3])
+                self._push_locked(order, seq, item, key)
+                return evicted[2]
+            self._push_locked(order, seq, item, key)
+            return None
+
+    def pop(self) -> Optional[Any]:
+        """The earliest-deadline entry, or ``None`` when empty."""
+        with self._lock:
+            if not self._heap:
+                return None
+            __, __, item, key = heapq.heappop(self._heap)
+            if key is not None:
+                self._keys.discard(key)
+            return item
+
+    def _push_locked(self, order: float, seq: int, item: Any, key: Any) -> None:
+        heapq.heappush(self._heap, (order, seq, item, key))
+        if key is not None:
+            self._keys.add(key)
 
 
 class RpcProgram:
@@ -69,22 +194,45 @@ class RpcServer:
     retransmitted request replays the recorded reply instead of re-running
     the procedure — the difference is measurable in
     ``benchmarks/bench_ablation_at_most_once.py``.
+
+    Every inbound call passes through the admission control described in
+    the module docstring; ``AdmissionPolicy`` tunes it.  ``SHED`` replies
+    are never cached — a shed is not an execution, and a later
+    retransmission may be admitted once load clears.
     """
+
+    #: Dispatcher hint: this server performs its own deadline/admission
+    #: checks, so the dispatcher hands calls straight through.
+    owns_admission = True
 
     def __init__(
         self,
         transport: Transport,
         at_most_once: bool = True,
         reply_cache_size: int = 2048,
+        admission: Optional[AdmissionPolicy] = None,
     ) -> None:
         self.transport = transport
         self.at_most_once = at_most_once
+        self.admission = admission or AdmissionPolicy()
         self._programs: Dict[Tuple[int, int], RpcProgram] = {}
         self._reply_cache: "OrderedDict[Tuple[Address, int], RpcReply]" = OrderedDict()
         self._reply_cache_size = reply_cache_size
+        self._queue = AdmissionQueue(self.admission.capacity)
+        # Admission estimates come from *this server's* observations, not
+        # the process-global registry: many servers share one process in
+        # tests and simulations, and a fresh server must not shed on the
+        # service times of an unrelated one.  The same observations still
+        # feed ``METRICS`` for reporting (unchanged).
+        self._service_times = MetricsRegistry()
+        self._in_flight: Set[Tuple[Address, int]] = set()
+        self._active = 0  # drain-loop depth (reentrant under virtual time)
+        self._gauge_label = (f"{transport.local_address.host}:{transport.local_address.port}",)
         self.calls_handled = 0
         self.duplicates_suppressed = 0
+        self.duplicates_coalesced = 0
         self.deadlines_rejected = 0
+        self.calls_shed = 0
         dispatcher_for(transport).server = self
 
     @property
@@ -102,7 +250,15 @@ class RpcServer:
         self._programs.pop((program.prog, program.vers), None)
 
     def handle_call(self, source: Address, call: RpcCall) -> None:
-        """Entry point from the dispatcher; sends the reply itself."""
+        """Entry point from the dispatcher; sends replies itself.
+
+        Arrival-time admission happens here; admitted calls enter the
+        deadline-ordered queue and are drained by whichever invocation
+        currently owns the drain loop.  With ``defer_while_busy`` off
+        (default) every arrival drains immediately — including arrivals
+        nested inside a running handler, preserving the reentrant
+        processing cyclic federation topologies depend on.
+        """
         cache_key = (source, call.xid)
         if self.at_most_once:
             cached = self._reply_cache.get(cache_key)
@@ -111,23 +267,119 @@ class RpcServer:
                 METRICS.inc("rpc.server.duplicates_suppressed")
                 self.transport.send(source, cached.encode())
                 return
-        reply = self._execute(call)
-        if self.at_most_once:
-            self._reply_cache[cache_key] = reply
+        if not self._admit(source, call, cache_key):
+            return
+        if self._active and self.admission.defer_while_busy:
+            return  # parked: the active drain loop will reach it
+        self._drain()
+
+    def _admit(self, source: Address, call: RpcCall, cache_key: Tuple[Address, int]) -> bool:
+        """Arrival-time admission; True when the call was queued."""
+        now = self.transport.now()
+        if call.deadline is not None and now >= call.deadline:
+            reply = self._reject_deadline(call)
+            self._finish(source, call, reply, cacheable=True)
+            return False
+        if self._shedding_needed(call, now):
+            self._finish(source, call, self._shed(call, "arrival"), cacheable=False)
+            return False
+        if self._queue.pending(cache_key) or cache_key in self._in_flight:
+            # A retransmission of work already queued or executing: the
+            # original will reply; answering (or re-queueing) here would
+            # break at-most-once.
+            self.duplicates_coalesced += 1
+            METRICS.inc("rpc.server.duplicates_coalesced")
+            return False
+        entry = (source, call)
+        shed_entry = self._queue.push(entry, call.deadline, key=cache_key)
+        METRICS.set_gauge("rpc.server.queue_depth", len(self._queue), self._gauge_label)
+        if shed_entry is not None:
+            shed_source, shed_call = shed_entry
+            self._finish(
+                shed_source, shed_call, self._shed(shed_call, "queue_full"), cacheable=False
+            )
+            return shed_entry is not entry
+        return True
+
+    def _drain(self) -> None:
+        """Process queued calls in deadline order until the queue empties."""
+        self._active += 1
+        try:
+            while True:
+                entry = self._queue.pop()
+                if entry is None:
+                    break
+                METRICS.set_gauge(
+                    "rpc.server.queue_depth", len(self._queue), self._gauge_label
+                )
+                source, call = entry
+                self._dispatch_entry(source, call)
+        finally:
+            self._active -= 1
+        if not self._active and len(self._queue):
+            # A deferred arrival slipped in between our last pop and the
+            # depth decrement (TCP reader-thread interleaving): claim it.
+            self._drain()
+
+    def _dispatch_entry(self, source: Address, call: RpcCall) -> None:
+        """Dequeue-time re-check, execution, reply."""
+        now = self.transport.now()
+        if call.deadline is not None and now >= call.deadline:
+            # Aged out while queued: drop before execution.
+            self._finish(source, call, self._reject_deadline(call), cacheable=True)
+            return
+        if self._shedding_needed(call, now):
+            self._finish(source, call, self._shed(call, "dequeue"), cacheable=False)
+            return
+        cache_key = (source, call.xid)
+        self._in_flight.add(cache_key)
+        try:
+            reply = self._execute(call)
+        finally:
+            self._in_flight.discard(cache_key)
+        self._finish(source, call, reply, cacheable=True)
+
+    def _finish(
+        self, source: Address, call: RpcCall, reply: RpcReply, cacheable: bool
+    ) -> None:
+        if self.at_most_once and cacheable:
+            self._reply_cache[(source, call.xid)] = reply
             while len(self._reply_cache) > self._reply_cache_size:
                 self._reply_cache.popitem(last=False)
         self.transport.send(source, reply.encode())
 
+    def _reject_deadline(self, call: RpcCall) -> RpcReply:
+        self.deadlines_rejected += 1
+        METRICS.inc("rpc.server.deadline_rejected", (str(call.prog), str(call.proc)))
+        return RpcReply(call.xid, ReplyStatus.DEADLINE_EXCEEDED)
+
+    def _shed(self, call: RpcCall, stage: str) -> RpcReply:
+        self.calls_shed += 1
+        program = self._programs.get((call.prog, call.vers))
+        name = program.name if program is not None else str(call.prog)
+        METRICS.inc("rpc.server.shed", (stage, name, str(call.proc)))
+        return RpcReply(call.xid, ReplyStatus.SHED)
+
+    def _shedding_needed(self, call: RpcCall, now: float) -> bool:
+        """True when the estimated service time exceeds the remaining budget."""
+        if not self.admission.shed or call.deadline is None:
+            return False
+        program = self._programs.get((call.prog, call.vers))
+        if program is None:
+            return False  # let PROG_UNAVAIL surface normally
+        estimate = self._service_times.estimate(
+            "rpc.server.handler_seconds",
+            (program.name, str(call.proc)),
+            q=self.admission.quantile,
+            min_count=self.admission.min_samples,
+        )
+        return estimate is not None and estimate > call.deadline - now
+
     def _execute(self, call: RpcCall) -> RpcReply:
-        # Deadline enforcement happens *before* the handler runs: a call
-        # whose context budget is already spent is rejected without any
-        # execution (the client has given up on the answer anyway).
+        # Expired calls were rejected at admission and again at dequeue;
+        # this guard remains for direct callers that bypass the queue.
         if call.deadline is not None and self.transport.now() >= call.deadline:
-            self.deadlines_rejected += 1
-            METRICS.inc(
-                "rpc.server.deadline_rejected", (str(call.prog), str(call.proc))
-            )
-            return RpcReply(call.xid, ReplyStatus.DEADLINE_EXCEEDED)
+            return self._reject_deadline(call)
         program = self._programs.get((call.prog, call.vers))
         if program is None:
             return RpcReply(call.xid, ReplyStatus.PROG_UNAVAIL)
@@ -164,13 +416,22 @@ class RpcServer:
                 return RpcReply(call.xid, ReplyStatus.REMOTE_FAULT, encode_value(fault))
             return RpcReply(call.xid, ReplyStatus.SUCCESS, body)
         finally:
-            # Measured service time per (program, proc) — the estimate the
-            # planned deadline-aware shedding compares budgets against.
-            METRICS.observe(
-                "rpc.server.handler_seconds",
-                self.transport.now() - started,
-                (program.name, str(call.proc)),
-            )
+            # Measured service time per (program, proc) — the estimate
+            # admission control compares budgets against.  Observed into
+            # the process registry for reporting and into the server's
+            # own registry for admission decisions.
+            ended = self.transport.now()
+            elapsed = ended - started
+            labels = (program.name, str(call.proc))
+            METRICS.observe("rpc.server.handler_seconds", elapsed, labels)
+            self._service_times.observe("rpc.server.handler_seconds", elapsed, labels)
+            if call.deadline is not None and ended > call.deadline:
+                # The deadline lapsed *mid-execution*: these handler
+                # seconds bought an answer nobody is waiting for — the
+                # waste admission control exists to avoid (compared
+                # on/off in benchmarks/bench_overload_shedding.py).
+                METRICS.inc("rpc.server.wasted_handler_seconds", labels, amount=elapsed)
+                METRICS.inc("rpc.server.missed_deadline_executions", labels)
             if ctx is not None:
                 # The server-side chain ends here; flush best-effort
                 # (no-op unless an exporter is installed).

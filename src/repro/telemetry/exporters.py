@@ -29,6 +29,7 @@ whose ``[start, end]`` interval encloses its own — exact for the nested
 from __future__ import annotations
 
 import json
+import os
 import threading
 from collections import deque
 from dataclasses import dataclass, field
@@ -133,37 +134,92 @@ class RingExporter(SpanExporter):
 
 
 class JsonlExporter(SpanExporter):
-    """Appends one JSON object per chain to a file.
+    """Appends one JSON object per chain to a file, with rotation.
 
     The file is opened lazily on first export.  Any ``OSError`` —
     unwritable path, disk full, closed descriptor — permanently disables
     the exporter (it becomes a no-op) and bumps the
     ``telemetry.export_errors`` counter with the ``jsonl`` label:
     observability degrades, requests do not.
+
+    **Rotation.**  With ``max_bytes`` set, a write that would push the
+    current file past the limit first rotates: ``path`` becomes
+    ``path.1``, existing ``path.N`` shift to ``path.N+1``, and anything
+    past ``retain`` rotated files is deleted — so disk usage is bounded
+    by roughly ``(retain + 1) * max_bytes``.  A single chain larger than
+    ``max_bytes`` still lands whole in a fresh file (lines are never
+    split).  ``max_bytes=None`` (default) keeps the historic
+    append-forever behaviour.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(
+        self,
+        path: str,
+        max_bytes: Optional[int] = None,
+        retain: int = 3,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be positive: {max_bytes}")
+        if retain < 1:
+            raise ValueError(f"retain must be >= 1: {retain}")
         self.path = path
+        self.max_bytes = max_bytes
+        self.retain = retain
         self.disabled = False
         self.lines_written = 0
+        self.rotations = 0
         self._handle = None
+        self._size = 0
         self._lock = threading.Lock()
 
     def export(self, chain: TraceChain) -> None:
         if self.disabled:
             return
-        line = json.dumps(chain.to_wire())
+        line = json.dumps(chain.to_wire()) + "\n"
+        payload = line.encode("utf-8")
         with self._lock:
             try:
                 if self._handle is None:
-                    self._handle = open(self.path, "a", encoding="utf-8")
-                self._handle.write(line + "\n")
+                    self._open()
+                if (
+                    self.max_bytes is not None
+                    and self._size > 0
+                    and self._size + len(payload) > self.max_bytes
+                ):
+                    self._rotate()
+                self._handle.write(line)
                 self._handle.flush()
+                self._size += len(payload)
                 self.lines_written += 1
             except OSError:
                 self.disabled = True
                 METRICS.inc("telemetry.export_errors", ("jsonl",))
                 self._close_quietly()
+
+    def rotated_paths(self) -> List[str]:
+        """Existing rotated files, newest first (``path.1`` onward)."""
+        return [
+            f"{self.path}.{index}"
+            for index in range(1, self.retain + 1)
+            if os.path.exists(f"{self.path}.{index}")
+        ]
+
+    def _open(self) -> None:
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._size = os.path.getsize(self.path)
+
+    def _rotate(self) -> None:
+        self._close_quietly()
+        oldest = f"{self.path}.{self.retain}"
+        if os.path.exists(oldest):
+            os.remove(oldest)  # retention cap: the oldest file falls off
+        for index in range(self.retain - 1, 0, -1):
+            rotated = f"{self.path}.{index}"
+            if os.path.exists(rotated):
+                os.replace(rotated, f"{self.path}.{index + 1}")
+        os.replace(self.path, f"{self.path}.1")
+        self.rotations += 1
+        self._open()
 
     def close(self) -> None:
         with self._lock:
@@ -229,6 +285,20 @@ class OtlpExporter(SpanExporter):
                     else {"code": "STATUS_CODE_ERROR", "message": span.outcome}
                 ),
             }
+            events = getattr(span, "events", None)
+            if events:
+                record["events"] = [
+                    {
+                        "timeUnixNano": int(event.get("at", 0.0) * 1e9),
+                        "name": event.get("name", ""),
+                        "attributes": [
+                            _attribute(key, value)
+                            for key, value in event.items()
+                            if key not in ("name", "at")
+                        ],
+                    }
+                    for event in events
+                ]
             if parent is not None:
                 record["parentSpanId"] = span_id(chain.trace_id, parent)
             spans.append(record)

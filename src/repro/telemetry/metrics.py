@@ -109,6 +109,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[Tuple[str, Labels], float] = {}
+        self._gauges: Dict[Tuple[str, Labels], float] = {}
         self._histograms: Dict[Tuple[str, Labels], Histogram] = {}
 
     # -- counters ----------------------------------------------------------
@@ -141,6 +142,33 @@ class MetricsRegistry:
                     out.setdefault(name, {})[labels] = value
             return out
 
+    # -- gauges ------------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float, labels: Labels = ()) -> None:
+        """Record the current level of something (queue depth, pool size).
+
+        Unlike a counter a gauge moves both ways; the registry keeps the
+        last written value per label tuple.
+        """
+        if not isinstance(value, (int, float)) or math.isnan(value):
+            return  # telemetry never raises on a bad observation
+        with self._lock:
+            self._gauges[(name, tuple(labels))] = value
+
+    def gauge(self, name: str, labels: Labels = ()) -> float:
+        """Last written value of one gauge series (0 when never set)."""
+        with self._lock:
+            return self._gauges.get((name, tuple(labels)), 0)
+
+    def gauges(self, prefix: str = "") -> Dict[str, Dict[Labels, float]]:
+        """Snapshot ``name -> labels -> value``, optionally filtered."""
+        with self._lock:
+            out: Dict[str, Dict[Labels, float]] = {}
+            for (name, labels), value in self._gauges.items():
+                if name.startswith(prefix):
+                    out.setdefault(name, {})[labels] = value
+            return out
+
     # -- histograms --------------------------------------------------------
 
     def observe(
@@ -165,13 +193,23 @@ class MetricsRegistry:
             histogram = self._histograms.get((name, tuple(labels)))
             return None if histogram is None else histogram.snapshot()
 
-    def estimate(self, name: str, labels: Labels = (), q: float = 0.95) -> Optional[float]:
-        """A service-time estimate off one histogram series (used by the
-        deadline-aware shedding the ROADMAP plans: compare the estimate
-        against a call's remaining budget)."""
+    def estimate(
+        self,
+        name: str,
+        labels: Labels = (),
+        q: float = 0.95,
+        min_count: int = 0,
+    ) -> Optional[float]:
+        """A service-time estimate off one histogram series (what the
+        deadline-aware admission control compares against a call's
+        remaining budget).  ``min_count`` guards against shedding on a
+        cold histogram: with fewer observations the estimate is ``None``
+        and the caller should admit the work to learn its cost."""
         with self._lock:
             histogram = self._histograms.get((name, tuple(labels)))
-            return None if histogram is None else histogram.quantile(q)
+            if histogram is None or histogram.count < min_count:
+                return None
+            return histogram.quantile(q)
 
     # -- snapshots ---------------------------------------------------------
 
@@ -183,6 +221,10 @@ class MetricsRegistry:
                     f"{name}[{'|'.join(labels)}]": value
                     for (name, labels), value in self._counters.items()
                 },
+                "gauges": {
+                    f"{name}[{'|'.join(labels)}]": value
+                    for (name, labels), value in self._gauges.items()
+                },
                 "histograms": {
                     f"{name}[{'|'.join(labels)}]": histogram.snapshot()
                     for (name, labels), histogram in self._histograms.items()
@@ -193,6 +235,7 @@ class MetricsRegistry:
         """Drop every series (test isolation)."""
         with self._lock:
             self._counters.clear()
+            self._gauges.clear()
             self._histograms.clear()
 
 

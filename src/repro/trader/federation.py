@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, List, Optional
 import math
 
 from repro.context import CallContext, Clock, DeadlineLedger, SpanRecord, use_context
+from repro.rpc.errors import ServerShedding
 from repro.telemetry.metrics import METRICS
 
 Forwarder = Callable[..., List[Dict[str, Any]]]
@@ -127,6 +128,12 @@ def fan_out(
                 with leased.span("federation", f"link {link.name}", clock):
                     results[index] = link.forward(request_wire, leased)
             METRICS.inc("federation.link", (link.name, "ok"))
+        except ServerShedding:
+            # An overloaded peer shed the forward: degrade to a partial
+            # merge (this link's slot stays None) exactly as for an
+            # unreachable peer, but counted separately — shedding is a
+            # load signal, not a liveness one.
+            METRICS.inc("federation.link", (link.name, "shed"))
         except Exception:  # noqa: BLE001 - unreachable peers are skipped
             # the span already recorded the failure outcome
             METRICS.inc("federation.link", (link.name, "unreachable"))

@@ -15,6 +15,7 @@ from repro.context import CallContext, Clock, current_context, use_context
 from repro.naming.refs import ServiceRef
 from repro.net.endpoints import Address
 from repro.rpc.client import RpcClient
+from repro.rpc.errors import ServerShedding
 from repro.rpc.server import RpcProgram, RpcServer
 from repro.rpc.transport import SimTransport
 from repro.telemetry.metrics import METRICS
@@ -328,6 +329,10 @@ class LocalTrader:
             try:
                 with child.span("federation", f"link {link.name}", clock):
                     results = link.forward(forwarded, child)
+            except ServerShedding:
+                # Overloaded peer: partial merge, counted as a load signal.
+                METRICS.inc("federation.link", (link.name, "shed"))
+                continue
             except Exception:  # noqa: BLE001 - unreachable peers are skipped
                 METRICS.inc("federation.link", (link.name, "unreachable"))
                 continue

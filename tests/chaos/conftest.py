@@ -1,0 +1,14 @@
+"""Chaos-suite fixtures: the seed sweep.
+
+Every chaos test taking a ``chaos_seed`` fixture runs once per seed from
+:func:`tests.chaos.harness.chaos_seeds` — ``CHAOS_SEED=<n>[,<m>...]`` in
+the environment narrows (or extends) the sweep, which is how CI runs
+each seed as its own job.
+"""
+
+from tests.chaos.harness import chaos_seeds
+
+
+def pytest_generate_tests(metafunc):
+    if "chaos_seed" in metafunc.fixturenames:
+        metafunc.parametrize("chaos_seed", chaos_seeds())

@@ -1,0 +1,321 @@
+"""Deterministic chaos harness: seeded faults over the virtual-time stack.
+
+Every workload here builds a fresh :class:`~repro.net.SimNetwork` with a
+caller-chosen seed and drives it entirely in virtual time, so a scenario
+replays *identically* for the same seed: the same datagrams drop, the
+same duplicates arrive, the same retransmissions fire.  Each run returns
+a :class:`ChaosRun` whose :meth:`~ChaosRun.fingerprint` hashes everything
+observable about the run **except** process-global artefacts (RPC
+transaction ids and uuid trace ids differ between runs without affecting
+behaviour) — the determinism tests assert fingerprint equality across
+repeated same-seed runs.
+
+Seeds come from :func:`chaos_seeds`: the ``CHAOS_SEED`` environment
+variable (comma- or space-separated integers) overrides the default
+``(1994, 2024, 7)`` — CI sweeps each default seed as its own job.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.naming.refs import ServiceRef
+from repro.net import SimNetwork
+from repro.net.endpoints import Address
+from repro.rpc.client import RpcClient
+from repro.rpc.errors import DeadlineExceeded, RpcTimeout, ServerShedding
+from repro.rpc.message import ReplyStatus, RpcCall, decode_message
+from repro.rpc.server import AdmissionPolicy, RpcProgram, RpcServer
+from repro.rpc.transport import SimTransport
+from repro.rpc.xdr import encode_value
+from repro.sidl.types import DOUBLE, InterfaceType, LONG, OperationType
+from repro.trader.service_types import ServiceType
+from repro.trader.trader import ImportRequest, LocalTrader, TraderClient, TraderService
+
+DEFAULT_SEEDS: Tuple[int, ...] = (1994, 2024, 7)
+
+WORK_PROG = 77001
+
+
+def chaos_seeds() -> Tuple[int, ...]:
+    """Seeds to sweep: ``CHAOS_SEED`` env override, else the defaults."""
+    raw = os.environ.get("CHAOS_SEED", "").strip()
+    if raw:
+        return tuple(int(part) for part in raw.replace(",", " ").split())
+    return DEFAULT_SEEDS
+
+
+@dataclass
+class ChaosRun:
+    """Everything observable about one workload run, fingerprintable."""
+
+    outcomes: Dict[str, str]
+    executions: List[str]
+    retransmissions: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    duplicates_suppressed: int = 0
+    duplicates_coalesced: int = 0
+    calls_shed: int = 0
+    deadlines_rejected: int = 0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        payload = {
+            "outcomes": self.outcomes,
+            "executions": self.executions,
+            "retransmissions": self.retransmissions,
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "duplicates_coalesced": self.duplicates_coalesced,
+            "calls_shed": self.calls_shed,
+            "deadlines_rejected": self.deadlines_rejected,
+            "extra": self.extra,
+        }
+        encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(encoded).hexdigest()
+
+
+# -- plain RPC workload -------------------------------------------------------
+
+
+def run_rpc_workload(
+    seed: int,
+    drop: float = 0.0,
+    duplicate: float = 0.0,
+    partition_window: Optional[Tuple[float, float]] = None,
+    crash_window: Optional[Tuple[float, float]] = None,
+    calls: int = 12,
+    timeout: float = 0.08,
+    retries: int = 3,
+) -> ChaosRun:
+    """Sequential calls against an echo server under seeded faults.
+
+    Fault windows are absolute virtual times relative to the run start;
+    partition/heal and crash/recover fire as scheduled clock events, so
+    they interleave deterministically with the workload's own traffic.
+    """
+    net = SimNetwork(seed=seed)
+    server = RpcServer(SimTransport(net, "srv"))
+    program = RpcProgram(WORK_PROG, name="chaos-work")
+    executions: List[str] = []
+
+    def work(args):
+        executions.append(args["id"])
+        return {"id": args["id"]}
+
+    program.register(1, work, "work")
+    server.serve(program)
+    client = RpcClient(SimTransport(net, "cli"), timeout=timeout, retries=retries)
+
+    net.faults.drop_probability = drop
+    net.faults.duplicate_probability = duplicate
+    if partition_window is not None:
+        start, end = partition_window
+        net.clock.schedule(start, lambda: net.faults.partition("srv", "cli"))
+        net.clock.schedule(end, lambda: net.faults.heal("srv", "cli"))
+    if crash_window is not None:
+        start, end = crash_window
+        net.clock.schedule(start, lambda: net.faults.crash("srv"))
+        net.clock.schedule(end, lambda: net.faults.recover("srv"))
+
+    outcomes: Dict[str, str] = {}
+    for index in range(calls):
+        call_id = f"c{index:02d}"
+        try:
+            result = client.call(server.address, WORK_PROG, 1, 1, {"id": call_id})
+            outcomes[call_id] = "success" if result == {"id": call_id} else "corrupt"
+        except ServerShedding:
+            outcomes[call_id] = "shed"
+        except DeadlineExceeded:
+            outcomes[call_id] = "deadline"
+        except RpcTimeout:
+            outcomes[call_id] = "timeout"
+    net.clock.drain()
+
+    return ChaosRun(
+        outcomes=outcomes,
+        executions=list(executions),
+        retransmissions=client.retransmissions,
+        dropped=net.faults.dropped_count,
+        duplicated=net.faults.duplicated_count,
+        duplicates_suppressed=server.duplicates_suppressed,
+        duplicates_coalesced=server.duplicates_coalesced,
+        calls_shed=server.calls_shed,
+        deadlines_rejected=server.deadlines_rejected,
+        extra={"pending_replies": len(client._pending)},
+    )
+
+
+# -- federated trading workload ----------------------------------------------
+
+
+def rental_type() -> ServiceType:
+    return ServiceType(
+        "CarRentalService",
+        InterfaceType("I", [OperationType("SelectCar", [], LONG)]),
+        [("ChargePerDay", DOUBLE)],
+    )
+
+
+def run_federation_workload(
+    seed: int,
+    rounds: Tuple[str, ...] = ("ok", "partition", "healed", "crash", "recovered"),
+) -> ChaosRun:
+    """A two-trader federation (the Fig. 6 cascade) through fault rounds.
+
+    ``hamburg`` holds offer ``hamburg-1`` and imports from ``bremen``
+    (offer ``bremen-1``) over RPC; offer-id prefixes identify the owning
+    trader, so a merge's provenance is checkable.  Each round first
+    applies its fault, then runs one federated import; the per-round
+    offer lists are the outcome.  Partitioned or crashed peers must
+    degrade to a *partial* merge (local offers only), never an error.
+    """
+    net = SimNetwork(seed=seed)
+    # The forwarding client lives on its own host so partitioning the
+    # federation edge leaves the importer-facing edge untouched.
+    hamburg = TraderService(
+        RpcServer(SimTransport(net, "hh")),
+        trader=LocalTrader("hamburg", fanout_workers=1, clock=lambda: net.clock.now),
+        client=RpcClient(SimTransport(net, "hh-fwd"), timeout=0.05, retries=1),
+        now=lambda: net.clock.now,
+    )
+    bremen = TraderService(
+        RpcServer(SimTransport(net, "hb")),
+        trader=LocalTrader("bremen", fanout_workers=1, clock=lambda: net.clock.now),
+        now=lambda: net.clock.now,
+    )
+    for service in (hamburg, bremen):
+        service.trader.add_type(rental_type())
+        service.trader.export(
+            "CarRentalService",
+            ServiceRef.create(
+                f"{service.trader.trader_id}-rental",
+                Address(service.trader.trader_id, 1),
+                4711,
+            ),
+            {"ChargePerDay": 80.0},
+        )
+    hamburg.link_to(bremen.address, name="bremen")
+    importer = TraderClient(
+        RpcClient(SimTransport(net, "probe"), timeout=2.0, retries=1),
+        hamburg.address,
+    )
+
+    faults = {
+        "ok": lambda: None,
+        "partition": lambda: net.faults.partition("hh-fwd", "hb"),
+        "healed": lambda: net.faults.heal("hh-fwd", "hb"),
+        "crash": lambda: net.faults.crash("hb"),
+        "recovered": lambda: net.faults.recover("hb"),
+    }
+    outcomes: Dict[str, str] = {}
+    merges: List[str] = []
+    for round_name in rounds:
+        faults[round_name]()
+        offers = importer.import_(ImportRequest("CarRentalService", hop_limit=1))
+        owners = sorted({offer.offer_id.split(":")[0] for offer in offers})
+        outcomes[round_name] = "+".join(owners) or "empty"
+        merges.extend(f"{round_name}/{owner}" for owner in owners)
+    net.clock.drain()
+    return ChaosRun(outcomes=outcomes, executions=merges)
+
+
+# -- overload / shedding workload ----------------------------------------------
+
+
+def run_overload_burst(
+    seed: int,
+    shed: bool = True,
+    burst: int = 10,
+    service_time: float = 0.3,
+    spacing: float = 0.05,
+    deadline_budget: float = 0.6,
+    warmup: int = 3,
+) -> ChaosRun:
+    """A fault-free burst against a slow worker server, shed on or off.
+
+    Raw wire calls are scheduled straight onto the virtual clock (one
+    every ``spacing`` seconds, each with ``deadline_budget`` of life) so
+    the server's deadline-ordered queue — not client pacing — decides
+    what runs.  Fault-free means strict reconciliation holds: every call
+    gets exactly one terminal outcome, shed calls never execute, and the
+    server's shed/deadline counters match the per-call outcomes.
+    """
+    net = SimNetwork(seed=seed)
+    policy = AdmissionPolicy(
+        shed=shed, defer_while_busy=True, min_samples=warmup, quantile=0.5
+    )
+    transport = SimTransport(net, "worker")
+    server = RpcServer(transport, admission=policy)
+    program = RpcProgram(WORK_PROG, name="overload")
+    executions: List[str] = []
+
+    def slow(args):
+        executions.append(args["id"])
+        transport.wait(lambda: False, service_time)
+        return {"id": args["id"]}
+
+    program.register(1, slow, "slow")
+    server.serve(program)
+
+    probe = SimTransport(net, "probe")
+    replies: Dict[int, List[ReplyStatus]] = {}
+
+    def on_payload(source: Address, payload: bytes) -> None:
+        message = decode_message(payload)
+        replies.setdefault(message.xid, []).append(message.status)
+
+    probe.set_receiver(on_payload)
+
+    def send(xid: int, call_id: str, deadline: float) -> None:
+        call = RpcCall(
+            xid, WORK_PROG, 1, 1, encode_value({"id": call_id}), deadline=deadline
+        )
+        probe.send(server.address, call.encode())
+
+    # Warm the service-time estimate with generous-deadline calls.
+    for index in range(warmup):
+        send(index + 1, f"warm{index}", net.clock.now + 10 * service_time)
+        net.clock.drain()
+
+    t0 = net.clock.now
+    ids = {}
+    for index in range(burst):
+        xid = 1000 + index
+        call_id = f"b{index:02d}"
+        ids[xid] = call_id
+        offset = index * spacing
+        net.clock.schedule(
+            offset, lambda x=xid, c=call_id, d=t0 + offset + deadline_budget: send(x, c, d)
+        )
+    net.clock.drain()
+
+    status_names = {
+        ReplyStatus.SUCCESS: "success",
+        ReplyStatus.SHED: "shed",
+        ReplyStatus.DEADLINE_EXCEEDED: "deadline",
+    }
+    outcomes = {
+        call_id: "+".join(status_names.get(s, s.name) for s in replies.get(xid, []))
+        or "silent"
+        for xid, call_id in sorted(ids.items())
+    }
+    burst_executions = [call_id for call_id in executions if call_id.startswith("b")]
+    return ChaosRun(
+        outcomes=outcomes,
+        executions=burst_executions,
+        duplicates_suppressed=server.duplicates_suppressed,
+        duplicates_coalesced=server.duplicates_coalesced,
+        calls_shed=server.calls_shed,
+        deadlines_rejected=server.deadlines_rejected,
+        extra={
+            "handled": server.calls_handled,
+            "queue_capacity": policy.capacity,
+        },
+    )

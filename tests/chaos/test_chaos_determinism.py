@@ -1,0 +1,44 @@
+"""Chaos: same seed, same world — the suite's foundational claim.
+
+Every scenario is re-run with a fresh network under the same seed and
+must produce a bit-identical fingerprint (outcomes, execution logs, and
+fault/retransmission counts; transaction ids and trace ids are excluded
+— they are process-global and don't influence behaviour).  Different
+seeds must be able to produce different worlds, or the sweep is
+meaningless.
+"""
+
+from tests.chaos.harness import DEFAULT_SEEDS, chaos_seeds, run_rpc_workload
+
+FULL_CHAOS = dict(
+    drop=0.1,
+    duplicate=0.2,
+    partition_window=(0.5, 0.8),
+    crash_window=(1.5, 1.8),
+)
+
+
+def test_full_chaos_replays_identically(chaos_seed):
+    first = run_rpc_workload(chaos_seed, **FULL_CHAOS)
+    second = run_rpc_workload(chaos_seed, **FULL_CHAOS)
+    assert first.fingerprint() == second.fingerprint()
+    assert first.outcomes == second.outcomes
+    assert first.executions == second.executions
+    assert first.retransmissions == second.retransmissions
+    assert (first.dropped, first.duplicated) == (second.dropped, second.duplicated)
+
+
+def test_distinct_seeds_diverge():
+    fingerprints = {
+        run_rpc_workload(seed, **FULL_CHAOS).fingerprint() for seed in DEFAULT_SEEDS
+    }
+    assert len(fingerprints) > 1
+
+
+def test_seed_override_parses_environment(monkeypatch):
+    monkeypatch.setenv("CHAOS_SEED", "42")
+    assert chaos_seeds() == (42,)
+    monkeypatch.setenv("CHAOS_SEED", "1, 2 3")
+    assert chaos_seeds() == (1, 2, 3)
+    monkeypatch.delenv("CHAOS_SEED")
+    assert chaos_seeds() == DEFAULT_SEEDS

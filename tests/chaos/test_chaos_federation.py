@@ -1,0 +1,36 @@
+"""Chaos: federated trading degrades to partial merges, never errors.
+
+The Fig. 6 cascade under fault rounds: a federated import crossing a
+partitioned or crashed link must still answer with the importer-side
+offers (a *partial* merge, identifiable by offer-id prefixes), and the
+federation link counters must record why the remote side is missing.
+"""
+
+from repro.telemetry.metrics import METRICS
+
+from tests.chaos.harness import run_federation_workload
+
+
+def test_fault_rounds_produce_partial_merges(chaos_seed):
+    unreachable_before = METRICS.counter("federation.link", ("bremen", "unreachable"))
+    run = run_federation_workload(chaos_seed)
+    # Healthy rounds merge both traders' offers; faulted rounds keep the
+    # local side — partial results, not failures.
+    assert run.outcomes == {
+        "ok": "bremen+hamburg",
+        "partition": "hamburg",
+        "healed": "bremen+hamburg",
+        "crash": "hamburg",
+        "recovered": "bremen+hamburg",
+    }
+    assert (
+        METRICS.counter("federation.link", ("bremen", "unreachable"))
+        >= unreachable_before + 2
+    )
+
+
+def test_federation_rounds_replay_identically(chaos_seed):
+    first = run_federation_workload(chaos_seed)
+    second = run_federation_workload(chaos_seed)
+    assert first.fingerprint() == second.fingerprint()
+    assert first.executions == second.executions

@@ -1,0 +1,85 @@
+"""Chaos: the RPC layer under seeded drops, duplicates, partitions, crashes.
+
+Invariants asserted across every fault mix:
+
+* **at-most-once** — no call id ever appears twice in the server-side
+  execution log, no matter how many duplicate or retransmitted CALL
+  datagrams arrive;
+* **no duplicate replies leak** — the client ends each run with no
+  orphaned pending replies (late duplicates are dropped, counted);
+* **outcome/execution coherence** — a call reported ``success`` was
+  executed; one reported ``timeout`` may or may not have executed (its
+  reply can be the dropped datagram), but never twice.
+"""
+
+from tests.chaos.harness import run_rpc_workload
+
+
+def assert_core_invariants(run):
+    assert len(run.executions) == len(set(run.executions)), "at-most-once violated"
+    for call_id, outcome in run.outcomes.items():
+        if outcome == "success":
+            assert call_id in run.executions
+        assert outcome != "corrupt"
+    assert run.extra["pending_replies"] == 0, "orphaned replies leaked"
+
+
+def test_baseline_without_faults_is_clean(chaos_seed):
+    run = run_rpc_workload(chaos_seed)
+    assert_core_invariants(run)
+    assert all(outcome == "success" for outcome in run.outcomes.values())
+    assert run.executions == sorted(run.outcomes)  # in order, exactly once
+    assert run.retransmissions == 0
+    assert run.dropped == 0
+
+
+def test_drops_are_masked_by_retransmission(chaos_seed):
+    run = run_rpc_workload(chaos_seed, drop=0.2)
+    assert_core_invariants(run)
+    assert run.dropped > 0  # the fault plan actually bit
+    assert run.retransmissions > 0  # and retransmissions did the masking
+    successes = [c for c, outcome in run.outcomes.items() if outcome == "success"]
+    assert len(successes) >= len(run.outcomes) // 2
+
+
+def test_duplicates_never_double_execute(chaos_seed):
+    run = run_rpc_workload(chaos_seed, duplicate=0.5)
+    assert_core_invariants(run)
+    assert run.duplicated > 0
+    # Nothing is lost to duplication: every call succeeds exactly once.
+    assert all(outcome == "success" for outcome in run.outcomes.values())
+    assert sorted(run.executions) == sorted(run.outcomes)
+
+
+def test_partition_heals_into_retransmitted_success(chaos_seed):
+    # The partition opens before the first call and heals mid-budget:
+    # early attempts vanish, a post-heal retransmission completes.
+    run = run_rpc_workload(
+        chaos_seed,
+        partition_window=(0.0, 0.15),
+        calls=3,
+        timeout=0.1,
+        retries=4,
+    )
+    assert_core_invariants(run)
+    assert run.outcomes["c00"] == "success"
+    assert run.retransmissions > 0
+    assert run.dropped > 0  # partitioned datagrams were eaten
+
+
+def test_server_crash_fails_calls_until_recovery(chaos_seed):
+    # The crash window opens right after the first call completes and
+    # swallows the middle of the workload; calls before and after it
+    # succeed, calls inside it time out.
+    run = run_rpc_workload(
+        chaos_seed,
+        crash_window=(0.0025, 0.5),
+        calls=4,
+        timeout=0.1,
+        retries=1,
+    )
+    assert_core_invariants(run)
+    outcomes = list(run.outcomes.values())
+    assert outcomes[0] == "success"  # before the crash
+    assert "timeout" in outcomes  # during the crash
+    assert outcomes[-1] == "success"  # after recovery

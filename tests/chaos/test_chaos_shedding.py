@@ -1,0 +1,63 @@
+"""Chaos: overload bursts against the admission queue, shed on vs. off.
+
+Fault-free runs allow *strict* reconciliation — every burst call gets
+exactly one terminal outcome, a shed call never reaches its handler, and
+the server counters match the per-call outcomes one for one.  The
+on/off comparison shows what admission control buys: with shedding off
+the server burns handler time on work whose deadline lapses mid-run.
+"""
+
+from repro.telemetry.metrics import METRICS
+
+from tests.chaos.harness import run_overload_burst
+
+
+def reconcile(run):
+    """Fault-free bookkeeping: outcomes, executions, and counters agree."""
+    assert all(outcome != "silent" for outcome in run.outcomes.values())
+    # Exactly one terminal status per call (no duplicate replies).
+    assert all("+" not in outcome for outcome in run.outcomes.values())
+    executed = set(run.executions)
+    succeeded = {c for c, outcome in run.outcomes.items() if outcome == "success"}
+    shed = {c for c, outcome in run.outcomes.items() if outcome == "shed"}
+    lapsed = {c for c, outcome in run.outcomes.items() if outcome == "deadline"}
+    assert executed == succeeded  # executed iff answered SUCCESS
+    assert not (shed & executed)  # a shed call never ran
+    assert succeeded | shed | lapsed == set(run.outcomes)
+    assert run.calls_shed == len(shed)
+    assert run.deadlines_rejected == len(lapsed)
+
+
+def test_shedding_reconciles_and_saves_wasted_work(chaos_seed):
+    wasted_before = METRICS.counter_total("rpc.server.wasted_handler_seconds")
+    shed_on = run_overload_burst(chaos_seed, shed=True)
+    wasted_with_shedding = (
+        METRICS.counter_total("rpc.server.wasted_handler_seconds") - wasted_before
+    )
+    wasted_before = METRICS.counter_total("rpc.server.wasted_handler_seconds")
+    shed_off = run_overload_burst(chaos_seed, shed=False)
+    wasted_without = (
+        METRICS.counter_total("rpc.server.wasted_handler_seconds") - wasted_before
+    )
+    reconcile(shed_on)
+    reconcile(shed_off)
+    assert shed_on.calls_shed > 0  # the overload actually triggered shedding
+    assert shed_off.calls_shed == 0  # the baseline never sheds
+    # The headline claim: shedding avoids burning handler seconds on
+    # work that will miss its deadline anyway.
+    assert wasted_with_shedding < wasted_without
+
+
+def test_shed_metric_reconciles_with_wire_outcomes(chaos_seed):
+    shed_before = METRICS.counter_total("rpc.server.shed")
+    run = run_overload_burst(chaos_seed, shed=True)
+    shed_delta = METRICS.counter_total("rpc.server.shed") - shed_before
+    reconcile(run)
+    shed_outcomes = sum(1 for outcome in run.outcomes.values() if outcome == "shed")
+    assert shed_delta == shed_outcomes == run.calls_shed
+
+
+def test_overload_burst_replays_identically(chaos_seed):
+    first = run_overload_burst(chaos_seed, shed=True)
+    second = run_overload_burst(chaos_seed, shed=True)
+    assert first.fingerprint() == second.fingerprint()
