@@ -17,13 +17,18 @@
   services,
 * :func:`make_tradable` — the §4.1 maturation path: derive a service type
   from a SID's ``COSM_TraderExport`` and register the offer at a trader
-  while the service stays browsable.
+  while the service stays browsable,
+* :class:`RebindingClient` — invoke-by-service-type with failover across
+  the trader's ranked offers and automatic re-import when the cached
+  offers are exhausted or their leases lapse (failure recovery end to
+  end).
 """
 
 from repro.core.browser import BROWSER_SIDL, BrowserClient, BrowserEntry, BrowserService
 from repro.core.generic_client import GenericBinding, GenericClient, InvocationResult
-from repro.core.integration import make_tradable
+from repro.core.integration import keep_tradable, make_tradable
 from repro.core.mediator import CosmMediator, DiscoveryResult
+from repro.core.rebind import RebindingClient
 from repro.core.service_runtime import ServiceRuntime
 
 __all__ = [
@@ -36,6 +41,8 @@ __all__ = [
     "GenericBinding",
     "GenericClient",
     "InvocationResult",
+    "RebindingClient",
     "ServiceRuntime",
+    "keep_tradable",
     "make_tradable",
 ]

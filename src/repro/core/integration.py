@@ -16,6 +16,7 @@ from repro.naming.refs import ServiceRef
 from repro.rpc.errors import RemoteFault
 from repro.sidl.sid import ServiceDescription
 from repro.trader.errors import DuplicateServiceType
+from repro.trader.leases import LeaseHeartbeat, keep_alive
 from repro.trader.service_types import ServiceType, service_type_from_sid
 from repro.trader.trader import LocalTrader, TraderClient
 
@@ -36,6 +37,7 @@ def make_tradable(
     trader: Union[LocalTrader, TraderClient],
     service_type: Optional[ServiceType] = None,
     now: float = 0.0,
+    lease_seconds: Optional[float] = None,
 ) -> str:
     """Register a SID-described service at a trader; returns the offer id.
 
@@ -44,6 +46,11 @@ def make_tradable(
       modelling the standardisation step of §2.2.
     * When the type already exists, only the offer is exported, which is
       the cheap steady-state transition the paper argues for.
+
+    ``lease_seconds`` asks the trader for a liveness lease instead of an
+    until-withdrawn offer; pair it with :func:`keep_tradable` (or
+    :func:`repro.trader.leases.keep_alive`) so the offer stays matchable
+    while the service lives.
 
     Raises :class:`CosmError` when the SID has no ``COSM_TraderExport``
     embedding: a purely innovative SID is not tradable yet.
@@ -57,7 +64,10 @@ def make_tradable(
     if isinstance(trader, LocalTrader):
         if not trader.types.has(derived.name):
             trader.add_type(derived, now)
-        return trader.export(derived.name, ref, export_properties(sid), now)
+        return trader.export(
+            derived.name, ref, export_properties(sid), now,
+            lease_seconds=lease_seconds,
+        )
     # Remote trader via RPC stub.
     if derived.name not in trader.list_types():
         try:
@@ -67,4 +77,50 @@ def make_tradable(
         except RemoteFault as exc:
             if exc.kind != "DuplicateServiceType":
                 raise
-    return trader.export(derived.name, ref, export_properties(sid))
+    return trader.export(
+        derived.name, ref, export_properties(sid), lease_seconds=lease_seconds
+    )
+
+
+def keep_tradable(
+    sid: ServiceDescription,
+    ref: ServiceRef,
+    trader: Union[LocalTrader, TraderClient],
+    lease_seconds: float,
+    clock: Optional[Any] = None,
+    service_type: Optional[ServiceType] = None,
+    now: float = 0.0,
+) -> LeaseHeartbeat:
+    """Export with a liveness lease and keep heartbeating it.
+
+    The combination a service runtime wants at startup: the offer is
+    registered via :func:`make_tradable`, then a
+    :class:`~repro.trader.leases.LeaseHeartbeat` renews it at the default
+    cadence — on ``clock`` (a :class:`~repro.net.clock.SimClock`) in
+    simulations, or via ``heartbeat.start_thread()`` on the wall clock.
+    Should the trader sweep the offer anyway (the host was partitioned
+    past its lease), the heartbeat **re-exports** it with the same SID and
+    reference, so a recovered service re-enters the market on its own.
+    """
+
+    def current() -> float:
+        # SimClock exposes ``now`` as a property; other clock-likes may
+        # provide a callable.  No clock means the caller's fixed ``now``.
+        value = getattr(clock, "now", None) if clock is not None else None
+        if value is None:
+            return now
+        return value() if callable(value) else value
+
+    def export() -> str:
+        return make_tradable(
+            sid, ref, trader,
+            service_type=service_type, now=current(),
+            lease_seconds=lease_seconds,
+        )
+
+    offer_id = export()
+    if isinstance(trader, LocalTrader):
+        renew = lambda oid: trader.renew(oid, current())  # noqa: E731
+    else:
+        renew = trader.renew
+    return keep_alive(renew, offer_id, lease_seconds, clock=clock, reexport=export)

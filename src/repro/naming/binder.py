@@ -148,7 +148,9 @@ class Binder:
                 )
         except RpcError as exc:
             METRICS.inc("binder.bind_failures", (ref.name,))
-            raise BindingError(f"cannot bind to {ref.name} at {ref.address}: {exc}")
+            raise BindingError(
+                f"cannot bind to {ref.name} at {ref.address}: {exc}"
+            ) from exc
         binding = Binding(self._client, ref, session_id, ctx=ctx)
         self.bindings_established += 1
         METRICS.inc("binder.bindings", (ref.name,))

@@ -12,7 +12,9 @@ Replaces the prototype's Sun ONC RPC with a compatible-in-spirit layer:
 * :mod:`repro.rpc.multicast` — multicast/broadcast calls with reply
   gathering (the extended communication functions of Fig. 6),
 * :mod:`repro.rpc.txn` — transactional RPC (two-phase commit coordinator),
-  the "Transactional RPC" box of Fig. 6.
+  the "Transactional RPC" box of Fig. 6,
+* :mod:`repro.rpc.resilience` — client-side failure recovery: decorrelated
+  backoff, ranked-offer failover, per-endpoint circuit breakers.
 """
 
 from repro.rpc.client import RpcClient
@@ -29,7 +31,20 @@ from repro.rpc.errors import (
 from repro.rpc.message import RpcCall, RpcReply, ReplyStatus
 from repro.rpc.multicast import MulticastCaller
 from repro.rpc.portmap import PORTMAP_PORT, PORTMAP_PROGRAM, Portmapper, portmap_lookup
-from repro.rpc.server import AdmissionPolicy, AdmissionQueue, RpcProgram, RpcServer
+from repro.rpc.resilience import (
+    BackoffPolicy,
+    BreakerPolicy,
+    CircuitBreaker,
+    CircuitOpen,
+    ResilientCaller,
+)
+from repro.rpc.server import (
+    AdmissionPolicy,
+    AdmissionQueue,
+    RpcProgram,
+    RpcServer,
+    derive_capacity,
+)
 from repro.rpc.transport import SimTransport, TcpTransport, Transport
 from repro.rpc.txn import TransactionCoordinator, TransactionParticipant, TxnOutcome
 from repro.rpc.xdr import XdrDecoder, XdrEncoder, decode_value, encode_value
@@ -37,6 +52,10 @@ from repro.rpc.xdr import XdrDecoder, XdrEncoder, decode_value, encode_value
 __all__ = [
     "AdmissionPolicy",
     "AdmissionQueue",
+    "BackoffPolicy",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "CircuitOpen",
     "DeadlineExceeded",
     "GarbageArguments",
     "MulticastCaller",
@@ -47,6 +66,7 @@ __all__ = [
     "ProgramUnavailable",
     "RemoteFault",
     "ReplyStatus",
+    "ResilientCaller",
     "RpcCall",
     "RpcClient",
     "RpcError",
@@ -64,6 +84,7 @@ __all__ = [
     "XdrDecoder",
     "XdrEncoder",
     "decode_value",
+    "derive_capacity",
     "encode_value",
     "portmap_lookup",
 ]

@@ -31,7 +31,7 @@ import math
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
 
 from repro.context import CallContext, use_context
 from repro.errors import ConfigurationError
@@ -55,6 +55,14 @@ class AdmissionPolicy:
     still bounds memory but every live-deadline call is admitted (the
     pre-admission behaviour, used as the bench baseline).
 
+    ``capacity`` bounds the admission queue.  The literal ``"auto"``
+    derives the bound from what the server observes (see
+    :func:`derive_capacity`): the queue holds no more calls than a
+    typical arrival's deadline budget can absorb at the measured service
+    time — Little's law applied to the admission queue.  Until enough
+    samples exist the queue runs at ``max_capacity``; the derived value
+    is clamped to ``[min_capacity, max_capacity]``.
+
     ``defer_while_busy`` makes the queue a real waiting line: arrivals
     during handler execution are parked and drained deadline-first when
     the handler finishes.  It defaults to **off** because the historic
@@ -65,11 +73,43 @@ class AdmissionPolicy:
     scheduling under load.
     """
 
-    capacity: int = 256
+    capacity: Union[int, str] = 256
     quantile: float = 0.95
     min_samples: int = 5
     shed: bool = True
     defer_while_busy: bool = False
+    min_capacity: int = 8
+    max_capacity: int = 4096
+
+
+#: Labels under which the server aggregates observations across all its
+#: procedures — the per-procedure split admission shedding uses would
+#: fragment the samples a whole-queue capacity estimate needs.
+_ALL_PROCS = ("*", "*")
+
+#: Quantile of the arrival-budget distribution that stands in for the
+#: "typical deadline budget" in the capacity derivation.
+BUDGET_QUANTILE = 0.5
+
+
+def derive_capacity(
+    service_seconds: float,
+    budget_seconds: float,
+    floor: int = 8,
+    ceiling: int = 4096,
+) -> int:
+    """Queue bound from Little's law: ``ceil(budget / service)``, clamped.
+
+    A queued call only makes sense if it can still be served before a
+    typical deadline lapses; with one execution stream working through
+    the queue, at most ``budget / service`` calls ahead of an arrival
+    can drain in time.  Queueing deeper than that admits work that is
+    doomed to age out — exactly what shedding exists to refuse early.
+    """
+    if service_seconds <= 0:
+        return ceiling
+    derived = math.ceil(budget_seconds / service_seconds)
+    return int(min(ceiling, max(floor, derived)))
 
 
 class AdmissionQueue:
@@ -218,7 +258,11 @@ class RpcServer:
         self._programs: Dict[Tuple[int, int], RpcProgram] = {}
         self._reply_cache: "OrderedDict[Tuple[Address, int], RpcReply]" = OrderedDict()
         self._reply_cache_size = reply_cache_size
-        self._queue = AdmissionQueue(self.admission.capacity)
+        self._auto_capacity = self.admission.capacity == "auto"
+        initial_capacity = (
+            self.admission.max_capacity if self._auto_capacity else self.admission.capacity
+        )
+        self._queue = AdmissionQueue(initial_capacity)
         # Admission estimates come from *this server's* observations, not
         # the process-global registry: many servers share one process in
         # tests and simulations, and a fresh server must not shed on the
@@ -280,6 +324,11 @@ class RpcServer:
             reply = self._reject_deadline(call)
             self._finish(source, call, reply, cacheable=True)
             return False
+        if call.deadline is not None:
+            self._service_times.observe(
+                "rpc.server.arrival_budget_seconds", call.deadline - now
+            )
+            self._adapt_capacity()
         if self._shedding_needed(call, now):
             self._finish(source, call, self._shed(call, "arrival"), cacheable=False)
             return False
@@ -360,6 +409,41 @@ class RpcServer:
         METRICS.inc("rpc.server.shed", (stage, name, str(call.proc)))
         return RpcReply(call.xid, ReplyStatus.SHED)
 
+    def _adapt_capacity(self) -> None:
+        """Re-derive the ``"auto"`` queue bound from current estimates.
+
+        Uses the server's own observations: the policy-quantile service
+        time over *all* procedures and the median arrival budget.  Until
+        both have ``min_samples`` the queue keeps its current bound.
+        Shrinking below the current depth is safe — ``push`` evicts the
+        latest-deadline entry per overflow, so depth converges as the
+        queue drains.
+        """
+        if not self._auto_capacity:
+            return
+        service = self._service_times.estimate(
+            "rpc.server.handler_seconds",
+            _ALL_PROCS,
+            q=self.admission.quantile,
+            min_count=self.admission.min_samples,
+        )
+        budget = self._service_times.estimate(
+            "rpc.server.arrival_budget_seconds",
+            (),
+            q=BUDGET_QUANTILE,
+            min_count=self.admission.min_samples,
+        )
+        if service is None or budget is None:
+            return
+        capacity = derive_capacity(
+            service, budget, self.admission.min_capacity, self.admission.max_capacity
+        )
+        if capacity != self._queue.capacity:
+            self._queue.capacity = capacity
+            METRICS.set_gauge(
+                "rpc.server.queue_capacity", capacity, self._gauge_label
+            )
+
     def _shedding_needed(self, call: RpcCall, now: float) -> bool:
         """True when the estimated service time exceeds the remaining budget."""
         if not self.admission.shed or call.deadline is None:
@@ -425,6 +509,8 @@ class RpcServer:
             labels = (program.name, str(call.proc))
             METRICS.observe("rpc.server.handler_seconds", elapsed, labels)
             self._service_times.observe("rpc.server.handler_seconds", elapsed, labels)
+            # Aggregate stream feeding the "auto" capacity derivation.
+            self._service_times.observe("rpc.server.handler_seconds", elapsed, _ALL_PROCS)
             if call.deadline is not None and ended > call.deadline:
                 # The deadline lapsed *mid-execution*: these handler
                 # seconds bought an answer nobody is waiting for — the

@@ -5,7 +5,10 @@ instead of eyeballing one trace, this module drives repeated traced
 import → bind → invoke cascades across simulated stacks — one per
 (latency model, fleet size) cell — flushes every finished chain through
 a :class:`~repro.telemetry.exporters.RingExporter`, and aggregates the
-per-layer elapsed times into p50/p95/max tables.
+per-layer elapsed times into p50/p95/max tables.  A companion
+``recovery`` table runs a crash-and-recover cell per latency model and
+reports the failure-recovery layer's footprint: failover attempts,
+breaker opens, and lease expirations.
 
 The tables render through the existing :mod:`repro.uims` backends (the
 same widget model that renders generated service forms), so the report
@@ -28,6 +31,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.context import CallContext
 from repro.core import GenericClient, make_tradable
 from repro.core.integration import export_properties
+from repro.core.rebind import RebindingClient
+from repro.errors import CosmError
 from repro.net import (
     FixedLatency,
     JitteredLatency,
@@ -36,13 +41,20 @@ from repro.net import (
     SimNetwork,
 )
 from repro.rpc.client import RpcClient
+from repro.rpc.resilience import BackoffPolicy, BreakerPolicy, ResilientCaller
 from repro.rpc.server import RpcServer
 from repro.rpc.transport import SimTransport
 from repro.services.car_rental import start_car_rental
 from repro.telemetry.exporters import RingExporter, TraceChain
 from repro.telemetry.hub import use_exporter
+from repro.telemetry.metrics import METRICS
 from repro.trader.service_types import service_type_from_sid
-from repro.trader.trader import ImportRequest, TraderClient, TraderService
+from repro.trader.trader import (
+    ImportRequest,
+    LocalTrader,
+    TraderClient,
+    TraderService,
+)
 from repro.uims.html import render_page_html
 from repro.uims.render import render
 from repro.uims.widgets import Label, Table, Widget
@@ -162,6 +174,104 @@ def run_cell(
     }
 
 
+# The recovery-layer series surfaced in the report: the same counters
+# the chaos suite and bench_failover assert on.
+RECOVERY_COUNTERS = {
+    "failovers": "rpc.failover.attempts",
+    "breaker_opens": "rpc.breaker.opens",
+    "lease_expirations": "trader.offers.expired",
+}
+
+
+def run_recovery_cell(model: str, repeats: int, seed: int = 1994) -> Dict[str, Any]:
+    """Crash-and-recover under ``model``: the recovery layer's footprint.
+
+    Two leased exporters serve a :class:`RebindingClient`; midway the
+    trader's ranked-first exporter crashes.  Failover rides out the
+    crash window, the dead lease lapses (lazy exclusion, then an
+    explicit sweep), and the re-import lands on the survivor.  The cell
+    reports how far the recovery counters moved, so the layer shows up
+    in the same dashboard as the latency grid.
+    """
+    net = SimNetwork(latency=LATENCY_MODELS[model](), seed=seed)
+    clock = net.clock
+    mediator = TraderService(
+        RpcServer(SimTransport(net, "trader.site-b")),
+        trader=LocalTrader("td", clock=lambda: clock.now),
+        now=lambda: clock.now,
+    )
+    rpc = RpcClient(SimTransport(net, "user.site-a"), timeout=0.5, retries=1)
+    rebinder = RebindingClient(
+        rpc,
+        TraderClient(rpc, mediator.address),
+        resilient=ResilientCaller(
+            rpc,
+            backoff=BackoffPolicy(base=0.01, cap=0.1),
+            breaker=BreakerPolicy(failure_threshold=2, probe_interval=0.5),
+            seed=seed,
+        ),
+        generic=GenericClient(rpc, enforce_fsm=False),
+    )
+
+    def spawn(host: str) -> None:
+        runtime = start_car_rental(
+            RpcServer(SimTransport(net, host)), enforce_fsm=False
+        )
+        make_tradable(
+            runtime.sid, runtime.ref, mediator.trader,
+            now=clock.now, lease_seconds=2.0,
+        )
+
+    spawn("w1.site-b")
+    spawn("w2.site-b")
+    # The trader's ranking decides who takes the traffic — crash that
+    # one; every other exporter stays live (its lease keeps renewing).
+    ranked = mediator.trader.import_(ImportRequest("CarRentalService"), now=clock.now)
+    primary = ranked[0].ref["host"]
+    survivors = [o.offer_id for o in ranked if o.ref["host"] != primary]
+
+    before = {
+        name: METRICS.counter_total(series)
+        for name, series in RECOVERY_COUNTERS.items()
+    }
+    calls = max(6, repeats)
+    succeeded = 0
+    for index in range(calls):
+        if index == calls // 2:
+            net.faults.crash(primary)
+        for offer_id in survivors:  # stand-in for the exporter heartbeat
+            mediator.trader.renew(offer_id, now=clock.now)
+        ctx = CallContext(deadline=clock.now + 2.0)
+        try:
+            rebinder.invoke(
+                "CarRentalService", "SelectCar",
+                {"selection": SELECTION}, ctx=ctx,
+            )
+            succeeded += 1
+        except CosmError:
+            pass
+        finally:
+            ctx.finish()
+    # Idle past the lease horizon: the survivors keep heartbeating, the
+    # crashed exporter cannot — its lease is the one the sweep reclaims.
+    clock.run_for(2.5)
+    for offer_id in survivors:
+        mediator.trader.renew(offer_id, now=clock.now)
+    mediator.trader.expire_offers(clock.now)
+    moved = {
+        name: int(METRICS.counter_total(series) - before[name])
+        for name, series in RECOVERY_COUNTERS.items()
+    }
+    return {
+        "model": model,
+        "calls": calls,
+        "succeeded": succeeded,
+        "rebinds": rebinder.rebinds,
+        "reimports": rebinder.imports,
+        **moved,
+    }
+
+
 def build_report(
     models: Sequence[str] = DEFAULT_MODELS,
     fleets: Sequence[int] = DEFAULT_FLEETS,
@@ -180,6 +290,7 @@ def build_report(
         "fleets": [int(fleet) for fleet in fleets],
         "repeats": repeats,
         "cells": cells,
+        "recovery": [run_recovery_cell(model, repeats) for model in models],
     }
 
 
@@ -211,6 +322,26 @@ def report_widgets(report: Dict[str, Any]) -> List[Widget]:
                     stats["max"],
                 )
         widgets.append(table)
+    recovery = Table(
+        "recovery (crash-and-recover, per model)",
+        [
+            "model", "calls", "ok", "failovers", "breaker opens",
+            "lease expirations", "re-imports", "rebinds",
+        ],
+    )
+    for cell in report.get("recovery", []):
+        recovery.add_row(
+            cell["model"],
+            cell["calls"],
+            cell["succeeded"],
+            cell["failovers"],
+            cell["breaker_opens"],
+            cell["lease_expirations"],
+            cell["reimports"],
+            cell["rebinds"],
+        )
+    if report.get("recovery"):
+        widgets.append(recovery)
     return widgets
 
 

@@ -14,7 +14,9 @@ The trader matches importer requests against exported service offers
 * :mod:`repro.trader.trader` — the local trader plus its RPC service and
   client stubs,
 * :mod:`repro.trader.federation` — trader-to-trader links with hop-limited
-  query forwarding (the trader federation of §2.2).
+  query forwarding (the trader federation of §2.2),
+* :mod:`repro.trader.leases` — exporter-side lease heartbeats keeping
+  offers matchable exactly as long as their exporter is alive.
 """
 
 from repro.trader.constraints import Constraint, parse_constraint
@@ -28,6 +30,7 @@ from repro.trader.errors import (
     UnknownServiceType,
 )
 from repro.trader.federation import DEFAULT_FANOUT_WORKERS, TraderLink, fan_out
+from repro.trader.leases import LeaseHeartbeat, heartbeat_interval, keep_alive
 from repro.trader.offers import OfferStore, ServiceOffer
 from repro.trader.policies import Preference, parse_preference
 from repro.trader.service_types import ServiceType, service_type_from_sid
@@ -50,6 +53,7 @@ __all__ = [
     "DuplicateServiceType",
     "ImportRequest",
     "InvalidOfferProperties",
+    "LeaseHeartbeat",
     "LocalTrader",
     "OfferNotFound",
     "OfferStore",
@@ -64,6 +68,8 @@ __all__ = [
     "TypeManager",
     "UnknownServiceType",
     "fan_out",
+    "heartbeat_interval",
+    "keep_alive",
     "parse_constraint",
     "parse_preference",
     "service_type_from_sid",

@@ -24,7 +24,7 @@ from typing import Any, Callable, Dict, List, Optional
 import math
 
 from repro.context import CallContext, Clock, DeadlineLedger, SpanRecord, use_context
-from repro.rpc.errors import ServerShedding
+from repro.rpc.errors import DeadlineExceeded, ServerShedding
 from repro.telemetry.metrics import METRICS
 
 Forwarder = Callable[..., List[Dict[str, Any]]]
@@ -134,6 +134,10 @@ def fan_out(
             # unreachable peer, but counted separately — shedding is a
             # load signal, not a liveness one.
             METRICS.inc("federation.link", (link.name, "shed"))
+        except DeadlineExceeded:
+            # The lease lapsed mid-forward: a budget outcome, not a
+            # liveness one — counted like the pre-flight expiry check.
+            METRICS.inc("federation.link", (link.name, "expired"))
         except Exception:  # noqa: BLE001 - unreachable peers are skipped
             # the span already recorded the failure outcome
             METRICS.inc("federation.link", (link.name, "unreachable"))
@@ -144,15 +148,20 @@ def fan_out(
         max_workers=max(1, min(workers, len(links))),
         thread_name_prefix="trader-fanout",
     )
+    link_for = {}
     pending = set()
+    budget_exhausted = False
     try:
         for index, link in enumerate(links):
-            pending.add(executor.submit(forward_one, index, link))
+            future = executor.submit(forward_one, index, link)
+            link_for[future] = link
+            pending.add(future)
         while pending:
             budget = ledger.remaining()
             timeout = None if math.isinf(budget) else budget
             done, pending = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
             if not done:
+                budget_exhausted = True
                 break  # budget spent: return the partial sweep
             if needed > 0:
                 gathered = sum(len(r) for r in results if r)
@@ -160,7 +169,13 @@ def fan_out(
                     break
     finally:
         for future in pending:
-            future.cancel()
+            # Links a spent budget kept from ever starting are counted
+            # "expired", matching the serial sweep's skip accounting; an
+            # early exit because ``needed`` was reached counts nothing
+            # (the serial sweep does not either).  Links already running
+            # count their own outcome in ``forward_one``.
+            if future.cancel() and budget_exhausted:
+                METRICS.inc("federation.link", (link_for[future].name, "expired"))
         executor.shutdown(wait=False)
     # Snapshot: links still running past an early exit must not mutate
     # what the importer already merged.

@@ -17,8 +17,13 @@ class ServiceOffer:
     """One exported offer: a reference plus characterising properties.
 
     ``expires_at`` implements offer lifetimes: an expired offer never
-    matches an import and is reaped by the trader's purge sweep.  ``None``
+    matches an import and is reaped by the trader's expiry sweep.  ``None``
     means the offer lives until withdrawn.
+
+    ``lease_seconds`` is the liveness lease granted at export: exporters
+    refresh it via RENEW (the service runtime heartbeats it), and a lease
+    that lapses — because the exporter crashed or lost connectivity —
+    takes the offer out of matching without any explicit withdraw.
     """
 
     offer_id: str
@@ -27,12 +32,23 @@ class ServiceOffer:
     properties: Dict[str, Any] = field(default_factory=dict)
     exported_at: float = 0.0
     expires_at: Optional[float] = None
+    lease_seconds: Optional[float] = None
 
     def service_ref(self) -> ServiceRef:
         return ServiceRef.from_wire(self.ref)
 
     def expired(self, now: float) -> bool:
         return self.expires_at is not None and now >= self.expires_at
+
+    def renew(self, now: float) -> Optional[float]:
+        """Refresh the lease: a fresh ``lease_seconds`` of life from ``now``.
+
+        A no-op for offers exported without a lease (they never expire).
+        Returns the new ``expires_at``.
+        """
+        if self.lease_seconds is not None:
+            self.expires_at = now + self.lease_seconds
+        return self.expires_at
 
     def to_wire(self) -> Dict[str, Any]:
         return {
@@ -42,6 +58,7 @@ class ServiceOffer:
             "properties": dict(self.properties),
             "exported_at": self.exported_at,
             "expires_at": self.expires_at,
+            "lease_seconds": self.lease_seconds,
         }
 
     @classmethod
@@ -53,6 +70,7 @@ class ServiceOffer:
             properties=data.get("properties", {}),
             exported_at=data.get("exported_at", 0.0),
             expires_at=data.get("expires_at"),
+            lease_seconds=data.get("lease_seconds"),
         )
 
 

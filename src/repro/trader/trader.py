@@ -15,7 +15,7 @@ from repro.context import CallContext, Clock, current_context, use_context
 from repro.naming.refs import ServiceRef
 from repro.net.endpoints import Address
 from repro.rpc.client import RpcClient
-from repro.rpc.errors import ServerShedding
+from repro.rpc.errors import DeadlineExceeded, ServerShedding
 from repro.rpc.server import RpcProgram, RpcServer
 from repro.rpc.transport import SimTransport
 from repro.telemetry.metrics import METRICS
@@ -40,6 +40,7 @@ _PROC_LIST_TYPES = 7
 _PROC_GET_TYPE = 8
 _PROC_LIST_OFFERS = 9
 _PROC_MASK_TYPE = 10
+_PROC_RENEW = 11
 
 
 @dataclass
@@ -128,14 +129,19 @@ class LocalTrader:
         properties: Dict[str, Any],
         now: float = 0.0,
         lifetime: Optional[float] = None,
+        lease_seconds: Optional[float] = None,
     ) -> str:
         """Register a service offer; returns the offer id.
 
-        ``lifetime`` (in the trader's time unit) makes the offer expire:
-        it stops matching at ``now + lifetime`` and is reaped by
-        :meth:`purge_expired` — exporters of volatile services refresh by
-        re-exporting instead of leaving stale offers behind.
+        ``lease_seconds`` grants a liveness lease: the offer stops
+        matching at ``now + lease_seconds`` unless the exporter refreshes
+        it via :meth:`renew` (the RENEW wire operation — service runtimes
+        heartbeat it).  ``None`` keeps the historical behaviour: the
+        offer lives until withdrawn.  ``lifetime`` is the legacy spelling
+        of the same grant — a lifetime-exported offer is renewable too.
         """
+        if lease_seconds is None:
+            lease_seconds = lifetime
         declared = self.types.get(service_type)
         checked = declared.check_properties(properties)
         ref_wire = ref.to_wire() if isinstance(ref, ServiceRef) else dict(ref)
@@ -145,18 +151,47 @@ class LocalTrader:
             ref=ref_wire,
             properties=checked,
             exported_at=now,
-            expires_at=None if lifetime is None else now + lifetime,
+            expires_at=None if lease_seconds is None else now + lease_seconds,
+            lease_seconds=lease_seconds,
         )
         self.offers.add(offer)
         self.exports_accepted += 1
         return offer.offer_id
 
-    def purge_expired(self, now: float) -> int:
-        """Remove expired offers; returns how many were reaped."""
+    def renew(self, offer_id: str, now: float = 0.0) -> Optional[float]:
+        """Refresh an offer's lease; returns the new ``expires_at``.
+
+        Renewing a lease that lapsed but was not yet swept revives the
+        offer — the grace a slow heartbeat gets before
+        :meth:`expire_offers` makes the eviction final.  Renewing an
+        offer exported without a lease is a no-op (returns ``None``).
+        Raises :class:`~repro.trader.errors.OfferNotFound` once the offer
+        is withdrawn or swept, which tells the exporter to re-export.
+        """
+        offer = self.offers.get(offer_id)
+        expires_at = offer.renew(now)
+        METRICS.inc("trader.offers.renewed", (self.trader_id,))
+        return expires_at
+
+    def expire_offers(self, now: float) -> int:
+        """Sweep lease-expired offers out of the store; returns the count.
+
+        Matching already excludes expired offers lazily — the sweep is
+        about memory and index hygiene: evicted offers leave the equality
+        index as well, so a dead fleet stops occupying candidate buckets.
+        """
         expired = [o.offer_id for o in self.offers.all() if o.expired(now)]
         for offer_id in expired:
             self.offers.remove(offer_id)
+        if expired:
+            METRICS.inc(
+                "trader.offers.expired", (self.trader_id, "swept"), amount=len(expired)
+            )
         return len(expired)
+
+    def purge_expired(self, now: float) -> int:
+        """Legacy alias for :meth:`expire_offers`."""
+        return self.expire_offers(now)
 
     def withdraw(self, offer_id: str) -> ServiceOffer:
         return self.offers.remove(offer_id)
@@ -199,6 +234,9 @@ class LocalTrader:
         matched = []
         for offer in candidates:
             if offer.expired(now):
+                # Lazy exclusion: a lapsed lease stops matching before any
+                # sweep runs, so importers never see a dead exporter.
+                METRICS.inc("trader.offers.expired", (self.trader_id, "lazy"))
                 continue
             resolved = resolve_properties(offer.properties, self.dynamic_evaluator)
             if constraint.evaluate(resolved):
@@ -211,6 +249,7 @@ class LocalTrader:
                         properties=resolved,
                         exported_at=offer.exported_at,
                         expires_at=offer.expires_at,
+                        lease_seconds=offer.lease_seconds,
                     )
                 matched.append(offer)
         # Under the default "first" preference a bounded import may stop as
@@ -333,6 +372,11 @@ class LocalTrader:
                 # Overloaded peer: partial merge, counted as a load signal.
                 METRICS.inc("federation.link", (link.name, "shed"))
                 continue
+            except DeadlineExceeded:
+                # Budget lapsed mid-forward: an "expired" outcome, same
+                # as the pre-flight skip — not an unreachable peer.
+                METRICS.inc("federation.link", (link.name, "expired"))
+                continue
             except Exception:  # noqa: BLE001 - unreachable peers are skipped
                 METRICS.inc("federation.link", (link.name, "unreachable"))
                 continue
@@ -391,6 +435,7 @@ class TraderService:
         program.register(_PROC_GET_TYPE, self._get_type, "get_type")
         program.register(_PROC_LIST_OFFERS, self._list_offers, "list_offers")
         program.register(_PROC_MASK_TYPE, self._mask_type, "mask_type")
+        program.register(_PROC_RENEW, self._renew, "renew")
         server.serve(program)
         self.address = server.address
 
@@ -424,7 +469,11 @@ class TraderService:
             args["properties"],
             self._now(),
             args.get("lifetime"),
+            args.get("lease_seconds"),
         )
+
+    def _renew(self, args) -> Optional[float]:
+        return self.trader.renew(args["offer_id"], self._now())
 
     def _withdraw(self, args) -> bool:
         self.trader.withdraw(args["offer_id"])
@@ -471,6 +520,7 @@ class TraderClient:
         ref: Union[ServiceRef, Dict[str, Any]],
         properties: Dict[str, Any],
         lifetime: Optional[float] = None,
+        lease_seconds: Optional[float] = None,
     ) -> str:
         ref_wire = ref.to_wire() if isinstance(ref, ServiceRef) else ref
         return self._call(
@@ -480,8 +530,13 @@ class TraderClient:
                 "ref": ref_wire,
                 "properties": properties,
                 "lifetime": lifetime,
+                "lease_seconds": lease_seconds,
             },
         )
+
+    def renew(self, offer_id: str) -> Optional[float]:
+        """Refresh an offer's liveness lease (the RENEW heartbeat)."""
+        return self._call(_PROC_RENEW, {"offer_id": offer_id})
 
     def withdraw(self, offer_id: str) -> bool:
         return self._call(_PROC_WITHDRAW, {"offer_id": offer_id})

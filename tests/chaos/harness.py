@@ -23,15 +23,22 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.context import CallContext
+from repro.core.generic_client import GenericClient
+from repro.core.integration import keep_tradable
+from repro.core.rebind import RebindingClient
+from repro.errors import BindingError, CommunicationError, CosmError
 from repro.naming.refs import ServiceRef
 from repro.net import SimNetwork
 from repro.net.endpoints import Address
 from repro.rpc.client import RpcClient
 from repro.rpc.errors import DeadlineExceeded, RpcTimeout, ServerShedding
 from repro.rpc.message import ReplyStatus, RpcCall, decode_message
+from repro.rpc.resilience import BackoffPolicy, BreakerPolicy, ResilientCaller
 from repro.rpc.server import AdmissionPolicy, RpcProgram, RpcServer
 from repro.rpc.transport import SimTransport
 from repro.rpc.xdr import encode_value
+from repro.services.car_rental import start_car_rental
 from repro.sidl.types import DOUBLE, InterfaceType, LONG, OperationType
 from repro.trader.service_types import ServiceType
 from repro.trader.trader import ImportRequest, LocalTrader, TraderClient, TraderService
@@ -237,6 +244,7 @@ def run_overload_burst(
     spacing: float = 0.05,
     deadline_budget: float = 0.6,
     warmup: int = 3,
+    capacity=256,
 ) -> ChaosRun:
     """A fault-free burst against a slow worker server, shed on or off.
 
@@ -249,7 +257,8 @@ def run_overload_burst(
     """
     net = SimNetwork(seed=seed)
     policy = AdmissionPolicy(
-        shed=shed, defer_while_busy=True, min_samples=warmup, quantile=0.5
+        shed=shed, defer_while_busy=True, min_samples=warmup, quantile=0.5,
+        capacity=capacity,
     )
     transport = SimTransport(net, "worker")
     server = RpcServer(transport, admission=policy)
@@ -316,6 +325,212 @@ def run_overload_burst(
         deadlines_rejected=server.deadlines_rejected,
         extra={
             "handled": server.calls_handled,
-            "queue_capacity": policy.capacity,
+            "queue_capacity": server._queue.capacity,
         },
     )
+
+
+# -- crash / failover / rebind workload ---------------------------------------
+
+
+def run_failover_workload(
+    seed: int,
+    resilience: bool = True,
+    workers: int = 6,
+    crashed: int = 2,
+    lease_seconds: float = 0.6,
+    calls: int = 24,
+    spacing: float = 0.25,
+    crash_at: float = 1.5,
+    recover_at: float = 3.5,
+    deadline_budget: float = 1.0,
+) -> ChaosRun:
+    """A fleet of leased exporters, a fraction crashed mid-workload.
+
+    ``workers`` car-rental runtimes each export one leased offer to a
+    shared trader (RENEW heartbeats on the virtual clock; the trader
+    sweeps lapsed leases periodically).  A client issues ``calls``
+    invocations, one every ``spacing`` seconds; the first ``crashed``
+    workers' hosts crash at ``crash_at`` and recover at ``recover_at`` —
+    crashing a host also eats its heartbeats, so its offer lapses on its
+    own, and once swept the heartbeat's recovery path *re-exports* it.
+
+    With ``resilience`` a :class:`~repro.core.rebind.RebindingClient`
+    (failover + breakers + trader re-import) drives the calls; without
+    it the client binds the first imported offer once and keeps using it
+    — the pre-recovery behaviour benchmarked as the baseline.
+
+    Outcomes carry the call's phase (``before``/``crashed``/
+    ``recovered``; recovery is judged a lease period after the hosts
+    return, giving heartbeats one cadence to re-enter the market).
+    ``extra`` records the recovery counters and — load-bearing for the
+    lease claim — ``expired_imports``: how many offers any import
+    returned whose lease had already lapsed (must stay zero).
+    """
+    net = SimNetwork(seed=seed)
+    clock = net.clock
+    trader_service = TraderService(
+        RpcServer(SimTransport(net, "trader")),
+        trader=LocalTrader("td", fanout_workers=1, clock=lambda: clock.now),
+        now=lambda: clock.now,
+    )
+
+    heartbeats = []
+    runtimes = []
+    for index in range(workers):
+        host = f"w{index:02d}"
+        runtime = start_car_rental(
+            RpcServer(SimTransport(net, host)), enforce_fsm=False
+        )
+        runtimes.append((host, runtime))
+        # The heartbeat's stub lives on the worker's own host, so crashing
+        # the host eats RENEW datagrams — no special plumbing needed.
+        stub = TraderClient(
+            RpcClient(SimTransport(net, host), timeout=0.05, retries=0),
+            trader_service.address,
+        )
+        heartbeats.append(
+            keep_tradable(
+                runtime.sid, runtime.ref, stub, lease_seconds, clock=clock
+            )
+        )
+
+    sweeping = {"on": True}
+
+    def sweep() -> None:
+        if not sweeping["on"]:
+            return
+        trader_service.trader.expire_offers(clock.now)
+        clock.schedule(lease_seconds / 2, sweep)
+
+    clock.schedule(lease_seconds / 2, sweep)
+
+    for index in range(crashed):
+        host = f"w{index:02d}"
+        clock.schedule_at(crash_at, lambda h=host: net.faults.crash(h))
+        clock.schedule_at(recover_at, lambda h=host: net.faults.recover(h))
+
+    rpc = RpcClient(SimTransport(net, "cli"), timeout=0.2, retries=1)
+    importer = TraderClient(rpc, trader_service.address)
+
+    # Instrument every import the client performs: the lease contract says
+    # none may return an offer whose lease has already lapsed.
+    expired_imports = {"count": 0, "imports": 0}
+    original_import = importer.import_
+
+    def checked_import(request, ctx=None):
+        offers = original_import(request, ctx=ctx)
+        now = clock.now
+        expired_imports["imports"] += 1
+        expired_imports["count"] += sum(1 for o in offers if o.expired(now))
+        return offers
+
+    importer.import_ = checked_import  # type: ignore[method-assign]
+
+    generic = GenericClient(rpc, enforce_fsm=False)
+    caller = ResilientCaller(
+        rpc,
+        backoff=BackoffPolicy(base=0.01, cap=0.2),
+        breaker=BreakerPolicy(failure_threshold=2, probe_interval=0.5),
+        seed=seed,
+    )
+    rebinder = RebindingClient(rpc, importer, resilient=caller, generic=generic)
+
+    selection = {"CarModel": "AUDI", "BookingDate": "1994-06-21", "Days": 1}
+    baseline_binding = {"value": None}
+
+    def baseline_call(ctx) -> None:
+        # No recovery layer: import once, bind the top offer once, keep
+        # invoking it.  A fresh bind is only attempted when none exists.
+        if baseline_binding["value"] is None:
+            offers = importer.import_(
+                ImportRequest("CarRentalService"), ctx=ctx
+            )
+            if not offers:
+                raise CosmError("no offers")
+            baseline_binding["value"] = generic.bind(
+                offers[0].service_ref(), ctx=ctx
+            )
+        baseline_binding["value"].invoke(
+            "SelectCar", {"selection": selection}, ctx=ctx
+        )
+
+    outcomes: Dict[str, str] = {}
+    latencies: Dict[str, float] = {}
+    recovered_after = recover_at + lease_seconds
+    for index in range(calls):
+        start = clock.now
+        if start < crash_at:
+            phase = "before"
+        elif start < recovered_after:
+            phase = "crashed"
+        else:
+            phase = "recovered"
+        ctx = CallContext(deadline=start + deadline_budget)
+        call_id = f"c{index:02d}"
+        try:
+            if resilience:
+                rebinder.invoke(
+                    "CarRentalService", "SelectCar", {"selection": selection},
+                    ctx=ctx,
+                )
+            else:
+                baseline_call(ctx)
+            outcome = "success"
+        except ServerShedding:
+            outcome = "shed"
+        except DeadlineExceeded:
+            outcome = "deadline"
+        except RpcTimeout:
+            outcome = "timeout"
+        except (CommunicationError, BindingError, CosmError):
+            outcome = "unavailable"
+        outcomes[call_id] = f"{phase}:{outcome}"
+        # Time-to-outcome for every call: failures sit at ~the budget,
+        # so availability gaps show up in the latency tail too.
+        latencies[call_id] = round(clock.now - start, 9)
+        target = start + spacing
+        if clock.now < target:
+            # A no-op event pins the grid point so pacing stays exact.
+            clock.schedule_at(target, lambda: None)
+            clock.run_until(lambda: clock.now >= target)
+
+    # Wind down: stop the recurring events so the run ends cleanly.
+    sweeping["on"] = False
+    for heartbeat in heartbeats:
+        heartbeat.stop()
+    clock.run_for(lease_seconds)
+
+    served = [
+        f"{host}:{runtime.invocations}"
+        for host, runtime in runtimes
+        if runtime.invocations
+    ]
+    return ChaosRun(
+        outcomes=outcomes,
+        executions=served,
+        retransmissions=rpc.retransmissions,
+        dropped=net.faults.dropped_count,
+        extra={
+            "imports": expired_imports["imports"],
+            "expired_imports": expired_imports["count"],
+            "failovers": caller.failovers,
+            "breaker_opens": caller.breaker_opens(),
+            "rebinds": rebinder.rebinds,
+            "reexports": sum(h.reexports for h in heartbeats),
+            "heartbeat_failures": sum(h.failures for h in heartbeats),
+            "offers_live": len(trader_service.trader.offers),
+            "latencies": latencies,
+        },
+    )
+
+
+def availability(run: ChaosRun, phase: Optional[str] = None) -> float:
+    """Fraction of (optionally phase-filtered) calls that succeeded."""
+    picked = [
+        outcome for outcome in run.outcomes.values()
+        if phase is None or outcome.startswith(f"{phase}:")
+    ]
+    if not picked:
+        return 1.0
+    return sum(1 for o in picked if o.endswith(":success")) / len(picked)

@@ -1,0 +1,63 @@
+"""Chaos: exporter crashes mid-workload, with and without resilience.
+
+The scenario crashes a fraction of the exporters partway through a
+paced call grid and recovers them later.  Three claims are pinned:
+
+* **availability recovers** — with leases + ResilientCaller + rebinding
+  the client rides out the crash window (failover to live exporters) and
+  the post-recovery phase is back above the 95% bar;
+* **no stale mediation** — an import never returns an offer whose lease
+  already lapsed (the trader's lazy exclusion + sweep is airtight);
+* **the layer earns its keep** — the identical seed without the
+  resilience layer loses every call that lands on the crashed binding,
+  so overall availability is strictly worse.
+"""
+
+from tests.chaos.harness import availability, run_failover_workload
+
+RECOVERY_BAR = 0.95
+
+
+def test_failover_restores_availability(chaos_seed):
+    resilient = run_failover_workload(chaos_seed, resilience=True)
+    baseline = run_failover_workload(chaos_seed, resilience=False)
+
+    # Post-recovery the resilient arm is back above the bar...
+    assert availability(resilient, phase="recovered") >= RECOVERY_BAR
+    # ...and it rode out the crash window better than the naive client.
+    assert availability(resilient) > availability(baseline)
+    assert availability(resilient, phase="crashed") >= availability(
+        baseline, phase="crashed"
+    )
+
+    # The resilience machinery actually fired: calls failed over past the
+    # crashed exporters and the repeat offenders tripped their breakers.
+    assert resilient.extra["failovers"] > 0
+    assert resilient.extra["breaker_opens"] > 0
+    # The naive arm has none of it.
+    assert baseline.extra["failovers"] == 0
+    assert baseline.extra["breaker_opens"] == 0
+
+
+def test_imports_never_return_lease_expired_offers(chaos_seed):
+    for resilience in (True, False):
+        run = run_failover_workload(chaos_seed, resilience=resilience)
+        assert run.extra["expired_imports"] == 0
+        assert run.extra["imports"] > 0
+
+
+def test_crashed_exporters_reenter_the_market(chaos_seed):
+    run = run_failover_workload(chaos_seed, resilience=True)
+    # Both crashed workers missed enough heartbeats for the sweep to
+    # evict them, then re-exported on recovery...
+    assert run.extra["reexports"] == 2
+    assert run.extra["heartbeat_failures"] > 0
+    # ...so the full market is matchable again at the end.
+    assert run.extra["offers_live"] == 6
+
+
+def test_failover_workload_replays_identically(chaos_seed):
+    first = run_failover_workload(chaos_seed, resilience=True)
+    second = run_failover_workload(chaos_seed, resilience=True)
+    assert first.fingerprint() == second.fingerprint()
+    assert first.extra == second.extra

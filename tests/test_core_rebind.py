@@ -1,0 +1,156 @@
+"""RebindingClient: failover across offers, re-import after crashes."""
+
+import pytest
+
+from repro.context import CallContext
+from repro.core.generic_client import GenericClient
+from repro.core.integration import make_tradable
+from repro.core.rebind import RebindingClient
+from repro.errors import LookupFailure
+from repro.rpc.client import RpcClient
+from repro.rpc.errors import DeadlineExceeded, RemoteFault
+from repro.rpc.resilience import BackoffPolicy, BreakerPolicy, ResilientCaller
+from repro.rpc.server import RpcServer
+from repro.rpc.transport import SimTransport
+from repro.services.car_rental import start_car_rental
+from repro.trader.trader import LocalTrader, TraderClient, TraderService
+
+from tests.conftest import SELECTION
+
+
+@pytest.fixture
+def stack(net):
+    """A trader, a rebinding client, and a worker factory on one sim net."""
+    clock = net.clock
+    service = TraderService(
+        RpcServer(SimTransport(net, "trader")),
+        trader=LocalTrader("td", clock=lambda: clock.now),
+        now=lambda: clock.now,
+    )
+    rpc = RpcClient(SimTransport(net, "cli"), timeout=0.2, retries=1)
+    importer = TraderClient(rpc, service.address)
+    rebinder = RebindingClient(
+        rpc,
+        importer,
+        resilient=ResilientCaller(
+            rpc,
+            backoff=BackoffPolicy(base=0.01, cap=0.1),
+            breaker=BreakerPolicy(failure_threshold=2, probe_interval=0.5),
+            seed=7,
+        ),
+        generic=GenericClient(rpc, enforce_fsm=False),
+    )
+    runtimes = {}
+
+    def spawn(host, lease_seconds=None):
+        runtime = start_car_rental(
+            RpcServer(SimTransport(net, host)), enforce_fsm=False
+        )
+        make_tradable(
+            runtime.sid, runtime.ref, service.trader,
+            now=clock.now, lease_seconds=lease_seconds,
+        )
+        runtimes[host] = runtime
+        return runtime
+
+    return net, service, rebinder, spawn
+
+
+def select(rebinder, ctx=None):
+    return rebinder.invoke(
+        "CarRentalService", "SelectCar", {"selection": SELECTION}, ctx=ctx
+    )
+
+
+def test_steady_state_costs_one_import_and_one_binding(stack):
+    net, service, rebinder, spawn = stack
+    spawn("w1")
+    assert select(rebinder) is not None
+    assert select(rebinder) is not None
+    assert rebinder.imports == 1  # the offer list was cached
+    assert rebinder.rebinds == 0
+    assert len(rebinder._bindings) == 1  # and so was the binding
+
+
+def test_invoke_fails_over_to_the_next_ranked_offer(stack):
+    net, service, rebinder, spawn = stack
+    spawn("w1")
+    spawn("w2")
+    net.faults.crash("w1")
+    ctx = CallContext(deadline=net.clock.now + 2.0)
+    assert select(rebinder, ctx) is not None
+    assert rebinder.resilient.failovers >= 1
+    assert rebinder.rebinds == 0  # the cached list was deep enough
+
+
+def test_reimport_picks_up_a_fresh_export_after_crash(stack):
+    net, service, rebinder, spawn = stack
+    clock = net.clock
+    spawn("w1", lease_seconds=1.0)
+    assert select(rebinder) is not None
+    # w1 dies; its lease lapses while the client sits idle.
+    net.faults.crash("w1")
+    clock.run_for(2.0)
+    service.trader.expire_offers(clock.now)
+    # A replacement exports *after* the client's cache was filled.
+    spawn("w2", lease_seconds=1.0)
+    ctx = CallContext(deadline=clock.now + 2.0)
+    assert select(rebinder, ctx) is not None
+    assert rebinder.imports == 2  # expired cache forced a re-import
+    # The fresh import never saw the lapsed offer: it went to w2 directly.
+    assert runtimes_host(rebinder) == {"w2"}
+
+
+def runtimes_host(rebinder):
+    key = ("CarRentalService", "", "")
+    return {offer.ref["host"] for offer in rebinder._offers[key]}
+
+
+def test_whole_cohort_crash_triggers_rebind_and_recovers(stack):
+    net, service, rebinder, spawn = stack
+    clock = net.clock
+    spawn("w1")
+    assert select(rebinder) is not None
+    net.faults.crash("w1")
+
+    # Recovery happens *while* the client is mid-invocation: the cached
+    # list fails, the rebind re-imports and finds the new export.
+    def recover():
+        service.trader.withdraw(next(iter(service.trader.offers.all())).offer_id)
+        spawn("w2")
+
+    clock.schedule(0.5, recover)
+    ctx = CallContext(deadline=clock.now + 5.0)
+    assert select(rebinder, ctx) is not None
+    assert rebinder.rebinds >= 1
+    assert rebinder.imports >= 2
+
+
+def test_deadline_expiry_propagates_and_never_overshoots(stack):
+    net, service, rebinder, spawn = stack
+    spawn("w1")
+    net.faults.crash("w1")
+    deadline = net.clock.now + 0.3
+    with pytest.raises(DeadlineExceeded):
+        select(rebinder, CallContext(deadline=deadline))
+    # Rebind rounds run on deadline slices: however many re-imports the
+    # loop tried, the overall budget was never exceeded.
+    assert net.clock.now <= deadline + 1e-9
+    assert rebinder.rebinds <= rebinder.max_rebinds
+
+
+def test_application_faults_propagate_without_failover(stack):
+    net, service, rebinder, spawn = stack
+    spawn("w1")
+    spawn("w2")
+    with pytest.raises(RemoteFault):
+        # BookCar before any SelectCar faults in the handler (the FSM
+        # guard is off) — and would on any replica alike.
+        rebinder.invoke("CarRentalService", "BookCar", {})
+    assert rebinder.resilient.failovers == 0  # wrong everywhere: no retry
+
+
+def test_no_offers_raises_lookup_failure(stack):
+    net, service, rebinder, spawn = stack
+    with pytest.raises(LookupFailure):
+        select(rebinder)

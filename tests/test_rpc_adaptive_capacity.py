@@ -1,0 +1,133 @@
+"""Adaptive admission capacity: Little's-law queue bounds under "auto"."""
+
+import math
+
+import pytest
+
+from repro.context import CallContext
+from repro.rpc.client import RpcClient
+from repro.rpc.server import (
+    BUDGET_QUANTILE,
+    AdmissionPolicy,
+    RpcProgram,
+    RpcServer,
+    derive_capacity,
+)
+from repro.rpc.transport import SimTransport
+from repro.telemetry.metrics import METRICS
+
+from tests.chaos.harness import run_overload_burst
+
+WORK_PROG = 9200
+
+
+# -- the formula --------------------------------------------------------------
+
+
+def test_derive_capacity_pins_littles_law():
+    # ceil(budget / service): how many queued calls one execution stream
+    # can still serve before a typical deadline lapses.
+    assert derive_capacity(0.1, 2.0) == 20
+    assert derive_capacity(0.3, 2.0, floor=1) == math.ceil(2.0 / 0.3) == 7
+    assert derive_capacity(0.25, 1.0, floor=1) == 4
+
+
+def test_derive_capacity_clamps_to_floor_and_ceiling():
+    assert derive_capacity(1.0, 0.5, floor=8, ceiling=4096) == 8  # derived 1
+    assert derive_capacity(0.001, 1e6, floor=8, ceiling=4096) == 4096
+    assert derive_capacity(0.2, 1.0, floor=3, ceiling=4096) == 5  # inside band
+
+
+def test_derive_capacity_without_service_estimate_is_unbounded():
+    assert derive_capacity(0.0, 1.0, ceiling=4096) == 4096
+    assert derive_capacity(-1.0, 1.0, ceiling=512) == 512
+
+
+# -- server behaviour ---------------------------------------------------------
+
+
+def make_worker(net, service_time, capacity="auto", min_samples=3):
+    policy = AdmissionPolicy(
+        capacity=capacity, shed=True, quantile=0.5, min_samples=min_samples
+    )
+    transport = SimTransport(net, "auto-worker")
+    server = RpcServer(transport, admission=policy)
+    program = RpcProgram(WORK_PROG, name="auto")
+
+    def slow(args):
+        transport.wait(lambda: False, service_time)
+        return {"ok": True}
+
+    program.register(1, slow, "slow")
+    server.serve(program)
+    return server
+
+
+def test_auto_capacity_adapts_to_observed_load(net):
+    service_time, budget = 0.1, 2.0
+    server = make_worker(net, service_time)
+    # Until estimates exist the queue runs wide open.
+    assert server._queue.capacity == server.admission.max_capacity
+    client = RpcClient(SimTransport(net, "cli"), timeout=5.0, retries=0)
+    for _ in range(6):
+        client.call(
+            server.address, WORK_PROG, 1, 1, {},
+            context=CallContext(deadline=net.clock.now + budget),
+        )
+    # The derived bound lands near ceil(budget / service) = 20 — the
+    # estimates fold in a little transport latency, so allow slack, but
+    # the queue must have collapsed from 4096 to the right magnitude.
+    ideal = derive_capacity(
+        service_time, budget,
+        server.admission.min_capacity, server.admission.max_capacity,
+    )
+    assert ideal * 0.7 <= server._queue.capacity <= ideal * 1.3
+    assert (
+        METRICS.gauge("rpc.server.queue_capacity", server._gauge_label)
+        == server._queue.capacity
+    )
+
+
+def test_auto_capacity_tracks_budget_changes(net):
+    server = make_worker(net, 0.1)
+    client = RpcClient(SimTransport(net, "cli"), timeout=5.0, retries=0)
+    for _ in range(6):
+        client.call(server.address, WORK_PROG, 1, 1, {},
+                    context=CallContext(deadline=net.clock.now + 2.0))
+    wide = server._queue.capacity
+    # Clients tighten their deadlines: the median budget falls, and the
+    # queue bound follows (fewer queued calls can still be served in time).
+    for _ in range(12):
+        client.call(server.address, WORK_PROG, 1, 1, {},
+                    context=CallContext(deadline=net.clock.now + 1.0))
+    assert server._queue.capacity < wide
+
+
+def test_fixed_capacity_never_adapts(net):
+    server = make_worker(net, 0.1, capacity=16)
+    client = RpcClient(SimTransport(net, "cli"), timeout=5.0, retries=0)
+    for _ in range(6):
+        client.call(server.address, WORK_PROG, 1, 1, {},
+                    context=CallContext(deadline=net.clock.now + 2.0))
+    assert server._queue.capacity == 16
+
+
+def test_budget_quantile_is_the_median():
+    assert BUDGET_QUANTILE == 0.5
+
+
+# -- chaos no-regression ------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [1994, 2024])
+def test_auto_capacity_no_regression_under_overload(seed):
+    fixed = run_overload_burst(seed, shed=True)
+    auto = run_overload_burst(seed, shed=True, capacity="auto")
+    succeeded = lambda run: sum(
+        1 for outcome in run.outcomes.values() if outcome == "success"
+    )
+    # The adaptive bound must not lose work the fixed queue served...
+    assert succeeded(auto) >= succeeded(fixed)
+    # ...while deriving a dramatically tighter queue than the default.
+    assert auto.extra["queue_capacity"] <= fixed.extra["queue_capacity"]
+    assert all(outcome != "silent" for outcome in auto.outcomes.values())

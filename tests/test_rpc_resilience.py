@@ -1,0 +1,415 @@
+"""Resilient invocation: backoff, circuit breakers, failover, deadlines.
+
+Unit tests drive :class:`ResilientCaller` against fake transports with a
+hand-cranked clock; hypothesis properties pin the two safety claims the
+chaos suite relies on — the backoff schedule stays within ``[base, cap]``
+and never outlives the call budget, and an open breaker admits nothing
+before its probe interval.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import namedtuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.context import CallContext
+from repro.errors import BindingError, CommunicationError
+from repro.rpc.errors import (
+    DeadlineExceeded,
+    RemoteFault,
+    RpcError,
+    RpcTimeout,
+    ServerShedding,
+)
+from repro.rpc.resilience import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BackoffPolicy,
+    BreakerPolicy,
+    CircuitBreaker,
+    CircuitOpen,
+    ResilientCaller,
+    transient,
+)
+from repro.telemetry.metrics import METRICS
+
+
+class FakeTransport:
+    """A transport that only tells time; ``wait`` advances it."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self.slept = 0.0
+
+    def now(self) -> float:
+        return self._now
+
+    def wait(self, predicate, timeout: float) -> bool:
+        self._now += timeout
+        self.slept += timeout
+        return False
+
+    def advance(self, dt: float) -> None:
+        self._now += dt
+
+
+Dest = namedtuple("Dest", "host port")
+
+
+def dest(name):
+    return Dest(name, 1)
+
+
+class FakeClient:
+    """Scripted RpcClient stand-in: pop the next outcome per endpoint."""
+
+    def __init__(self, transport, script=None) -> None:
+        self.transport = transport
+        self.script = script or {}
+        self.calls = []
+
+    def call(self, destination, prog, vers, proc, args=None, context=None):
+        name = getattr(destination, "host", destination)
+        self.calls.append((name, proc))
+        outcomes = self.script.get(name)
+        if outcomes:
+            outcome = outcomes.pop(0)
+            if isinstance(outcome, BaseException):
+                raise outcome
+            return outcome
+        return f"ok:{name}"
+
+
+def caller(client=None, **kwargs):
+    kwargs.setdefault("backoff", BackoffPolicy(base=0.01, cap=0.1))
+    kwargs.setdefault("breaker", BreakerPolicy(failure_threshold=2, probe_interval=1.0))
+    return ResilientCaller(client or FakeClient(FakeTransport()), **kwargs)
+
+
+# -- failure classification ---------------------------------------------------
+
+
+def test_transient_classification():
+    assert transient(ServerShedding("busy"))
+    assert transient(RpcTimeout("silent"))
+    assert transient(CircuitOpen("all open"))
+    assert transient(CommunicationError("connect refused"))
+    assert not transient(DeadlineExceeded("budget spent"))
+    assert not transient(RpcError("protocol violation"))
+    assert not transient(RemoteFault("ValueError", "bad args"))
+    assert not transient(ValueError("garbage"))
+
+
+def test_binding_error_judged_by_cause():
+    timeout = BindingError("bind failed")
+    timeout.__cause__ = RpcTimeout("no reply")
+    fault = BindingError("bind failed")
+    fault.__cause__ = RemoteFault("OfferNotFound", "gone")
+    assert transient(timeout)
+    assert not transient(fault)
+    assert not transient(BindingError("no cause at all"))
+
+
+# -- backoff ------------------------------------------------------------------
+
+
+def test_backoff_first_is_base():
+    assert BackoffPolicy(base=0.5).first() == 0.5
+
+
+def test_backoff_next_is_capped():
+    policy = BackoffPolicy(base=0.1, cap=1.0, factor=100.0)
+    rng = random.Random(7)
+    delay = policy.first()
+    for _ in range(20):
+        delay = policy.next_delay(delay, rng)
+        assert 0.1 <= delay <= 1.0
+
+
+# -- the circuit breaker ------------------------------------------------------
+
+
+def test_breaker_trips_after_threshold():
+    transport = FakeTransport()
+    breaker = CircuitBreaker("b", BreakerPolicy(failure_threshold=3), transport.now)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == STATE_CLOSED
+    breaker.record_failure()
+    assert breaker.state == STATE_OPEN
+    assert breaker.opens == 1
+    assert not breaker.allow()
+
+
+def test_success_resets_the_failure_streak():
+    transport = FakeTransport()
+    breaker = CircuitBreaker("b", BreakerPolicy(failure_threshold=2), transport.now)
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == STATE_CLOSED  # streak restarted
+
+
+def test_open_breaker_admits_one_probe_after_interval():
+    transport = FakeTransport()
+    breaker = CircuitBreaker(
+        "b", BreakerPolicy(failure_threshold=1, probe_interval=1.0), transport.now
+    )
+    breaker.record_failure()
+    assert not breaker.allow()
+    transport.advance(1.0)
+    assert breaker.state == STATE_HALF_OPEN
+    assert breaker.allow()  # the single probe slot
+    assert not breaker.allow()  # everyone else keeps waiting
+    breaker.record_success()
+    assert breaker.state == STATE_CLOSED
+    assert breaker.allow()
+
+
+def test_failed_probe_reopens_for_a_fresh_interval():
+    transport = FakeTransport()
+    breaker = CircuitBreaker(
+        "b", BreakerPolicy(failure_threshold=1, probe_interval=1.0), transport.now
+    )
+    breaker.record_failure()
+    transport.advance(1.0)
+    assert breaker.allow()
+    breaker.record_failure()  # probe failed
+    assert breaker.state == STATE_OPEN
+    assert breaker.opens == 2
+    assert not breaker.allow()
+    transport.advance(0.5)
+    assert not breaker.allow()  # the interval restarted at the failed probe
+    transport.advance(0.5)
+    assert breaker.allow()
+
+
+# -- the failover engine ------------------------------------------------------
+
+
+def test_failover_moves_to_the_next_target():
+    transport = FakeTransport()
+    client = FakeClient(transport, {"a": [ServerShedding("busy")]})
+    engine = caller(client)
+    failovers_before = METRICS.counter_total("rpc.failover.attempts")
+    result = engine.call([dest("a"), dest("b")], 1, 1, 1)
+    assert result == "ok:b"
+    assert engine.failovers == 1
+    assert METRICS.counter_total("rpc.failover.attempts") == failovers_before + 1
+    assert [d for d, _ in client.calls] == ["a", "b"]
+
+
+def test_non_transient_failures_propagate_immediately():
+    transport = FakeTransport()
+    client = FakeClient(transport, {"a": [RemoteFault("ValueError", "bad")]})
+    engine = caller(client)
+    with pytest.raises(RemoteFault):
+        engine.call([dest("a"), dest("b")], 1, 1, 1)
+    assert client.calls == [("a", 1)]  # never touched the alternate
+
+
+def test_second_round_retries_shed_but_alive_servers():
+    transport = FakeTransport()
+    client = FakeClient(
+        transport, {"a": [ServerShedding("busy")], "b": [ServerShedding("busy")]}
+    )
+    engine = caller(client, rounds=2)
+    assert engine.call([dest("a"), dest("b")], 1, 1, 1) == "ok:a"
+    assert [d for d, _ in client.calls] == ["a", "b", "a"]
+    assert engine.backoff_sleeps > 0  # failovers paused between attempts
+
+
+def test_exhausted_rounds_raise_the_last_transient_error():
+    transport = FakeTransport()
+    client = FakeClient(transport, {"a": [RpcTimeout("1"), RpcTimeout("2")]})
+    engine = caller(client, rounds=2)
+    with pytest.raises(RpcTimeout):
+        engine.call([dest("a")], 1, 1, 1)
+
+
+def test_tripped_breaker_short_circuits_without_network_traffic():
+    transport = FakeTransport()
+    client = FakeClient(transport, {"a": [RpcTimeout("1"), RpcTimeout("2")]})
+    engine = caller(client, breaker=BreakerPolicy(failure_threshold=2, probe_interval=5.0))
+    engine.call([dest("a"), dest("b")], 1, 1, 1)  # trips a after two timeouts? no — one
+    # Exhaust a's breaker: two transient failures.
+    client.script["a"] = [RpcTimeout("3"), RpcTimeout("4")]
+    engine.call([dest("a"), dest("b")], 1, 1, 1)
+    assert engine.breaker_for("a:1").state == STATE_OPEN
+    wire_calls_before = len(client.calls)
+    result = engine.call([dest("a"), dest("b")], 1, 1, 1)
+    assert result == "ok:b"
+    # a was skipped outright: only b saw traffic.
+    assert [d for d, _ in client.calls[wire_calls_before:]] == ["b"]
+    assert engine.breaker_opens() == 1
+
+
+def test_all_breakers_open_raises_circuit_open():
+    transport = FakeTransport()
+    engine = caller(
+        FakeClient(transport),
+        breaker=BreakerPolicy(failure_threshold=1, probe_interval=10.0),
+    )
+    for endpoint in ("a:1", "b:1"):
+        engine.breaker_for(endpoint).record_failure()
+    with pytest.raises(CircuitOpen):
+        engine.call([dest("a"), dest("b")], 1, 1, 1)
+
+
+def test_expired_budget_raises_deadline_exceeded():
+    transport = FakeTransport()
+    transport.advance(10.0)
+    engine = caller(FakeClient(transport))
+    ctx = CallContext(deadline=5.0)  # already lapsed
+    with pytest.raises(DeadlineExceeded):
+        engine.call([dest("a")], 1, 1, 1, ctx=ctx)
+
+
+def test_slice_expiry_fails_over_while_budget_remains():
+    # A dead endpoint exhausts its *slice* of the deadline and surfaces
+    # DeadlineExceeded — the engine must treat that as transient while
+    # the parent budget still stands, and fail over.
+    transport = FakeTransport()
+    client = FakeClient(transport, {"a": [DeadlineExceeded("slice lapsed")]})
+    engine = caller(client)
+    ctx = CallContext(deadline=100.0)
+    assert engine.call([dest("a"), dest("b")], 1, 1, 1, ctx=ctx) == "ok:b"
+
+
+def test_attempt_context_slices_the_remaining_budget():
+    transport = FakeTransport()
+    seen = []
+
+    def attempt(target, child):
+        seen.append(child.deadline)
+        raise ServerShedding("busy")
+
+    engine = caller(FakeClient(transport), rounds=1)
+    ctx = CallContext(deadline=4.0)
+    with pytest.raises(ServerShedding):
+        engine.run(["a", "b"], attempt, ctx=ctx)
+    # First attempt gets remaining/2; the slices never exceed the budget.
+    assert seen[0] == pytest.approx(2.0)
+    assert all(deadline <= 4.0 for deadline in seen)
+
+
+def test_backoff_sleep_is_clamped_to_the_budget():
+    transport = FakeTransport()
+    client = FakeClient(
+        transport,
+        {"a": [ServerShedding("busy")] * 10, "b": [ServerShedding("busy")] * 10},
+    )
+    engine = caller(
+        client, backoff=BackoffPolicy(base=0.5, cap=5.0, factor=3.0), rounds=10
+    )
+    ctx = CallContext(deadline=2.0)
+    with pytest.raises((DeadlineExceeded, ServerShedding)):
+        engine.call([dest("a"), dest("b")], 1, 1, 1, ctx=ctx)
+    assert transport.now() <= 2.0 + 1e-9
+
+
+# -- hypothesis properties ----------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    base=st.floats(min_value=1e-3, max_value=1.0, allow_nan=False),
+    cap_factor=st.floats(min_value=1.0, max_value=100.0, allow_nan=False),
+    growth=st.floats(min_value=1.0, max_value=10.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    steps=st.integers(min_value=1, max_value=50),
+)
+def test_backoff_schedule_stays_within_base_and_cap(
+    base, cap_factor, growth, seed, steps
+):
+    policy = BackoffPolicy(base=base, cap=base * cap_factor, factor=growth)
+    rng = random.Random(seed)
+    delay = policy.first()
+    assert delay == base
+    for _ in range(steps):
+        delay = policy.next_delay(delay, rng)
+        assert base <= delay <= policy.cap + 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    budget=st.floats(min_value=0.05, max_value=5.0, allow_nan=False),
+    targets=st.integers(min_value=1, max_value=5),
+    base=st.floats(min_value=0.01, max_value=0.5, allow_nan=False),
+    cap_factor=st.floats(min_value=1.0, max_value=20.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_total_backoff_never_outlives_the_deadline(
+    budget, targets, base, cap_factor, seed
+):
+    transport = FakeTransport()
+    names = [f"t{i}" for i in range(targets)]
+    client = FakeClient(transport, {n: [ServerShedding("busy")] * 100 for n in names})
+    engine = ResilientCaller(
+        client,
+        backoff=BackoffPolicy(base=base, cap=base * cap_factor),
+        breaker=BreakerPolicy(failure_threshold=1000),  # keep every circuit closed
+        rounds=100,
+        seed=seed,
+    )
+    ctx = CallContext(deadline=budget)
+    with pytest.raises((DeadlineExceeded, ServerShedding)):
+        engine.call([dest(n) for n in names], 1, 1, 1, ctx=ctx)
+    # The virtual clock only moves via backoff sleeps, every one clamped
+    # to the remaining budget: time can never pass the deadline.
+    assert transport.now() <= budget + 1e-9
+    assert engine.backoff_sleeps <= budget + 1e-9
+
+
+breaker_steps = st.lists(
+    st.tuples(
+        st.sampled_from(["fail", "success", "allow"]),
+        st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    steps=breaker_steps,
+    threshold=st.integers(min_value=1, max_value=4),
+    interval=st.floats(min_value=0.1, max_value=3.0, allow_nan=False),
+)
+def test_open_breaker_admits_nothing_before_the_probe_interval(
+    steps, threshold, interval
+):
+    transport = FakeTransport()
+    breaker = CircuitBreaker(
+        "b", BreakerPolicy(failure_threshold=threshold, probe_interval=interval),
+        transport.now,
+    )
+    opened_at = None  # shadow model: when did the circuit last trip?
+    probing = False
+    for op, dt in steps:
+        transport.advance(dt)
+        now = transport.now()
+        if op == "fail":
+            opens_before = breaker.opens
+            breaker.record_failure()
+            if breaker.opens > opens_before:  # an actual trip, not a
+                opened_at = now  # failure recorded while already open
+                probing = False
+        elif op == "success":
+            breaker.record_success()
+            opened_at = None
+            probing = False
+        else:
+            admitted = breaker.allow()
+            if opened_at is not None and now < opened_at + interval and not probing:
+                # THE property: an open circuit admits nothing early.
+                assert not admitted
+            if admitted and opened_at is not None:
+                probing = True  # the single half-open probe went through
+            elif opened_at is not None and now >= opened_at + interval and probing:
+                assert not admitted  # only one probe until its outcome lands

@@ -222,6 +222,30 @@ def test_report_grid_compares_models_and_renders_html(tmp_path):
     assert len(payload["cells"]) == 2
 
 
+def test_report_recovery_cell_shows_the_recovery_layer():
+    cell = report.run_recovery_cell("lan", repeats=6)
+    # The crash window never dents availability: failover + rebind
+    # carried every call, and each recovery series demonstrably moved.
+    assert cell["succeeded"] == cell["calls"]
+    assert cell["failovers"] >= 1
+    assert cell["breaker_opens"] >= 1
+    assert cell["lease_expirations"] >= 1
+    assert cell["reimports"] >= 1
+    # Deterministic: same seed, same virtual world, same counters.
+    assert report.run_recovery_cell("lan", repeats=6) == cell
+
+
+def test_report_renders_recovery_columns():
+    grid = report.build_report(models=("lan",), fleets=(2,), repeats=2)
+    assert [cell["model"] for cell in grid["recovery"]] == ["lan"]
+    text = report.render_report_text(grid)
+    assert "recovery (crash-and-recover, per model)" in text
+    for column in ("failovers", "breaker opens", "lease expirations"):
+        assert column in text
+    html = report.render_report_html(grid)
+    assert "lease expirations" in html
+
+
 def test_report_percentile_interpolates():
     assert report.percentile([], 0.5) == 0.0
     assert report.percentile([3.0], 0.95) == 3.0
