@@ -1,0 +1,459 @@
+"""C10K A/B: the asyncio RPC stack vs. the thread-per-connection stack.
+
+Two arms over real loopback TCP, each arm in its own pair of processes
+(server + client fleet) so RSS and file-descriptor counts are clean:
+
+* ``threaded`` — :class:`~repro.rpc.transport.TcpTransport` +
+  :class:`~repro.rpc.client.RpcClient`: every client burns a listener
+  socket, an outgoing connection, a dialled-back reply connection, and
+  roughly four threads; the server spends a thread per connection.
+* ``async`` — :class:`~repro.rpc.aio.AsyncTcpTransport` +
+  :class:`~repro.rpc.aio.AsyncRpcClient`: one event loop per process,
+  one multiplexed connection per client (replies ride the inbound
+  connection), a task per in-flight call.
+
+The report has two sections:
+
+* **compare** — both arms at the *same* fleet size, all clients holding
+  a slow call concurrently.  Tracked claims: the async arm's p95
+  time-to-reply, peak RSS (server+fleet), and socket count are strictly
+  better than the threaded arm's.
+* **scale** — the async arm alone at 10,000 concurrent clients, a fleet
+  the threaded transport cannot even address inside this container's
+  hard 20,000-fd rlimit (it needs ~3 descriptors per client on the
+  fleet side and 2 on the server side; the async arm needs 1 and 1).
+  Every call must succeed and the server must observe the full fleet
+  in flight at once.
+
+Run standalone to emit ``BENCH_async.json`` (CI smoke shrinks both
+fleets)::
+
+    PYTHONPATH=src python benchmarks/bench_async_c10k.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import resource
+import subprocess
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for path in (REPO_ROOT, os.path.join(REPO_ROOT, "src")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from repro.rpc.server import AdmissionPolicy, RpcProgram  # noqa: E402
+
+PROG = 668000
+
+#: Full-run shape: the head-to-head fleet fits the threaded arm's fd
+#: appetite under the 20k rlimit; the scale fleet is the c10k target.
+COMPARE_FLEET = 2000
+COMPARE_HOLD = 0.5
+SCALE_FLEET = 10000
+SCALE_HOLD = 10.0
+
+
+def _raise_fd_limit() -> int:
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft < hard:
+        resource.setrlimit(resource.RLIMIT_NOFILE, (hard, hard))
+    return hard
+
+
+def _rss_mib() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+class FdSampler:
+    """Peak /proc/self/fd count, sampled by a daemon thread.
+
+    One number covers listeners, connections, and loop plumbing alike —
+    the honest 'how many descriptors did this stack need' metric.
+    """
+
+    def __init__(self, interval: float = 0.05) -> None:
+        self.peak = 0
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                count = len(os.listdir("/proc/self/fd"))
+            except OSError:
+                count = 0
+            self.peak = max(self.peak, count)
+            self._stop.wait(self._interval)
+
+    def stop(self) -> int:
+        self._stop.set()
+        return self.peak
+
+
+class InflightMeter:
+    def __init__(self) -> None:
+        self.now = 0
+        self.peak = 0
+        self._lock = threading.Lock()
+
+    def enter(self) -> None:
+        with self._lock:
+            self.now += 1
+            self.peak = max(self.peak, self.now)
+
+    def leave(self) -> None:
+        with self._lock:
+            self.now -= 1
+
+
+def percentile(samples: List[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _admission() -> AdmissionPolicy:
+    # The bench measures transport concurrency, not admission control:
+    # both arms get an identical never-shedding, burst-sized queue.
+    return AdmissionPolicy(capacity=32768, shed=False)
+
+
+# -- server child -------------------------------------------------------------
+
+
+def serve(mode: str, hold: float, stats_path: str) -> int:
+    _raise_fd_limit()
+    threading.stack_size(256 * 1024)
+    sampler = FdSampler()
+    meter = InflightMeter()
+
+    program = RpcProgram(PROG, 1, "c10k-hold")
+
+    if mode == "threaded":
+        from repro.rpc.server import RpcServer
+        from repro.rpc.transport import TcpTransport
+
+        def hold_call(args):
+            meter.enter()
+            try:
+                time.sleep(args["hold"])
+                return {"i": args["i"]}
+            finally:
+                meter.leave()
+
+        program.register(1, hold_call, "hold")
+        transport = TcpTransport()
+        server = RpcServer(transport, admission=_admission())
+        server.serve(program)
+        print(f"PORT {transport.local_address.port}", flush=True)
+        sys.stdin.buffer.read()  # parent closes stdin when the fleet is done
+        stats = {"accepted": None, "opened": None}
+    else:
+        from repro.rpc.aio import AsyncRpcServer, AsyncTcpTransport
+
+        async def hold_call(args):
+            meter.enter()
+            try:
+                await asyncio.sleep(args["hold"])
+                return {"i": args["i"]}
+            finally:
+                meter.leave()
+
+        program.register(1, hold_call, "hold")
+        stats = {}
+
+        async def main() -> None:
+            transport = await AsyncTcpTransport.create(backlog=4096)
+            server = AsyncRpcServer(transport, admission=_admission())
+            server.serve(program)
+            print(f"PORT {transport.local_address.port}", flush=True)
+            await asyncio.get_running_loop().run_in_executor(
+                None, sys.stdin.buffer.read
+            )
+            stats["accepted"] = transport.connections_accepted
+            stats["opened"] = transport.connections_opened
+            await server.drain_tasks()
+            await transport.aclose()
+
+        asyncio.run(main())
+
+    payload = {
+        "mode": mode,
+        "rss_mib": round(_rss_mib(), 1),
+        "fd_peak": sampler.stop(),
+        "peak_inflight": meter.peak,
+        "threads_peak": threading.active_count(),
+        "connections_accepted": stats.get("accepted"),
+        "connections_dialled_back": stats.get("opened"),
+    }
+    with open(stats_path, "w") as handle:
+        json.dump(payload, handle)
+    return 0
+
+
+# -- client-fleet child -------------------------------------------------------
+
+
+def drive(mode: str, port: int, clients: int, hold: float, ramp: float) -> int:
+    _raise_fd_limit()
+    threading.stack_size(256 * 1024)
+    sampler = FdSampler()
+
+    from repro.net.endpoints import Address
+
+    destination = Address("127.0.0.1", port)
+    timeout = hold + 120.0
+    latencies: List[Optional[float]] = [None] * clients
+    errors: Dict[str, int] = {}
+    errors_lock = threading.Lock()
+
+    def record_error(exc: BaseException) -> None:
+        with errors_lock:
+            name = type(exc).__name__
+            errors[name] = errors.get(name, 0) + 1
+
+    started = time.monotonic()
+
+    if mode == "threaded":
+        from repro.rpc.client import RpcClient
+        from repro.rpc.transport import TcpTransport
+
+        barrier = threading.Barrier(clients + 1)
+
+        def one(index: int) -> None:
+            transport = TcpTransport()
+            client = RpcClient(transport, timeout=timeout, retries=0)
+            barrier.wait()
+            time.sleep(ramp * index / max(1, clients))
+            begin = time.monotonic()
+            try:
+                client.call(
+                    destination, PROG, 1, 1, {"i": index, "hold": hold}
+                )
+                latencies[index] = time.monotonic() - begin
+            except Exception as exc:  # noqa: BLE001 - tallied, not hidden
+                record_error(exc)
+
+        threads = [
+            threading.Thread(target=one, args=(index,)) for index in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.monotonic()
+        for thread in threads:
+            thread.join()
+        makespan = time.monotonic() - started
+        connections = None
+    else:
+        from repro.rpc.aio import AsyncRpcClient, AsyncTcpTransport
+
+        totals = {"opened": 0}
+
+        async def main() -> float:
+            transports = []
+
+            async def one(index: int) -> None:
+                transport = await AsyncTcpTransport.create(listen=False)
+                transports.append(transport)
+                client = AsyncRpcClient(transport, timeout=timeout, retries=0)
+                await asyncio.sleep(ramp * index / max(1, clients))
+                begin = time.monotonic()
+                try:
+                    await client.call(
+                        destination, PROG, 1, 1, {"i": index, "hold": hold}
+                    )
+                    latencies[index] = time.monotonic() - begin
+                except Exception as exc:  # noqa: BLE001
+                    record_error(exc)
+
+            begin = time.monotonic()
+            await asyncio.gather(*[one(index) for index in range(clients)])
+            span = time.monotonic() - begin
+            totals["opened"] = sum(t.connections_opened for t in transports)
+            for transport in transports:
+                transport.close()
+            return span
+
+        makespan = asyncio.run(main())
+        connections = totals["opened"]
+
+    completed = [sample for sample in latencies if sample is not None]
+    payload = {
+        "mode": mode,
+        "clients": clients,
+        "ok": len(completed),
+        "failures": clients - len(completed),
+        "errors": errors,
+        "p50_s": round(percentile(completed, 0.50), 4),
+        "p95_s": round(percentile(completed, 0.95), 4),
+        "max_s": round(percentile(completed, 1.0), 4),
+        "makespan_s": round(makespan, 3),
+        "rss_mib": round(_rss_mib(), 1),
+        "fd_peak": sampler.stop(),
+        "threads_peak": threading.active_count(),
+        "connections_opened": connections,
+    }
+    print(json.dumps(payload), flush=True)
+    return 0
+
+
+# -- orchestrator -------------------------------------------------------------
+
+
+def run_arm(
+    mode: str, clients: int, hold: float, ramp: float, stats_path: str
+) -> Dict[str, Any]:
+    base = [sys.executable, os.path.abspath(__file__)]
+    server = subprocess.Popen(
+        base + ["--serve", mode, "--hold", str(hold), "--stats", stats_path],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        port_line = server.stdout.readline().strip()
+        if not port_line.startswith("PORT "):
+            raise RuntimeError(f"{mode} server failed to bind: {port_line!r}")
+        port = int(port_line.split()[1])
+        fleet = subprocess.run(
+            base
+            + [
+                "--drive", mode, "--port", str(port),
+                "--clients", str(clients),
+                "--hold", str(hold), "--ramp", str(ramp),
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+            timeout=600,
+        )
+        if fleet.returncode != 0:
+            raise RuntimeError(f"{mode} fleet exited {fleet.returncode}")
+        fleet_stats = json.loads(fleet.stdout.strip().splitlines()[-1])
+    finally:
+        server.stdin.close()
+        server.wait(timeout=60)
+    with open(stats_path) as handle:
+        server_stats = json.load(handle)
+    os.unlink(stats_path)
+    return {
+        "fleet": fleet_stats,
+        "server": server_stats,
+        "rss_total_mib": round(
+            fleet_stats["rss_mib"] + server_stats["rss_mib"], 1
+        ),
+        "fd_total_peak": fleet_stats["fd_peak"] + server_stats["fd_peak"],
+    }
+
+
+def run_sweep(smoke: bool = False) -> Dict[str, Any]:
+    compare_fleet = 100 if smoke else COMPARE_FLEET
+    compare_hold = 0.2 if smoke else COMPARE_HOLD
+    scale_fleet = 300 if smoke else SCALE_FLEET
+    scale_hold = 0.5 if smoke else SCALE_HOLD
+
+    arms = {}
+    for mode in ("threaded", "async"):
+        print(
+            f"[bench_async_c10k] compare arm: {mode} x{compare_fleet} "
+            f"(hold {compare_hold}s)",
+            file=sys.stderr, flush=True,
+        )
+        arms[mode] = run_arm(
+            mode, compare_fleet, compare_hold,
+            ramp=compare_fleet / 5000.0,
+            stats_path=f".bench_c10k_{mode}_server.json",
+        )
+    print(
+        f"[bench_async_c10k] scale arm: async x{scale_fleet} (hold {scale_hold}s)",
+        file=sys.stderr, flush=True,
+    )
+    scale = run_arm(
+        "async", scale_fleet, scale_hold,
+        ramp=scale_fleet / 5000.0,
+        stats_path=".bench_c10k_scale_server.json",
+    )
+
+    threaded, asynch = arms["threaded"], arms["async"]
+    report = {
+        "benchmark": "async_c10k",
+        "smoke": smoke,
+        "fd_rlimit_hard": resource.getrlimit(resource.RLIMIT_NOFILE)[1],
+        "compare": {
+            "clients": compare_fleet,
+            "hold_s": compare_hold,
+            "threaded": threaded,
+            "async": asynch,
+        },
+        "scale": {"clients": scale_fleet, "hold_s": scale_hold, "async": scale},
+        "claims": {
+            "async_p95_better": (
+                asynch["fleet"]["p95_s"] < threaded["fleet"]["p95_s"]
+            ),
+            "async_rss_better": (
+                asynch["rss_total_mib"] < threaded["rss_total_mib"]
+            ),
+            "async_fewer_sockets": (
+                asynch["fd_total_peak"] < threaded["fd_total_peak"]
+            ),
+            "scale_all_succeeded": (
+                scale["fleet"]["ok"] == scale_fleet
+            ),
+            "scale_fully_concurrent": (
+                scale["server"]["peak_inflight"] == scale_fleet
+            ),
+        },
+    }
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="reduced CI configuration")
+    parser.add_argument("--out", default="BENCH_async.json")
+    parser.add_argument("--serve", metavar="MODE", help="internal: server child")
+    parser.add_argument("--drive", metavar="MODE", help="internal: fleet child")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--clients", type=int, default=0)
+    parser.add_argument("--hold", type=float, default=COMPARE_HOLD)
+    parser.add_argument("--ramp", type=float, default=0.0)
+    parser.add_argument("--stats", default="")
+    args = parser.parse_args()
+
+    if args.serve:
+        sys.exit(serve(args.serve, args.hold, args.stats))
+    if args.drive:
+        sys.exit(drive(args.drive, args.port, args.clients, args.hold, args.ramp))
+
+    report = run_sweep(smoke=args.smoke)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(json.dumps(report["claims"], indent=2))
+    print(f"wrote {args.out}")
+
+    claims = report["claims"]
+    assert claims["scale_all_succeeded"], report["scale"]
+    if not report["smoke"]:
+        # The tracked claims only hold at full fleet sizes; the CI smoke
+        # run checks plumbing, not physics.
+        for name in (
+            "async_p95_better", "async_rss_better",
+            "async_fewer_sockets", "scale_fully_concurrent",
+        ):
+            assert claims[name], (name, report["compare"], report["scale"])
+
+
+if __name__ == "__main__":
+    main()

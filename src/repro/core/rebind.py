@@ -26,8 +26,9 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.context import CallContext
 from repro.core.generic_client import GenericBinding, GenericClient
 from repro.errors import BindingError, CommunicationError, LookupFailure
+from repro.naming.binder import PROC_BIND, PROC_INVOKE
 from repro.rpc.client import RpcClient
-from repro.rpc.errors import DeadlineExceeded
+from repro.rpc.errors import DeadlineExceeded, RpcError
 from repro.rpc.resilience import CircuitOpen, ResilientCaller, transient
 from repro.telemetry.metrics import METRICS
 from repro.trader.offers import ServiceOffer
@@ -57,6 +58,7 @@ class RebindingClient:
         generic: Optional[GenericClient] = None,
         max_matches: int = 0,
         max_rebinds: int = 2,
+        async_client: Any = None,
     ) -> None:
         self._client = client
         self._trader = trader
@@ -66,6 +68,12 @@ class RebindingClient:
         # a single invocation can ride out before a re-import is needed.
         self.max_matches = max_matches
         self.max_rebinds = max(0, max_rebinds)
+        # An AsyncRpcClient enables invoke_async; the async path keeps
+        # raw session ids instead of GenericBinding objects (no SID/FSM
+        # mirror: async invocations are for data-plane calls, not the
+        # generated UI).
+        self._async_client = async_client
+        self._async_sessions: Dict[str, Any] = {}
         self._offers: Dict[_CacheKey, List[ServiceOffer]] = {}
         self._bindings: Dict[str, GenericBinding] = {}
         self._lock = threading.Lock()
@@ -136,6 +144,71 @@ class RebindingClient:
             f"budget spent across {rounds} bind round(s) for {service_type!r}"
         )
 
+    async def invoke_async(
+        self,
+        service_type: str,
+        operation: str,
+        arguments: Optional[Dict[str, Any]] = None,
+        constraint: str = "",
+        preference: str = "",
+        ctx: Optional[CallContext] = None,
+    ) -> Any:
+        """Coroutine twin of :meth:`invoke` for the async RPC stack.
+
+        Identical failover / re-import semantics, driven through
+        :meth:`~repro.rpc.resilience.ResilientCaller.run_async` so backoff
+        pauses never block the event loop.  Each offer attempt is a raw
+        BIND + INVOKE over the ``async_client`` given at construction —
+        session ids are cached per offer, but no SID is transferred and no
+        FSM mirror is kept (use the sync :meth:`invoke` for the guarded,
+        UI-generating path).  Re-imports go through the sync trader stub
+        inline; on a virtual-time stack the sim loop absorbs the wait, on
+        wall clocks a re-import briefly parks the loop (they are rare —
+        only when a whole cohort died).
+        """
+        if self._async_client is None:
+            raise BindingError(
+                "RebindingClient.invoke_async needs an async_client"
+            )
+        key: _CacheKey = (service_type, constraint, preference)
+        last_error: Optional[BaseException] = None
+        rounds = 1 + self.max_rebinds
+        for attempt in range(rounds):
+            offers = self._usable_offers(key, ctx, refresh=attempt > 0)
+            if not offers:
+                if last_error is not None:
+                    raise last_error
+                raise LookupFailure(
+                    f"no live offer for type {service_type!r}"
+                    + (f" with {constraint!r}" if constraint else "")
+                )
+            try:
+                return await self.resilient.run_async(
+                    offers,
+                    lambda offer, child: self._attempt_async(
+                        offer, operation, arguments, child
+                    ),
+                    ctx=self._round_context(ctx, rounds - attempt),
+                    key=_endpoint,
+                    operation=f"{service_type}.{operation}",
+                )
+            except DeadlineExceeded:
+                if ctx is None or ctx.expired(self._client.transport.now()):
+                    raise
+                last_error = None
+            except (CommunicationError, CircuitOpen, BindingError) as exc:
+                if not transient(exc):
+                    raise
+                last_error = exc
+            self._evict(key, offers)
+            self.rebinds += 1
+            METRICS.inc("client.rebinds", (service_type,))
+        if last_error is not None:
+            raise last_error
+        raise DeadlineExceeded(
+            f"budget spent across {rounds} bind round(s) for {service_type!r}"
+        )
+
     def _round_context(
         self, ctx: Optional[CallContext], rounds_left: int
     ) -> Optional[CallContext]:
@@ -191,6 +264,10 @@ class RebindingClient:
                 binding = self._bindings.pop(offer.offer_id, None)
                 if binding is not None:
                     _quiet_unbind(binding)
+                # Async sessions are simply dropped: the cohort is
+                # presumed dead, and the server-side session dies with
+                # its endpoint (or is reaped by the runtime's own GC).
+                self._async_sessions.pop(offer.offer_id, None)
 
     # -- one failover attempt ----------------------------------------------
 
@@ -217,12 +294,57 @@ class RebindingClient:
                     self._bindings.pop(offer.offer_id, None)
             raise
 
+    async def _attempt_async(
+        self,
+        offer: ServiceOffer,
+        operation: str,
+        arguments: Optional[Dict[str, Any]],
+        ctx: Optional[CallContext],
+    ) -> Any:
+        """One async failover attempt: (cached) BIND, then INVOKE."""
+        ref = offer.service_ref()
+        with self._lock:
+            session = self._async_sessions.get(offer.offer_id)
+        try:
+            if session is None:
+                try:
+                    session = await self._async_client.call(
+                        ref.address, ref.prog, ref.vers, PROC_BIND, {},
+                        context=ctx,
+                    )
+                except RpcError as exc:
+                    raise BindingError(
+                        f"cannot bind to {ref.name} at {ref.address}: {exc}"
+                    ) from exc
+                with self._lock:
+                    self._async_sessions[offer.offer_id] = session
+            return await self._async_client.call(
+                ref.address,
+                ref.prog,
+                ref.vers,
+                PROC_INVOKE,
+                {
+                    "session": session,
+                    "operation": operation,
+                    "arguments": arguments or {},
+                },
+                context=ctx,
+            )
+        except BaseException as exc:
+            if transient(exc) or isinstance(exc, BindingError):
+                # A stale session on a dead endpoint: rebind from scratch
+                # on the next attempt, exactly like the sync path.
+                with self._lock:
+                    self._async_sessions.pop(offer.offer_id, None)
+            raise
+
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
         with self._lock:
             bindings = list(self._bindings.values())
             self._bindings.clear()
+            self._async_sessions.clear()
             self._offers.clear()
         for binding in bindings:
             _quiet_unbind(binding)

@@ -17,6 +17,7 @@ Replaces the prototype's Sun ONC RPC with a compatible-in-spirit layer:
   backoff, ranked-offer failover, per-endpoint circuit breakers.
 """
 
+from repro.rpc.aio import AsyncRpcClient, AsyncRpcServer, AsyncTcpTransport
 from repro.rpc.client import RpcClient
 from repro.rpc.errors import (
     DeadlineExceeded,
@@ -52,6 +53,9 @@ from repro.rpc.xdr import XdrDecoder, XdrEncoder, decode_value, encode_value
 __all__ = [
     "AdmissionPolicy",
     "AdmissionQueue",
+    "AsyncRpcClient",
+    "AsyncRpcServer",
+    "AsyncTcpTransport",
     "BackoffPolicy",
     "BreakerPolicy",
     "CircuitBreaker",

@@ -1,0 +1,586 @@
+"""Async-first RPC: asyncio transport, client, and server.
+
+The sync stack in :mod:`repro.rpc.client` / :mod:`repro.rpc.server`
+blocks a thread per in-flight call — on real TCP that means a thread per
+connection, and on the simulator it forces *serial* operation because
+the calling thread is also the one advancing the virtual clock.  This
+module keeps every wire artefact identical (message format, xdr bodies,
+at-most-once cache, admission control, SHED) and swaps only the
+concurrency substrate:
+
+* :class:`AsyncTcpTransport` — one event loop serves every connection;
+  framing is byte-compatible with :class:`~repro.rpc.transport.TcpTransport`
+  (``u32`` length prefix, first frame on a fresh connection announces
+  the sender's stable address).  Unlike the threaded transport it
+  answers over the *inbound* connection when one exists, halving socket
+  count for request/reply traffic.
+* :class:`AsyncRpcClient` — any number of concurrent calls per client;
+  each in-flight xid owns a future, retransmission keeps the same xid
+  (and the same future) across attempts so the server's at-most-once
+  cache still coalesces.
+* :class:`AsyncRpcServer` — reuses the sync server's admission queue and
+  reply cache verbatim but executes each admitted call as its own task,
+  so slow handlers overlap; ``async def`` handlers are awaited and
+  cancelled when their wire deadline expires.
+
+Over a :class:`~repro.rpc.transport.SimTransport` the same client and
+server run in *virtual* time on a :class:`~repro.net.aioclock.SimEventLoop`:
+thousands of calls in flight, deterministic interleaving, microseconds
+of wall clock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import struct
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.context import CallContext, SpanRecord, current_context, use_context
+from repro.errors import CommunicationError
+from repro.net.endpoints import Address
+from repro.rpc.client import (
+    RetiredXids,
+    RpcClient,
+    reply_to_result,
+    resolve_context,
+)
+from repro.rpc.dispatch import dispatcher_for
+from repro.rpc.errors import DeadlineExceeded, RpcError, RpcTimeout
+from repro.rpc.message import ReplyStatus, RpcCall, RpcReply
+from repro.rpc.server import AdmissionPolicy, RpcServer
+from repro.rpc.transport import SimTransport, Transport
+from repro.rpc.xdr import encode_value
+from repro.telemetry.hub import flush_context
+from repro.telemetry.metrics import METRICS
+
+__all__ = [
+    "AsyncRpcClient",
+    "AsyncRpcServer",
+    "AsyncTcpTransport",
+]
+
+
+#: Process-wide count of calls currently awaiting a reply across *all*
+#: async clients — the saturation signal the telemetry report surfaces.
+_inflight_total = 0
+
+
+def _inflight(delta: int) -> None:
+    global _inflight_total
+    _inflight_total += delta
+    METRICS.set_gauge("rpc.async.inflight", _inflight_total)
+
+
+class AsyncTcpTransport(Transport):
+    """Datagram semantics over asyncio TCP streams.
+
+    Wire-compatible with the threaded :class:`TcpTransport`: each frame
+    is a big-endian ``u32`` length followed by the payload, and the
+    first frame of every outgoing connection carries the sender's
+    advertised port in ASCII so the peer learns a stable reply address.
+
+    Build with :meth:`create` (binding a listener needs a running
+    loop).  Pure clients may pass ``listen=False``: no listener socket
+    is bound and the hello frame advertises the *connection's* local
+    port instead — unique per connection, so the peer's reply routing
+    (which prefers the inbound connection) still finds its way back.
+    ``send`` never blocks: when no connection exists yet the payload is
+    queued and a connect task drains the queue once established.
+    """
+
+    _HEADER = struct.Struct(">I")
+
+    def __init__(self) -> None:
+        raise TypeError("use 'await AsyncTcpTransport.create(...)'")
+
+    @classmethod
+    async def create(
+        cls, host: str = "127.0.0.1", port: int = 0, listen: bool = True,
+        backlog: int = 4096,
+    ) -> "AsyncTcpTransport":
+        self = cls.__new__(cls)
+        self._loop = asyncio.get_running_loop()
+        self._receiver: Optional[Callable[[Address, bytes], None]] = None
+        self._writers: Dict[Address, asyncio.StreamWriter] = {}
+        self._connecting: Dict[Address, List[bytes]] = {}
+        self._tasks: Set[asyncio.Task] = set()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._closed = False
+        self.connections_opened = 0
+        self.connections_accepted = 0
+        if listen:
+            self._server = await asyncio.start_server(
+                self._accepted, host, port, backlog=backlog
+            )
+            bound = self._server.sockets[0].getsockname()[1]
+            self.local_address = Address(host, bound)
+        else:
+            self.local_address = Address(host, 0)
+        return self
+
+    # -- Transport interface ----------------------------------------------
+
+    def send(self, destination: Address, payload: bytes) -> None:
+        if self._closed:
+            raise CommunicationError("transport closed")
+        writer = self._writers.get(destination)
+        if writer is not None:
+            writer.write(self._frame(payload))
+            return
+        queue = self._connecting.get(destination)
+        if queue is not None:
+            queue.append(payload)
+            return
+        self._connecting[destination] = [payload]
+        self._spawn(self._connect(destination))
+
+    def set_receiver(self, receiver: Callable[[Address, bytes], None]) -> None:
+        self._receiver = receiver
+
+    def wait(self, predicate: Callable[[], bool], timeout: float) -> bool:
+        raise CommunicationError(
+            "AsyncTcpTransport has no blocking wait; use AsyncRpcClient"
+        )
+
+    def now(self) -> float:
+        return self._loop.time()
+
+    def close(self) -> None:
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._writers.values()):
+            writer.close()
+        self._writers.clear()
+        self._connecting.clear()
+        for task in list(self._tasks):
+            task.cancel()
+
+    async def aclose(self) -> None:
+        """Graceful close: also waits for the listener to release."""
+        self.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+
+    # -- internals --------------------------------------------------------
+
+    def _frame(self, payload: bytes) -> bytes:
+        return self._HEADER.pack(len(payload)) + payload
+
+    def _spawn(self, coro) -> None:
+        task = self._loop.create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _connect(self, destination: Address) -> None:
+        try:
+            reader, writer = await asyncio.open_connection(
+                destination.host, destination.port
+            )
+        except OSError:
+            # Unreachable peer: drop what was queued.  Callers observe a
+            # timeout and surface it through their retry budget, exactly
+            # as a lost datagram would.
+            self._connecting.pop(destination, None)
+            return
+        self.connections_opened += 1
+        advertised = self.local_address.port
+        if advertised == 0:  # listen=False: per-connection reply address
+            advertised = writer.get_extra_info("sockname")[1]
+        writer.write(self._frame(str(advertised).encode("ascii")))
+        self._writers[destination] = writer
+        for payload in self._connecting.pop(destination, []):
+            writer.write(self._frame(payload))
+        await self._read_loop(reader, writer, destination)
+
+    async def _accepted(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # First frame is the peer's advertised port (its reply address).
+        try:
+            hello = await self._read_frame(reader)
+            source = Address(
+                writer.get_extra_info("peername")[0], int(hello.decode("ascii"))
+            )
+        except (asyncio.IncompleteReadError, ValueError, OSError):
+            writer.close()
+            return
+        self.connections_accepted += 1
+        # Replies to this peer ride the inbound connection — no second
+        # socket pair per client, unlike the threaded transport.
+        self._writers.setdefault(source, writer)
+        await self._read_loop(reader, writer, source)
+
+    async def _read_loop(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        source: Address,
+    ) -> None:
+        try:
+            while not self._closed:
+                payload = await self._read_frame(reader)
+                receiver = self._receiver
+                if receiver is not None:
+                    receiver(source, payload)
+        except (asyncio.IncompleteReadError, asyncio.CancelledError, OSError):
+            # Peer hung up or the transport is tearing down: either way
+            # this connection is done; exit without propagating so the
+            # stream server's bookkeeping callback stays quiet.
+            pass
+        finally:
+            if self._writers.get(source) is writer:
+                self._writers.pop(source, None)
+            writer.close()
+
+    async def _read_frame(self, reader: asyncio.StreamReader) -> bytes:
+        header = await reader.readexactly(self._HEADER.size)
+        (length,) = self._HEADER.unpack(header)
+        return await reader.readexactly(length)
+
+
+class AsyncRpcClient:
+    """Coroutine RPC client: many concurrent calls over one transport.
+
+    Semantics mirror :class:`~repro.rpc.client.RpcClient` exactly —
+    same-xid retransmission carved out of the context's remaining
+    deadline budget, ambient-context inheritance, retired-xid duplicate
+    suppression — but each in-flight call awaits its own future instead
+    of blocking the transport's wait loop, so calls overlap freely.
+    Works over :class:`AsyncTcpTransport` in wall time and over
+    :class:`~repro.rpc.transport.SimTransport` in virtual time when
+    driven by a :class:`~repro.net.aioclock.SimEventLoop`.
+    """
+
+    #: Shared with the sync client: a process mixing both flavours never
+    #: reuses a live xid against the same server's reply cache.
+    _xid_counter = RpcClient._xid_counter
+
+    def __init__(
+        self,
+        transport: Transport,
+        timeout: float = 1.0,
+        retries: int = 3,
+        retired_xid_capacity: int = 4096,
+    ) -> None:
+        self.transport = transport
+        self.timeout = timeout
+        self.retries = retries
+        self._waiters: Dict[int, asyncio.Future] = {}
+        self._retired = RetiredXids(retired_xid_capacity)
+        self.calls_sent = 0
+        self.retransmissions = 0
+        self.duplicate_replies_dropped = 0
+        dispatcher_for(transport).client = self
+
+    @property
+    def address(self) -> Address:
+        return self.transport.local_address
+
+    def handle_reply(self, source: Address, reply: RpcReply) -> None:
+        """Entry point from the dispatcher (runs on the event loop)."""
+        if reply.xid in self._retired:
+            self.duplicate_replies_dropped += 1
+            METRICS.inc("rpc.client.duplicate_replies_dropped")
+            return
+        waiter = self._waiters.get(reply.xid)
+        if waiter is None or waiter.done():
+            self.duplicate_replies_dropped += 1
+            METRICS.inc("rpc.client.duplicate_replies_dropped")
+            return
+        waiter.set_result(reply)
+
+    def retire_xid(self, xid: int) -> None:
+        """Mark ``xid`` finished: later replies for it are dropped."""
+        waiter = self._waiters.pop(xid, None)
+        if waiter is not None and not waiter.done():
+            waiter.cancel()
+        self._retired.add(xid)
+
+    async def call(
+        self,
+        destination: Address,
+        prog: int,
+        vers: int,
+        proc: int,
+        args: Any = None,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        context: Optional[CallContext] = None,
+    ) -> Any:
+        """Call and decode; raises a typed :class:`RpcError` on failure."""
+        reply = await self.call_raw(
+            destination, prog, vers, proc, encode_value(args), timeout, retries,
+            context,
+        )
+        return reply_to_result(reply, destination, prog, vers, proc)
+
+    async def call_raw(
+        self,
+        destination: Address,
+        prog: int,
+        vers: int,
+        proc: int,
+        body: bytes,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        context: Optional[CallContext] = None,
+    ) -> RpcReply:
+        """Send pre-encoded bytes and return the raw reply."""
+        ambient = current_context() if context is None else None
+        ctx = resolve_context(
+            context, timeout, retries, ambient,
+            self.timeout, self.retries, self.transport.now(),
+        )
+        owns_chain = context is None and ambient is None
+        try:
+            with ctx.span("rpc", f"call {prog}:{proc}", self.transport.now) as span:
+                return await self._call_attempts(
+                    ctx, destination, prog, vers, proc, body, span
+                )
+        finally:
+            if owns_chain:
+                flush_context(ctx)
+
+    async def _call_attempts(
+        self,
+        ctx: CallContext,
+        destination: Address,
+        prog: int,
+        vers: int,
+        proc: int,
+        body: bytes,
+        span: Optional[SpanRecord] = None,
+    ) -> RpcReply:
+        now = self.transport.now()
+        labels = (str(prog), str(proc))
+        if ctx.expired(now):
+            METRICS.inc("rpc.client.deadline_exceeded", labels)
+            raise DeadlineExceeded(
+                f"deadline expired before calling {destination} "
+                f"(trace {ctx.trace_id})"
+            )
+        xid = next(self._xid_counter)
+        call = RpcCall(
+            xid, prog, vers, proc, body,
+            deadline=ctx.deadline, trace_id=ctx.trace_id, hops=ctx.hops,
+        )
+        encoded = call.encode()
+        # One future per xid, shared across attempts: retransmissions
+        # re-await the *same* future, so whichever attempt's reply lands
+        # first resolves the call and later duplicates are dropped.
+        waiter = asyncio.get_running_loop().create_future()
+        self._waiters[xid] = waiter
+        attempts = ctx.retry.attempts
+        _inflight(+1)
+        try:
+            for attempt in range(attempts):
+                now = self.transport.now()
+                if ctx.expired(now):
+                    METRICS.inc("rpc.client.deadline_exceeded", labels)
+                    raise DeadlineExceeded(
+                        f"deadline expired after {attempt} attempt(s) to "
+                        f"{destination} (trace {ctx.trace_id})"
+                    )
+                if attempt:
+                    self.retransmissions += 1
+                    METRICS.inc("rpc.client.retransmissions", labels)
+                    if span is not None:
+                        span.add_event("retransmission", at=now, attempt=attempt)
+                self.calls_sent += 1
+                wait = ctx.attempt_timeout(now, attempts - attempt)
+                self.transport.send(destination, encoded)
+                try:
+                    # shield: a per-attempt timeout must not cancel the
+                    # waiter — the xid (and its future) live on into the
+                    # next attempt.
+                    reply = await asyncio.wait_for(asyncio.shield(waiter), wait)
+                except asyncio.TimeoutError:
+                    continue
+                if reply.status is ReplyStatus.SHED:
+                    METRICS.inc("rpc.client.shed_received", labels)
+                    if span is not None:
+                        span.add_event(
+                            "shed", at=self.transport.now(), attempt=attempt
+                        )
+                return reply
+            if ctx.expired(self.transport.now()) and ctx.retry.attempt_timeout is None:
+                METRICS.inc("rpc.client.deadline_exceeded", labels)
+                raise DeadlineExceeded(
+                    f"no reply from {destination} within the deadline "
+                    f"(trace {ctx.trace_id})"
+                )
+            raise RpcTimeout(
+                f"no reply from {destination} for prog={prog} proc={proc} "
+                f"after {attempts} attempt(s)"
+            )
+        finally:
+            _inflight(-1)
+            self.retire_xid(xid)
+
+    async def ping(self, destination: Address, prog: int, vers: int = 1) -> bool:
+        """True when the destination answers procedure 0 (NULL proc)."""
+        try:
+            await self.call(destination, prog, vers, 0)
+            return True
+        except RpcError:
+            return False
+
+    def close(self) -> None:
+        dispatcher_for(self.transport).client = None
+
+
+class AsyncRpcServer(RpcServer):
+    """Task-per-call RPC server sharing the sync server's admission core.
+
+    Arrival-time admission, the deadline-ordered queue, the at-most-once
+    reply cache, and every counter are inherited unchanged from
+    :class:`~repro.rpc.server.RpcServer`; only the drain differs —
+    admitted calls become event-loop tasks, so handlers overlap instead
+    of running serially, and ``async def`` handlers are awaited.
+
+    Cancellation on deadline expiry: an awaitable handler result runs
+    under ``asyncio.wait_for`` bounded by the call's remaining wire
+    budget.  When the budget lapses mid-execution the task is cancelled
+    and the caller gets ``DEADLINE_EXCEEDED`` — the async analogue of
+    the sync server's wasted-handler-seconds accounting, except the
+    waste itself is clawed back.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        at_most_once: bool = True,
+        reply_cache_size: int = 2048,
+        admission: Optional[AdmissionPolicy] = None,
+    ) -> None:
+        super().__init__(transport, at_most_once, reply_cache_size, admission)
+        self._handler_tasks: Set[asyncio.Task] = set()
+        self.cancelled_on_deadline = 0
+
+    def handle_call(self, source: Address, call: RpcCall) -> None:
+        """Entry point from the dispatcher; spawns a task per admitted call."""
+        cache_key = (source, call.xid)
+        if self.at_most_once:
+            cached = self._reply_cache.get(cache_key)
+            if cached is not None:
+                self.duplicates_suppressed += 1
+                METRICS.inc("rpc.server.duplicates_suppressed")
+                self.transport.send(source, cached.encode())
+                return
+        if not self._admit(source, call, cache_key):
+            return
+        self._pump()
+
+    def _pump(self) -> None:
+        """Drain the admission queue into concurrent handler tasks.
+
+        Entries leave the queue in deadline order, so tasks *start* in
+        deadline order; from there the event loop interleaves them.  A
+        caller outside the event loop (a sync test driving a sim clock
+        by hand) falls back to running each entry to completion — the
+        loop must not be running for that, mirroring the sync server's
+        serial drain.
+        """
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            loop = None
+        while True:
+            entry = self._queue.pop()
+            if entry is None:
+                return
+            METRICS.set_gauge(
+                "rpc.server.queue_depth", len(self._queue), self._gauge_label
+            )
+            source, call = entry
+            if loop is not None:
+                task = loop.create_task(self._run_entry(source, call))
+                self._handler_tasks.add(task)
+                task.add_done_callback(self._handler_tasks.discard)
+            else:
+                self._fallback_loop().run_until_complete(
+                    self._run_entry(source, call)
+                )
+
+    def _fallback_loop(self) -> asyncio.AbstractEventLoop:
+        if isinstance(self.transport, SimTransport):
+            from repro.net.aioclock import loop_for
+
+            return loop_for(self.transport.network.clock)
+        raise CommunicationError(
+            "AsyncRpcServer needs a running event loop on this transport"
+        )
+
+    async def _run_entry(self, source: Address, call: RpcCall) -> None:
+        """Dequeue-time re-check, execution, reply — one task per call."""
+        now = self.transport.now()
+        if call.deadline is not None and now >= call.deadline:
+            self._finish(source, call, self._reject_deadline(call), cacheable=True)
+            return
+        if self._shedding_needed(call, now):
+            self._finish(source, call, self._shed(call, "dequeue"), cacheable=False)
+            return
+        cache_key = (source, call.xid)
+        self._in_flight.add(cache_key)
+        try:
+            reply = await self._execute_async(call)
+        finally:
+            self._in_flight.discard(cache_key)
+        try:
+            self._finish(source, call, reply, cacheable=True)
+        except CommunicationError:
+            # Transport torn down while the handler ran; nobody is left
+            # to read the reply.
+            pass
+
+    async def _execute_async(self, call: RpcCall) -> RpcReply:
+        program, handler, args, early = self._prepare(call)
+        if early is not None:
+            return early
+        ctx = self._context_for(call)
+        started = self.transport.now()
+        try:
+            try:
+                if ctx is not None:
+                    with ctx.span(
+                        "server", f"{program.name}:{call.proc}", self.transport.now
+                    ):
+                        with use_context(ctx):
+                            result = handler(args)
+                            if inspect.isawaitable(result):
+                                result = await self._bounded(result, call)
+                else:
+                    result = handler(args)
+                    if inspect.isawaitable(result):
+                        result = await self._bounded(result, call)
+            except asyncio.TimeoutError:
+                # The wire deadline lapsed mid-execution and the handler
+                # task was cancelled: answer DEADLINE_EXCEEDED instead
+                # of burning further handler time on a dead budget.
+                self.cancelled_on_deadline += 1
+                METRICS.inc(
+                    "rpc.server.cancelled_on_deadline",
+                    (program.name, str(call.proc)),
+                )
+                return self._reject_deadline(call)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - faults cross the wire as data
+                return self._fault_reply(call.xid, exc)
+            return self._success_reply(call.xid, result)
+        finally:
+            self._observe(call, program, ctx, started)
+
+    async def _bounded(self, awaitable, call: RpcCall):
+        """Await a handler's result, cancelling at the wire deadline."""
+        if call.deadline is None:
+            return await awaitable
+        remaining = call.deadline - self.transport.now()
+        return await asyncio.wait_for(awaitable, max(0.0, remaining))
+
+    async def drain_tasks(self) -> None:
+        """Wait for every in-flight handler task (test/shutdown helper)."""
+        while self._handler_tasks:
+            await asyncio.gather(*list(self._handler_tasks), return_exceptions=True)

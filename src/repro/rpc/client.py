@@ -26,6 +26,105 @@ from repro.telemetry.hub import flush_context
 from repro.telemetry.metrics import METRICS
 
 
+class RetiredXids:
+    """Bounded memory of finished transaction ids.
+
+    Late duplicate replies for a retired xid are dropped instead of
+    accumulating in the pending table forever.  Shared by the sync and
+    async clients; behaves enough like the original ``OrderedDict`` for
+    introspection (``len``, ``in``, ``reversed``).
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, None]" = OrderedDict()
+
+    def add(self, xid: int) -> None:
+        self._entries[xid] = None
+        self._entries.move_to_end(xid)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __contains__(self, xid: int) -> bool:
+        return xid in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __reversed__(self):
+        return reversed(self._entries)
+
+
+def reply_to_result(
+    reply: RpcReply, destination: Address, prog: int, vers: int, proc: int
+) -> Any:
+    """Decode a reply body or raise the typed error its status maps to.
+
+    One mapping for every client flavour (sync, async, multicast), so a
+    given status always surfaces as the same exception type.
+    """
+    if reply.status is ReplyStatus.SUCCESS:
+        return decode_value(reply.body)
+    if reply.status is ReplyStatus.PROG_UNAVAIL:
+        raise ProgramUnavailable(f"program {prog} v{vers} not at {destination}")
+    if reply.status is ReplyStatus.PROC_UNAVAIL:
+        raise ProcedureUnavailable(
+            f"procedure {proc} of program {prog} not at {destination}"
+        )
+    if reply.status is ReplyStatus.GARBAGE_ARGS:
+        raise GarbageArguments(f"arguments rejected by {destination}")
+    if reply.status is ReplyStatus.DEADLINE_EXCEEDED:
+        raise DeadlineExceeded(
+            f"{destination} rejected prog={prog} proc={proc}: deadline expired"
+        )
+    if reply.status is ReplyStatus.SHED:
+        # The server declined under load while our budget was still
+        # live.  Surface it as immediately retryable — the caller
+        # should try an alternate offer, not hammer this server.
+        raise ServerShedding(
+            f"{destination} shed prog={prog} proc={proc} under load; "
+            f"retry against an alternate offer"
+        )
+    fault = decode_value(reply.body)
+    raise RemoteFault(fault.get("kind", "Error"), fault.get("detail", ""))
+
+
+def resolve_context(
+    context: Optional[CallContext],
+    timeout: Optional[float],
+    retries: Optional[int],
+    ambient: Optional[CallContext],
+    default_timeout: float,
+    default_retries: int,
+    now: float,
+) -> CallContext:
+    """Resolve the context governing one call.
+
+    An explicit ``context`` wins outright.  Otherwise a shim context is
+    built from the legacy kwargs (or the client's configured defaults) —
+    and when this call happens *inside* an RPC handler, the ambient
+    request context narrows it: the shim inherits the trace id, span
+    chain (list and lock), hop budget, and scope, and its deadline is
+    capped by the caller's remaining budget.  Local configuration still
+    paces attempts; the inherited deadline bounds the total.
+    """
+    if context is not None:
+        return context
+    shim = CallContext.from_legacy(
+        default_timeout if timeout is None else timeout,
+        default_retries if retries is None else retries,
+        now,
+        trace_id=ambient.trace_id if ambient is not None else None,
+    )
+    if ambient is not None:
+        shim.share_chain(ambient)
+        if ambient.deadline is not None:
+            shim.deadline = min(shim.deadline, ambient.deadline)
+        shim.hops = ambient.hops
+        shim.visited = ambient.visited
+    return shim
+
+
 class RpcClient:
     """Issues calls over a transport.
 
@@ -57,8 +156,7 @@ class RpcClient:
         self._pending: Dict[int, RpcReply] = {}
         # Bounded memory of finished xids: late duplicate replies for them
         # are dropped instead of leaking into ``_pending`` forever.
-        self._retired: "OrderedDict[int, None]" = OrderedDict()
-        self._retired_capacity = retired_xid_capacity
+        self._retired = RetiredXids(retired_xid_capacity)
         self.calls_sent = 0
         self.retransmissions = 0
         self.duplicate_replies_dropped = 0
@@ -79,10 +177,7 @@ class RpcClient:
     def retire_xid(self, xid: int) -> None:
         """Mark ``xid`` finished: later replies for it are dropped."""
         self._pending.pop(xid, None)
-        self._retired[xid] = None
-        self._retired.move_to_end(xid)
-        while len(self._retired) > self._retired_capacity:
-            self._retired.popitem(last=False)
+        self._retired.add(xid)
 
     def _effective_context(
         self,
@@ -91,32 +186,10 @@ class RpcClient:
         retries: Optional[int],
         ambient: Optional[CallContext],
     ) -> CallContext:
-        """Resolve the context governing one call.
-
-        An explicit ``context`` wins outright.  Otherwise a shim context
-        is built from the legacy kwargs (or the client's configured
-        defaults) — and when this call happens *inside* an RPC handler,
-        the ambient request context narrows it: the shim inherits the
-        trace id, span chain (list and lock), hop budget, and scope, and
-        its deadline is capped by the caller's remaining budget.  Local
-        configuration still paces attempts; the inherited deadline
-        bounds the total.
-        """
-        if context is not None:
-            return context
-        shim = CallContext.from_legacy(
-            self.timeout if timeout is None else timeout,
-            self.retries if retries is None else retries,
-            self.transport.now(),
-            trace_id=ambient.trace_id if ambient is not None else None,
+        return resolve_context(
+            context, timeout, retries, ambient,
+            self.timeout, self.retries, self.transport.now(),
         )
-        if ambient is not None:
-            shim.share_chain(ambient)
-            if ambient.deadline is not None:
-                shim.deadline = min(shim.deadline, ambient.deadline)
-            shim.hops = ambient.hops
-            shim.visited = ambient.visited
-        return shim
 
     def call(
         self,
@@ -134,28 +207,7 @@ class RpcClient:
             destination, prog, vers, proc, encode_value(args), timeout, retries,
             context,
         )
-        if reply.status is ReplyStatus.SUCCESS:
-            return decode_value(reply.body)
-        if reply.status is ReplyStatus.PROG_UNAVAIL:
-            raise ProgramUnavailable(f"program {prog} v{vers} not at {destination}")
-        if reply.status is ReplyStatus.PROC_UNAVAIL:
-            raise ProcedureUnavailable(f"procedure {proc} of program {prog} not at {destination}")
-        if reply.status is ReplyStatus.GARBAGE_ARGS:
-            raise GarbageArguments(f"arguments rejected by {destination}")
-        if reply.status is ReplyStatus.DEADLINE_EXCEEDED:
-            raise DeadlineExceeded(
-                f"{destination} rejected prog={prog} proc={proc}: deadline expired"
-            )
-        if reply.status is ReplyStatus.SHED:
-            # The server declined under load while our budget was still
-            # live.  Surface it as immediately retryable — the caller
-            # should try an alternate offer, not hammer this server.
-            raise ServerShedding(
-                f"{destination} shed prog={prog} proc={proc} under load; "
-                f"retry against an alternate offer"
-            )
-        fault = decode_value(reply.body)
-        raise RemoteFault(fault.get("kind", "Error"), fault.get("detail", ""))
+        return reply_to_result(reply, destination, prog, vers, proc)
 
     def call_raw(
         self,

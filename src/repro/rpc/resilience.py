@@ -32,6 +32,8 @@ on virtual-time simulations and wall-clock TCP stacks.
 
 from __future__ import annotations
 
+import asyncio
+import inspect
 import random
 import threading
 from dataclasses import dataclass
@@ -366,6 +368,113 @@ class ResilientCaller:
             raise last_error
         raise CircuitOpen("no attempt could be made within the round budget")
 
+    async def run_async(
+        self,
+        targets: Sequence[T],
+        attempt: Callable[[T, Optional[CallContext]], Any],
+        ctx: Optional[CallContext] = None,
+        key: Callable[[T], str] = str,
+        operation: str = "call",
+    ) -> Any:
+        """Coroutine twin of :meth:`run` for the async RPC stack.
+
+        Same slicing, breaker, and failover semantics; backoff pauses are
+        ``await asyncio.sleep`` (virtual seconds on a
+        :class:`~repro.net.aioclock.SimEventLoop`) instead of blocking
+        transport waits, so concurrent failover rounds interleave on one
+        event loop.  ``attempt`` may be a coroutine function or a plain
+        callable returning an awaitable; plain results pass through.
+        """
+        if not targets:
+            raise ValueError("ResilientCaller.run_async needs at least one target")
+        if ctx is None:
+            ctx = current_context()
+        clock = self._client.transport.now
+        span_ctx = ctx if ctx is not None else CallContext.background()
+        with span_ctx.span("resilience", operation, clock) as span:
+            return await self._run_rounds_async(
+                list(targets), attempt, ctx, key, span, clock
+            )
+
+    async def _run_rounds_async(
+        self,
+        targets: List[T],
+        attempt: Callable[[T, Optional[CallContext]], Any],
+        ctx: Optional[CallContext],
+        key: Callable[[T], str],
+        span,
+        clock: Clock,
+    ) -> Any:
+        last_error: Optional[BaseException] = None
+        delay = self.backoff.first()
+        first_attempt = True
+        for round_index in range(self.rounds):
+            attempted = 0
+            for position, target in enumerate(targets):
+                now = clock()
+                if ctx is not None and ctx.expired(now):
+                    raise self._deadline_error(ctx, last_error)
+                endpoint = key(target)
+                breaker = self.breaker_for(endpoint)
+                if not breaker.allow(now):
+                    span.add_event("breaker_open", at=now, endpoint=endpoint)
+                    METRICS.inc("rpc.breaker.skipped", (endpoint,))
+                    continue
+                if not first_attempt:
+                    delay = await self._sleep_backoff_async(ctx, delay, span, clock)
+                    if ctx is not None and ctx.expired(clock()):
+                        raise self._deadline_error(ctx, last_error)
+                    self.failovers += 1
+                    METRICS.inc("rpc.failover.attempts", (endpoint,))
+                    span.add_event("failover", at=clock(), endpoint=endpoint,
+                                   round=round_index)
+                attempted += 1
+                first_attempt = False
+                child = self._attempt_context(ctx, len(targets) - position)
+                try:
+                    result = attempt(target, child)
+                    if inspect.isawaitable(result):
+                        result = await result
+                except asyncio.CancelledError:
+                    raise  # never classified: cancellation wins
+                except BaseException as exc:  # noqa: BLE001 - classified below
+                    now = clock()
+                    if _is_deadline(exc):
+                        if ctx is None or ctx.expired(now):
+                            if isinstance(exc, DeadlineExceeded):
+                                raise
+                            raise self._deadline_error(ctx, exc) from exc
+                        # only this attempt's slice expired; keep going
+                    elif not transient(exc):
+                        raise
+                    breaker.record_failure(now)
+                    last_error = exc
+                    continue
+                breaker.record_success(clock())
+                return result
+            if attempted == 0:
+                raise CircuitOpen(
+                    f"all {len(targets)} candidate endpoint(s) have open "
+                    f"circuit breakers"
+                )
+        if last_error is not None:
+            raise last_error
+        raise CircuitOpen("no attempt could be made within the round budget")
+
+    async def _sleep_backoff_async(
+        self, ctx: Optional[CallContext], delay: float, span, clock: Clock
+    ) -> float:
+        """:meth:`_sleep_backoff` without blocking the event loop."""
+        now = clock()
+        wait = delay if ctx is None else min(delay, ctx.remaining(now))
+        if wait > 0:
+            span.add_event("backoff", at=now, delay=wait)
+            self.backoff_sleeps += wait
+            METRICS.inc("rpc.backoff.sleeps")
+            METRICS.observe("rpc.backoff.seconds", wait)
+            await asyncio.sleep(wait)
+        return self.backoff.next_delay(delay, self._rng)
+
     def _sleep_backoff(
         self, ctx: Optional[CallContext], delay: float, span, clock: Clock
     ) -> float:
@@ -422,6 +531,33 @@ class ResilientCaller:
             )
 
         return self.run(
+            destinations, attempt, ctx=ctx,
+            key=lambda d: f"{d.host}:{d.port}",
+            operation=f"call {prog}:{proc}",
+        )
+
+    async def call_async(
+        self,
+        destinations: Sequence[Any],
+        prog: int,
+        vers: int,
+        proc: int,
+        args: Any = None,
+        ctx: Optional[CallContext] = None,
+    ) -> Any:
+        """:meth:`call` on the async stack.
+
+        Construct the caller with an
+        :class:`~repro.rpc.aio.AsyncRpcClient` (its ``call`` returns an
+        awaitable, which the engine awaits per attempt).
+        """
+
+        def attempt(destination: Any, child: Optional[CallContext]) -> Any:
+            return self._client.call(
+                destination, prog, vers, proc, args, context=child
+            )
+
+        return await self.run_async(
             destinations, attempt, ctx=ctx,
             key=lambda d: f"{d.host}:{d.port}",
             operation=f"call {prog}:{proc}",

@@ -459,22 +459,80 @@ class RpcServer:
         )
         return estimate is not None and estimate > call.deadline - now
 
-    def _execute(self, call: RpcCall) -> RpcReply:
+    def _prepare(self, call: RpcCall):
+        """Front half of execution shared by the sync and async servers.
+
+        Returns ``(program, handler, args, early_reply)``; a non-``None``
+        ``early_reply`` short-circuits execution (expired deadline,
+        unknown program/procedure, undecodable arguments).
+        """
         # Expired calls were rejected at admission and again at dequeue;
         # this guard remains for direct callers that bypass the queue.
         if call.deadline is not None and self.transport.now() >= call.deadline:
-            return self._reject_deadline(call)
+            return None, None, None, self._reject_deadline(call)
         program = self._programs.get((call.prog, call.vers))
         if program is None:
-            return RpcReply(call.xid, ReplyStatus.PROG_UNAVAIL)
+            return None, None, None, RpcReply(call.xid, ReplyStatus.PROG_UNAVAIL)
         handler = program.lookup(call.proc)
         if handler is None:
-            return RpcReply(call.xid, ReplyStatus.PROC_UNAVAIL)
+            return program, None, None, RpcReply(call.xid, ReplyStatus.PROC_UNAVAIL)
         try:
             args = decode_value(call.body) if call.body else None
         except XdrError:
-            return RpcReply(call.xid, ReplyStatus.GARBAGE_ARGS)
+            return program, handler, None, RpcReply(call.xid, ReplyStatus.GARBAGE_ARGS)
         self.calls_handled += 1
+        return program, handler, args, None
+
+    @staticmethod
+    def _fault_reply(xid: int, exc: BaseException) -> RpcReply:
+        fault = {"kind": type(exc).__name__, "detail": str(exc)}
+        return RpcReply(xid, ReplyStatus.REMOTE_FAULT, encode_value(fault))
+
+    @staticmethod
+    def _success_reply(xid: int, result: Any) -> RpcReply:
+        try:
+            body = encode_value(result)
+        except XdrError as exc:
+            return RpcServer._fault_reply(xid, exc)
+        return RpcReply(xid, ReplyStatus.SUCCESS, body)
+
+    def _observe(
+        self,
+        call: RpcCall,
+        program: RpcProgram,
+        ctx: Optional[CallContext],
+        started: float,
+    ) -> None:
+        """Post-execution epilogue: service-time samples and chain flush.
+
+        Measured service time per (program, proc) is the estimate
+        admission control compares budgets against.  Observed into the
+        process registry for reporting and into the server's own
+        registry for admission decisions.
+        """
+        ended = self.transport.now()
+        elapsed = ended - started
+        labels = (program.name, str(call.proc))
+        METRICS.observe("rpc.server.handler_seconds", elapsed, labels)
+        self._service_times.observe("rpc.server.handler_seconds", elapsed, labels)
+        # Aggregate stream feeding the "auto" capacity derivation.
+        self._service_times.observe("rpc.server.handler_seconds", elapsed, _ALL_PROCS)
+        if call.deadline is not None and ended > call.deadline:
+            # The deadline lapsed *mid-execution*: these handler
+            # seconds bought an answer nobody is waiting for — the
+            # waste admission control exists to avoid (compared
+            # on/off in benchmarks/bench_overload_shedding.py).
+            METRICS.inc("rpc.server.wasted_handler_seconds", labels, amount=elapsed)
+            METRICS.inc("rpc.server.missed_deadline_executions", labels)
+        if ctx is not None:
+            # The server-side chain ends here; flush best-effort
+            # (no-op unless an exporter is installed).
+            flush_context(ctx)
+
+    def _execute(self, call: RpcCall) -> RpcReply:
+        program, handler, args, early = self._prepare(call)
+        if early is not None:
+            return early
         # Reconstruct the caller's context from the wire fields and make
         # it ambient for the handler: nested calls (federation forwards,
         # 2PC rounds, value-adding services) inherit deadline and trace.
@@ -491,37 +549,10 @@ class RpcServer:
                 else:
                     result = handler(args)
             except Exception as exc:  # noqa: BLE001 - faults cross the wire as data
-                fault = {"kind": type(exc).__name__, "detail": str(exc)}
-                return RpcReply(call.xid, ReplyStatus.REMOTE_FAULT, encode_value(fault))
-            try:
-                body = encode_value(result)
-            except XdrError as exc:
-                fault = {"kind": "XdrError", "detail": str(exc)}
-                return RpcReply(call.xid, ReplyStatus.REMOTE_FAULT, encode_value(fault))
-            return RpcReply(call.xid, ReplyStatus.SUCCESS, body)
+                return self._fault_reply(call.xid, exc)
+            return self._success_reply(call.xid, result)
         finally:
-            # Measured service time per (program, proc) — the estimate
-            # admission control compares budgets against.  Observed into
-            # the process registry for reporting and into the server's
-            # own registry for admission decisions.
-            ended = self.transport.now()
-            elapsed = ended - started
-            labels = (program.name, str(call.proc))
-            METRICS.observe("rpc.server.handler_seconds", elapsed, labels)
-            self._service_times.observe("rpc.server.handler_seconds", elapsed, labels)
-            # Aggregate stream feeding the "auto" capacity derivation.
-            self._service_times.observe("rpc.server.handler_seconds", elapsed, _ALL_PROCS)
-            if call.deadline is not None and ended > call.deadline:
-                # The deadline lapsed *mid-execution*: these handler
-                # seconds bought an answer nobody is waiting for — the
-                # waste admission control exists to avoid (compared
-                # on/off in benchmarks/bench_overload_shedding.py).
-                METRICS.inc("rpc.server.wasted_handler_seconds", labels, amount=elapsed)
-                METRICS.inc("rpc.server.missed_deadline_executions", labels)
-            if ctx is not None:
-                # The server-side chain ends here; flush best-effort
-                # (no-op unless an exporter is installed).
-                flush_context(ctx)
+            self._observe(call, program, ctx, started)
 
     @staticmethod
     def _context_for(call: RpcCall) -> Optional[CallContext]:

@@ -52,7 +52,9 @@ class SimTransport(Transport):
     """Datagram transport over the simulated network."""
 
     def __init__(self, network: SimNetwork, host: str, port: Optional[int] = None) -> None:
-        self._network = network
+        #: Public so peers of this transport (async side-cars, the event
+        #: loop integration) can join the same simulated world.
+        self.network = network
         self._endpoint = network.bind(host, port)
         self.local_address = self._endpoint.address
         self._receiver: Optional[Receiver] = None
@@ -65,11 +67,11 @@ class SimTransport(Transport):
         self._receiver = receiver
 
     def wait(self, predicate: Callable[[], bool], timeout: float) -> bool:
-        deadline = self._network.clock.now + timeout
-        return self._network.clock.run_until(predicate, deadline)
+        deadline = self.network.clock.now + timeout
+        return self.network.clock.run_until(predicate, deadline)
 
     def now(self) -> float:
-        return self._network.clock.now
+        return self.network.clock.now
 
     def close(self) -> None:
         self._endpoint.close()
@@ -94,7 +96,10 @@ class TcpTransport(Transport):
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
-        self._listener.listen(32)
+        # Deep backlog: benchmark fleets open thousands of connections in
+        # one burst, and a SYN dropped by a full backlog costs the caller
+        # a full kernel retransmission timeout.
+        self._listener.listen(1024)
         self.local_address = Address(host, self._listener.getsockname()[1])
         self._receiver: Optional[Receiver] = None
         self._connections: Dict[Address, socket.socket] = {}

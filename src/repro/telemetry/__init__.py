@@ -30,6 +30,7 @@ from repro.telemetry.exporters import (
 from repro.telemetry.hub import (
     TelemetryHub,
     flush_context,
+    flush_on_task_completion,
     get_hub,
     set_hub,
     use_exporter,
@@ -49,6 +50,7 @@ __all__ = [
     "TraceChain",
     "derive_parents",
     "flush_context",
+    "flush_on_task_completion",
     "get_hub",
     "set_hub",
     "use_exporter",

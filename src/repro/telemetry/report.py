@@ -272,6 +272,63 @@ def run_recovery_cell(model: str, repeats: int, seed: int = 1994) -> Dict[str, A
     }
 
 
+def run_async_cell(model: str, clients: int = 32, seed: int = 1994) -> Dict[str, Any]:
+    """The async stack's footprint: in-flight concurrency on one loop.
+
+    Runs ``clients`` concurrent calls against an
+    :class:`~repro.rpc.aio.AsyncRpcServer` on a virtual-time event loop,
+    sampling the ``rpc.async.inflight`` gauge mid-flight — the report's
+    window onto the async transport: peak concurrency, the gauge
+    returning to zero at rest, and the virtual makespan (≈ one call's
+    round trip, not ``clients`` of them, when the fan-out overlaps).
+    """
+    import asyncio
+
+    from repro.net.aioclock import loop_for
+    from repro.rpc.aio import AsyncRpcClient, AsyncRpcServer
+    from repro.rpc.server import RpcProgram
+
+    net = SimNetwork(latency=LATENCY_MODELS[model](), seed=seed)
+    server = AsyncRpcServer(SimTransport(net, "asrv.site-b"))
+    program = RpcProgram(662100, 1, "report-async")
+
+    async def hold(args):
+        await asyncio.sleep(args["hold"])
+        return True
+
+    program.register(1, hold, "hold")
+    server.serve(program)
+    client = AsyncRpcClient(
+        SimTransport(net, "acli.site-a"), timeout=10.0, retries=1
+    )
+    peak = {"inflight": 0}
+
+    async def probe() -> None:
+        # Sample while every call is still holding (hold >> probe delay).
+        await asyncio.sleep(0.05)
+        peak["inflight"] = METRICS.gauge("rpc.async.inflight")
+
+    async def main() -> float:
+        start = net.clock.now
+        await asyncio.gather(
+            probe(),
+            *[
+                client.call(server.address, 662100, 1, 1, {"hold": 1.0})
+                for _ in range(clients)
+            ],
+        )
+        return net.clock.now - start
+
+    makespan = loop_for(net.clock).run_until_complete(main())
+    return {
+        "model": model,
+        "clients": clients,
+        "inflight_peak": int(peak["inflight"]),
+        "inflight_at_rest": int(METRICS.gauge("rpc.async.inflight")),
+        "makespan": makespan,
+    }
+
+
 def build_report(
     models: Sequence[str] = DEFAULT_MODELS,
     fleets: Sequence[int] = DEFAULT_FLEETS,
@@ -291,6 +348,7 @@ def build_report(
         "repeats": repeats,
         "cells": cells,
         "recovery": [run_recovery_cell(model, repeats) for model in models],
+        "async": [run_async_cell(model) for model in models],
     }
 
 
@@ -342,6 +400,20 @@ def report_widgets(report: Dict[str, Any]) -> List[Widget]:
         )
     if report.get("recovery"):
         widgets.append(recovery)
+    async_table = Table(
+        "async stack (concurrent in-flight calls, per model)",
+        ["model", "clients", "inflight peak", "inflight at rest", "makespan"],
+    )
+    for cell in report.get("async", []):
+        async_table.add_row(
+            cell["model"],
+            cell["clients"],
+            cell["inflight_peak"],
+            cell["inflight_at_rest"],
+            cell["makespan"],
+        )
+    if report.get("async"):
+        widgets.append(async_table)
     return widgets
 
 

@@ -16,10 +16,11 @@ and as a compatibility surface for pre-context callers.
 
 from __future__ import annotations
 
+import asyncio
 import inspect
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import math
 
@@ -54,13 +55,19 @@ class TraderLink:
     # A link may cap how deep queries travel onward from here, on top of
     # the request's own hop budget (the ODP notion of link scope).
     max_hops: int = 8
+    #: Optional coroutine-function twin of ``forwarder`` used by the
+    #: async fan-out; when absent the sync forwarder runs inline (fine
+    #: for co-located traders, which answer without blocking).
+    aforwarder: Optional[Forwarder] = None
     _wants_ctx: Optional[bool] = field(default=None, repr=False, compare=False)
+    _awants_ctx: Optional[bool] = field(default=None, repr=False, compare=False)
 
-    def forward(
+    def _capped(
         self,
         request_wire: Dict[str, Any],
-        ctx: Optional[CallContext] = None,
-    ) -> List[Dict[str, Any]]:
+        ctx: Optional[CallContext],
+    ) -> Tuple[Dict[str, Any], Optional[CallContext]]:
+        """Apply this link's hop scope to the wire dict and the context."""
         capped = dict(request_wire)
         # A request that omits hop_limit gets this link's full allowance —
         # min() against a default of 0 would silently zero the budget.
@@ -72,11 +79,48 @@ class TraderLink:
             # The link scope narrows the context's budget as well: the
             # peer trusts the context over the legacy wire field.
             ctx = ctx.derive(hops=capped["hop_limit"])
+        return capped, ctx
+
+    def forward(
+        self,
+        request_wire: Dict[str, Any],
+        ctx: Optional[CallContext] = None,
+    ) -> List[Dict[str, Any]]:
+        capped, ctx = self._capped(request_wire, ctx)
         if self._wants_ctx is None:
             self._wants_ctx = _accepts_ctx(self.forwarder)
         if self._wants_ctx:
             return self.forwarder(capped, ctx=ctx)
         return self.forwarder(capped)
+
+    async def forward_async(
+        self,
+        request_wire: Dict[str, Any],
+        ctx: Optional[CallContext] = None,
+    ) -> List[Dict[str, Any]]:
+        """Coroutine twin of :meth:`forward` — used by :func:`fan_out_async`.
+
+        Prefers ``aforwarder``; without one the sync forwarder runs
+        inline on the event loop, and a sync forwarder that happens to
+        return an awaitable is awaited.
+        """
+        capped, ctx = self._capped(request_wire, ctx)
+        if self.aforwarder is not None:
+            if self._awants_ctx is None:
+                self._awants_ctx = _accepts_ctx(self.aforwarder)
+            if self._awants_ctx:
+                return await self.aforwarder(capped, ctx=ctx)
+            return await self.aforwarder(capped)
+        if self._wants_ctx is None:
+            self._wants_ctx = _accepts_ctx(self.forwarder)
+        result = (
+            self.forwarder(capped, ctx=ctx)
+            if self._wants_ctx
+            else self.forwarder(capped)
+        )
+        if inspect.isawaitable(result):
+            result = await result
+        return result
 
 
 def fan_out(
@@ -179,4 +223,109 @@ def fan_out(
         executor.shutdown(wait=False)
     # Snapshot: links still running past an early exit must not mutate
     # what the importer already merged.
+    return list(results)
+
+
+async def fan_out_async(
+    links: List[TraderLink],
+    request_wire: Dict[str, Any],
+    ctx: CallContext,
+    clock: Clock,
+    workers: int = DEFAULT_FANOUT_WORKERS,
+    needed: int = 0,
+) -> List[Optional[List[Dict[str, Any]]]]:
+    """Coroutine fan-out: :func:`fan_out` semantics on the event loop.
+
+    Identical outcome accounting and deadline-ledger leasing, but each
+    link is a task instead of a pooled thread — on a virtual-time
+    :class:`~repro.net.aioclock.SimEventLoop` every link is genuinely in
+    flight at once while the run stays deterministic (tasks start in
+    link order; the loop interleaves them in virtual-time order).  On a
+    spent budget, links that never started are counted ``expired`` and
+    links cancelled mid-flight count ``expired`` too — the async stack's
+    cancellation-on-deadline reaches into the fan-out itself.
+    """
+    links = list(links)
+    results: List[Optional[List[Dict[str, Any]]]] = [None] * len(links)
+    if not links:
+        return results
+    ledger = DeadlineLedger(ctx, clock, len(links))
+    semaphore = asyncio.Semaphore(max(1, min(workers, len(links))))
+    started: Dict[int, bool] = {}
+    budget_exhausted = {"flag": False}
+
+    async def forward_one(index: int, link: TraderLink) -> None:
+        async with semaphore:
+            started[index] = True
+            leased = ledger.lease()
+            try:
+                if leased.expired(clock()):
+                    leased.record_span(
+                        SpanRecord(
+                            "federation",
+                            f"link {link.name}",
+                            started_at=clock(),
+                            outcome="expired",
+                        )
+                    )
+                    METRICS.inc("federation.link", (link.name, "expired"))
+                    return
+                with use_context(leased):
+                    with leased.span("federation", f"link {link.name}", clock):
+                        results[index] = await link.forward_async(
+                            request_wire, leased
+                        )
+                METRICS.inc("federation.link", (link.name, "ok"))
+            except ServerShedding:
+                # An overloaded peer shed the forward: degrade to a
+                # partial merge exactly as for an unreachable peer, but
+                # counted separately — shedding is a load signal, not a
+                # liveness one.
+                METRICS.inc("federation.link", (link.name, "shed"))
+            except DeadlineExceeded:
+                METRICS.inc("federation.link", (link.name, "expired"))
+            except asyncio.CancelledError:
+                if budget_exhausted["flag"]:
+                    # Cancelled mid-flight by a spent budget: a budget
+                    # outcome.  Cancellation from an early ``needed``
+                    # exit counts nothing, like the sync paths.
+                    METRICS.inc("federation.link", (link.name, "expired"))
+                raise
+            except Exception:  # noqa: BLE001 - unreachable peers are skipped
+                # the span already recorded the failure outcome
+                METRICS.inc("federation.link", (link.name, "unreachable"))
+            finally:
+                ledger.release()
+
+    pending = set()
+    link_index = {}
+    for index, link in enumerate(links):
+        task = asyncio.ensure_future(forward_one(index, link))
+        link_index[task] = index
+        pending.add(task)
+    try:
+        while pending:
+            budget = ledger.remaining()
+            timeout = None if math.isinf(budget) else max(0.0, budget)
+            done, pending = await asyncio.wait(
+                pending, timeout=timeout, return_when=asyncio.FIRST_COMPLETED
+            )
+            if not done:
+                budget_exhausted["flag"] = True
+                break  # budget spent: return the partial sweep
+            if needed > 0:
+                gathered = sum(len(r) for r in results if r)
+                if gathered >= needed:
+                    break
+    finally:
+        for task in pending:
+            task.cancel()
+            if budget_exhausted["flag"] and not started.get(link_index[task]):
+                # Never started: counted like the serial sweep's skip.
+                METRICS.inc(
+                    "federation.link", (links[link_index[task]].name, "expired")
+                )
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+    # Snapshot for symmetry with the sync fan-out.
     return list(results)

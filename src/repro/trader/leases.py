@@ -128,6 +128,38 @@ class LeaseHeartbeat:
 
         clock.schedule(self.interval, tick)
 
+    def start_task(self, loop: Optional[Any] = None) -> "Any":
+        """Heartbeat as an asyncio task; :meth:`stop` cancels it.
+
+        On a :class:`~repro.net.aioclock.SimEventLoop` the sleeps are
+        virtual seconds — an exporter's heartbeat then costs no wall
+        time at all, and crashing its simulated host eats the RENEW
+        datagrams exactly as with :meth:`schedule_on`.  With no ``loop``
+        the running loop is used (call from a coroutine).
+        """
+        import asyncio
+
+        loop = loop if loop is not None else asyncio.get_running_loop()
+
+        async def beat_forever() -> None:
+            try:
+                while not self.stopped:
+                    await asyncio.sleep(self.interval)
+                    if not self.stopped:
+                        self.beat()
+            except asyncio.CancelledError:
+                pass  # stop() cancelled us; the lease lapses naturally
+
+        task = loop.create_task(beat_forever())
+        original_stop = self.stop
+
+        def stop_task() -> None:
+            original_stop()
+            task.cancel()
+
+        self.stop = stop_task  # type: ignore[method-assign]
+        return task
+
     def start_thread(self) -> threading.Thread:
         """Heartbeat on the wall clock (daemon thread); :meth:`stop` ends it."""
         stop_event = threading.Event()

@@ -22,7 +22,12 @@ from repro.telemetry.metrics import METRICS
 from repro.trader.constraints import parse_constraint
 from repro.trader.dynamic import resolve_properties
 from repro.trader.errors import TraderError
-from repro.trader.federation import DEFAULT_FANOUT_WORKERS, TraderLink, fan_out
+from repro.trader.federation import (
+    DEFAULT_FANOUT_WORKERS,
+    TraderLink,
+    fan_out,
+    fan_out_async,
+)
 from repro.trader.offers import OfferStore, ServiceOffer
 from repro.trader.policies import parse_preference
 from repro.trader.service_types import ServiceType
@@ -106,6 +111,11 @@ class LocalTrader:
         # between forwards; wall-clock traders pass their transport clock.
         self.fanout_workers = fanout_workers
         self.clock = clock
+        # On virtual-time stacks concurrency comes from coroutines, not
+        # threads: when set (by TraderService over a SimTransport), the
+        # fan-out runs as tasks on this loop so links overlap in virtual
+        # time while staying deterministic.
+        self.fanout_loop = None
         self.exports_accepted = 0
         self.imports_served = 0
 
@@ -314,13 +324,16 @@ class LocalTrader:
     ) -> List[ServiceOffer]:
         """Sweep the federation links; ``needed > 0`` allows early exit.
 
-        Two or more links fan out concurrently on a bounded worker pool,
+        Concurrent by default: with ``fanout_workers > 1`` links fan out
         with the remaining deadline split across outstanding links (see
-        :func:`repro.trader.federation.fan_out`).  A single link — or a
-        trader configured with ``fanout_workers=1``, as virtual-time sim
-        stacks are — keeps the serial sweep and its frozen-``now`` budget
-        check, so one slow peer still cannot spend a budget that has
-        already run out.
+        :mod:`repro.trader.federation`) — as coroutine tasks on
+        ``fanout_loop`` when one is installed (virtual-time sim stacks),
+        on a bounded worker pool otherwise (wall-clock stacks).  The
+        serial sweep remains only for ``fanout_workers=1`` and for
+        *nested* hops on a sim stack (the loop is already running this
+        import, so a nested fan-out continues inline); its budget checks
+        stay frozen at the import's ``now``, so one slow peer cannot
+        spend a budget that has already run out.
         """
         if not self.links:
             return []
@@ -343,20 +356,26 @@ class LocalTrader:
         forwarded["preference"] = ""  # peers return raw matches; we order
         forwarded["max_matches"] = 0
         links = list(self.links.values())
-        if len(links) > 1 and self.fanout_workers > 1:
-            clock = self.clock or (lambda: now)
-            wire_lists = fan_out(
-                links, forwarded, child, clock,
-                workers=self.fanout_workers, needed=needed,
-            )
-            return [
-                ServiceOffer.from_wire(item)
-                for wires in wire_lists
-                if wires
-                for item in wires
-            ]
-        gathered: List[ServiceOffer] = []
         clock = self.clock or (lambda: now)
+        if self.fanout_workers > 1:
+            loop = self.fanout_loop
+            if loop is not None and not loop.is_running():
+                wire_lists = loop.run_until_complete(
+                    fan_out_async(
+                        links, forwarded, child, clock,
+                        workers=self.fanout_workers, needed=needed,
+                    )
+                )
+                return self._offers_from(wire_lists)
+            if loop is None:
+                wire_lists = fan_out(
+                    links, forwarded, child, clock,
+                    workers=self.fanout_workers, needed=needed,
+                )
+                return self._offers_from(wire_lists)
+            # loop is running: this is a nested hop inside an async
+            # fan-out already in flight — continue serially inline.
+        gathered: List[ServiceOffer] = []
         for position, link in enumerate(links):
             if ctx.expired(now):
                 # budget spent: stop fanning out, return what we have
@@ -383,6 +402,17 @@ class LocalTrader:
             METRICS.inc("federation.link", (link.name, "ok"))
             gathered.extend(ServiceOffer.from_wire(item) for item in results)
         return gathered
+
+    @staticmethod
+    def _offers_from(
+        wire_lists: List[Optional[List[Dict[str, Any]]]]
+    ) -> List[ServiceOffer]:
+        return [
+            ServiceOffer.from_wire(item)
+            for wires in wire_lists
+            if wires
+            for item in wires
+        ]
 
     # -- federation ------------------------------------------------------------
 
@@ -414,14 +444,25 @@ class TraderService:
             from repro.trader.dynamic import BindingEvaluator
 
             self.trader.dynamic_evaluator = BindingEvaluator(client)
+        self._async_client = None
         if client is not None:
             if isinstance(client.transport, SimTransport):
-                # The virtual clock is advanced by the calling thread; a
-                # concurrent fan-out would fight over it — stay serial.
-                # The serial sweep never reads the clock for budget checks
-                # (those stay frozen at each import's ``now``), so the
-                # transport clock is safe to use for span timing.
-                self.trader.fanout_workers = 1
+                # Virtual-time concurrency: fan-out runs as coroutine
+                # tasks on the clock's shared event loop, with federated
+                # forwards issued by an async side-car client.  The
+                # side-car binds to the *same simulated host*, so
+                # partitions and crashes cut it exactly as they cut the
+                # sync client — chaos scenarios see one node, not two.
+                from repro.net.aioclock import loop_for
+                from repro.rpc.aio import AsyncRpcClient
+
+                network = client.transport.network
+                self.trader.fanout_loop = loop_for(network.clock)
+                self._async_client = AsyncRpcClient(
+                    SimTransport(network, client.transport.local_address.host),
+                    timeout=client.timeout,
+                    retries=client.retries,
+                )
             if self.trader.clock is None:
                 self.trader.clock = client.transport.now
         program = RpcProgram(TRADER_PROGRAM, 1, "trader")
@@ -457,8 +498,20 @@ class TraderService:
                     peer_address, TRADER_PROGRAM, 1, _PROC_IMPORT, request_wire
                 )
 
+        aforward = None
+        if self._async_client is not None:
+            aclient = self._async_client
+
+            async def aforward(
+                request_wire: Dict[str, Any], ctx: Optional[CallContext] = None
+            ) -> List[Dict[str, Any]]:
+                with use_context(ctx if ctx is not None else current_context()):
+                    return await aclient.call(
+                        peer_address, TRADER_PROGRAM, 1, _PROC_IMPORT, request_wire
+                    )
+
         link_name = name or f"link:{peer_address.host}:{peer_address.port}"
-        self.trader.link(TraderLink(link_name, forward))
+        self.trader.link(TraderLink(link_name, forward, aforwarder=aforward))
 
     # -- handlers ---------------------------------------------------------------
 

@@ -79,6 +79,17 @@ def test_one_context_observed_across_federated_import(make_server, make_client):
     link.forwarder = forward_spy
     link._wants_ctx = None  # re-detect the new callable's signature
 
+    # On a sim stack the federated sweep routes through the link's async
+    # forwarder; spy on that path too so the observation is path-agnostic.
+    inner_aforward = link.aforwarder
+    if inner_aforward is not None:
+        async def aforward_spy(request_wire, ctx=None):
+            observed["forwarder"] = ctx
+            return await inner_aforward(request_wire, ctx=ctx)
+
+        link.aforwarder = aforward_spy
+        link._awants_ctx = None
+
     inner_import = peer.import_wire
 
     def import_spy(request_wire, now=0.0, ctx=None):

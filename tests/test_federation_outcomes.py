@@ -1,9 +1,10 @@
 """Federation link-outcome accounting: ok / shed / unreachable / expired.
 
 Every forward resolves to exactly one ``federation.link`` outcome, and
-the serial sweep (``fanout_workers=1``) and the pooled fan-out count the
-same world identically — the partial merges they return are equal, and
-so are the per-link outcome tallies.
+all three sweep flavours — the serial sweep (``fanout_workers=1``), the
+pooled thread fan-out, and the coroutine fan-out on an event loop —
+count the same world identically: the partial merges they return are
+equal, and so are the per-link outcome tallies.
 """
 
 import time
@@ -12,6 +13,7 @@ import pytest
 
 from repro.context import CallContext
 from repro.naming.refs import ServiceRef
+from repro.net import SimEventLoop
 from repro.net.endpoints import Address
 from repro.rpc.errors import DeadlineExceeded, ServerShedding
 from repro.sidl.types import DOUBLE, InterfaceType, LONG, OperationType
@@ -21,6 +23,17 @@ from repro.trader.service_types import ServiceType
 from repro.trader.trader import ImportRequest, LocalTrader
 
 OUTCOMES = ("ok", "shed", "unreachable", "expired")
+
+#: The three fan-out flavours an import may sweep links with.
+MODES = ("serial", "pooled", "async")
+
+
+def configure_mode(trader, mode):
+    if mode == "serial":
+        trader.fanout_workers = 1
+    elif mode == "async":
+        trader.fanout_loop = SimEventLoop()
+    return trader
 
 
 def rental_type():
@@ -43,10 +56,10 @@ def make_trader(trader_id, *offer_names, **kwargs):
     return trader
 
 
-def mixed_outcome_hub(workers):
+def mixed_outcome_hub(mode):
     """A hub whose four links each resolve to a distinct outcome."""
-    hub = make_trader("hub", "local-1", clock=time.monotonic,
-                      fanout_workers=workers)
+    hub = make_trader("hub", "local-1", clock=time.monotonic, fanout_workers=4)
+    configure_mode(hub, mode)
     hub.link_local(make_trader("good", "good-1"))
 
     def shedding(request_wire, ctx=None):
@@ -72,8 +85,8 @@ def link_counts(links):
     }
 
 
-def sweep(workers):
-    hub = mixed_outcome_hub(workers)
+def sweep(mode):
+    hub = mixed_outcome_hub(mode)
     before = link_counts(hub.links)
     offers = hub.import_(
         ImportRequest("CarRentalService", hop_limit=1),
@@ -84,9 +97,9 @@ def sweep(workers):
     return sorted(o.service_ref().name for o in offers), delta
 
 
-@pytest.mark.parametrize("workers", [1, 4])
-def test_each_link_outcome_is_counted_distinctly(workers):
-    offer_names, delta = sweep(workers)
+@pytest.mark.parametrize("mode", MODES)
+def test_each_link_outcome_is_counted_distinctly(mode):
+    offer_names, delta = sweep(mode)
     # Partial merge: the healthy peer and the hub's own offer.
     assert offer_names == ["good-1", "local-1"]
     assert delta == {
@@ -97,14 +110,14 @@ def test_each_link_outcome_is_counted_distinctly(workers):
     }
 
 
-def test_serial_and_pooled_sweeps_agree():
-    assert sweep(1) == sweep(4)
+def test_all_sweep_flavours_agree():
+    assert sweep("serial") == sweep("pooled") == sweep("async")
 
 
-@pytest.mark.parametrize("workers", [1, 4])
-def test_spent_budget_counts_every_link_expired(workers):
-    hub = make_trader("hub", "local-1", clock=time.monotonic,
-                      fanout_workers=workers)
+@pytest.mark.parametrize("mode", MODES)
+def test_spent_budget_counts_every_link_expired(mode):
+    hub = make_trader("hub", "local-1", clock=time.monotonic, fanout_workers=4)
+    configure_mode(hub, mode)
     hub.link_local(make_trader("p1", "p1-1"))
     hub.link_local(make_trader("p2", "p2-1"))
     before = link_counts(hub.links)

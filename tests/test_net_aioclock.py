@@ -1,0 +1,128 @@
+"""Tests for the event-loop sim clock (repro.net.aioclock)."""
+
+import asyncio
+import time
+
+from repro.net import SimClock, SimEventLoop, loop_for
+from repro.net.aioclock import run
+
+
+def test_sleep_advances_virtual_time_not_wall_time():
+    loop = SimEventLoop()
+
+    async def nap():
+        start = loop.time()
+        await asyncio.sleep(3600.0)
+        return loop.time() - start
+
+    wall = time.perf_counter()
+    elapsed = loop.run_until_complete(nap())
+    wall = time.perf_counter() - wall
+    assert elapsed == 3600.0
+    assert wall < 1.0
+    loop.close()
+
+
+def test_loop_time_is_the_sim_clock():
+    clock = SimClock(start=100.0)
+    loop = SimEventLoop(clock)
+    assert loop.time() == 100.0
+    assert loop.sim_clock is clock
+    loop.close()
+
+
+def test_concurrent_sleeps_overlap_in_virtual_time():
+    loop = SimEventLoop()
+
+    async def main():
+        start = loop.time()
+        await asyncio.gather(*[asyncio.sleep(5.0) for _ in range(200)])
+        return loop.time() - start
+
+    # 200 concurrent five-second sleeps take five virtual seconds total,
+    # not a thousand: the loop runs them all against one clock.
+    assert loop.run_until_complete(main()) == 5.0
+    loop.close()
+
+
+def test_sim_events_and_loop_timers_interleave_in_time_order():
+    clock = SimClock()
+    loop = loop_for(clock)
+    order = []
+    clock.schedule(2.0, lambda: order.append(("sim", clock.now)))
+
+    async def main():
+        await asyncio.sleep(1.5)
+        order.append(("aio", clock.now))
+        await asyncio.sleep(1.0)
+        order.append(("aio", clock.now))
+
+    loop.run_until_complete(main())
+    assert order == [("aio", 1.5), ("sim", 2.0), ("aio", 2.5)]
+
+
+def test_wait_for_times_out_in_virtual_time():
+    loop = SimEventLoop()
+
+    async def main():
+        try:
+            await asyncio.wait_for(asyncio.sleep(10.0), timeout=2.0)
+        except asyncio.TimeoutError:
+            return loop.time()
+        raise AssertionError("expected a timeout")
+
+    assert loop.run_until_complete(main()) == 2.0
+    loop.close()
+
+
+def test_loop_for_returns_one_loop_per_clock():
+    clock = SimClock()
+    assert loop_for(clock) is loop_for(clock)
+    other = SimClock()
+    assert loop_for(other) is not loop_for(clock)
+
+
+def test_run_convenience_continues_the_same_world():
+    clock = SimClock()
+
+    async def nap(seconds):
+        await asyncio.sleep(seconds)
+        return clock.now
+
+    assert run(nap(1.0), clock) == 1.0
+    # The loop survives between runs: virtual time accumulates.
+    assert run(nap(1.0), clock) == 2.0
+
+
+def test_cancelled_sim_events_are_skipped():
+    clock = SimClock()
+    loop = loop_for(clock)
+    fired = []
+    handle = clock.schedule(1.0, lambda: fired.append("cancelled"))
+    handle.cancel()
+    clock.schedule(2.0, lambda: fired.append("kept"))
+
+    async def main():
+        await asyncio.sleep(3.0)
+
+    loop.run_until_complete(main())
+    assert fired == ["kept"]
+
+
+def test_many_concurrent_tasks_complete_quickly():
+    loop = SimEventLoop()
+    done = []
+
+    async def worker(i):
+        await asyncio.sleep(1.0 + (i % 7) * 0.1)
+        done.append(i)
+
+    async def main():
+        await asyncio.gather(*[worker(i) for i in range(2000)])
+
+    wall = time.perf_counter()
+    loop.run_until_complete(main())
+    wall = time.perf_counter() - wall
+    assert len(done) == 2000
+    assert wall < 10.0
+    loop.close()

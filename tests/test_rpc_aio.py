@@ -1,0 +1,299 @@
+"""Tests for the async RPC stack: AsyncRpcClient/AsyncRpcServer/AsyncTcpTransport.
+
+Virtual-time cases drive a :class:`SimEventLoop` explicitly (no asyncio
+plugin needed); the TCP cases use :func:`asyncio.run` on real sockets.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.context import CallContext
+from repro.net import SimNetwork, loop_for
+from repro.net.latency import FixedLatency
+from repro.rpc import (
+    AdmissionPolicy,
+    AsyncRpcClient,
+    AsyncRpcServer,
+    AsyncTcpTransport,
+    RpcClient,
+    RpcProgram,
+    RpcServer,
+)
+from repro.rpc.errors import (
+    DeadlineExceeded,
+    ProgramUnavailable,
+    RemoteFault,
+    RpcTimeout,
+    ServerShedding,
+)
+from repro.rpc.transport import SimTransport
+from repro.telemetry.metrics import METRICS
+
+PROG = 661000
+
+
+@pytest.fixture
+def net():
+    return SimNetwork(seed=1994, latency=FixedLatency(0.01))
+
+
+def make_async_stack(net, host="asrv", **server_options):
+    server = AsyncRpcServer(SimTransport(net, host), **server_options)
+    program = RpcProgram(PROG, 1, "aio")
+    calls = {"count": 0}
+
+    async def slow_echo(args):
+        await asyncio.sleep(args.get("delay", 0.0))
+        calls["count"] += 1
+        return {"echo": args, "n": calls["count"], "at": net.clock.now}
+
+    def sync_echo(args):
+        calls["count"] += 1
+        return {"echo": args, "n": calls["count"]}
+
+    def boom(args):
+        raise ValueError("kaput")
+
+    program.register(1, slow_echo, "slow_echo")
+    program.register(2, sync_echo, "sync_echo")
+    program.register(3, boom, "boom")
+    server.serve(program)
+    client = AsyncRpcClient(SimTransport(net, "acli"), timeout=1.0, retries=3)
+    return server, client, calls
+
+
+def run_sim(net, coro):
+    return loop_for(net.clock).run_until_complete(coro)
+
+
+def test_async_call_roundtrip_on_sim(net):
+    server, client, __ = make_async_stack(net)
+    result = run_sim(net, client.call(server.address, PROG, 1, 2, {"x": 1}))
+    assert result["echo"] == {"x": 1}
+
+
+def test_async_handler_awaited(net):
+    server, client, __ = make_async_stack(net)
+    result = run_sim(
+        net, client.call(server.address, PROG, 1, 1, {"delay": 0.5})
+    )
+    assert result["at"] >= 0.5
+
+
+def test_concurrent_calls_overlap_in_virtual_time(net):
+    server, client, calls = make_async_stack(net)
+
+    async def main():
+        start = net.clock.now
+        out = await asyncio.gather(*[
+            client.call(
+                server.address, PROG, 1, 1, {"delay": 1.0, "i": i}, timeout=5.0
+            )
+            for i in range(50)
+        ])
+        return out, net.clock.now - start
+
+    out, elapsed = run_sim(net, main())
+    assert len(out) == 50 and calls["count"] == 50
+    # Serial execution would take >= 50 virtual seconds.
+    assert elapsed < 2.0
+
+
+def test_remote_fault_surfaces(net):
+    server, client, __ = make_async_stack(net)
+    with pytest.raises(RemoteFault) as excinfo:
+        run_sim(net, client.call(server.address, PROG, 1, 3))
+    assert "kaput" in str(excinfo.value)
+
+
+def test_unknown_program_raises(net):
+    server, client, __ = make_async_stack(net)
+    with pytest.raises(ProgramUnavailable):
+        run_sim(net, client.call(server.address, 999999, 1, 1))
+
+
+def test_timeout_when_unreachable(net):
+    __, client, __c = make_async_stack(net)
+    missing = SimTransport(net, "ghost").local_address
+    with pytest.raises(RpcTimeout):
+        run_sim(
+            net,
+            client.call(missing, PROG, 1, 1, timeout=0.1, retries=1),
+        )
+
+
+def test_retransmission_survives_drops(net):
+    server, client, calls = make_async_stack(net)
+    net.faults.drop_probability = 0.6
+
+    async def main():
+        return await asyncio.gather(*[
+            client.call(
+                server.address, PROG, 1, 2, {"x": i}, timeout=0.2, retries=40
+            )
+            for i in range(5)
+        ])
+
+    results = run_sim(net, main())
+    assert [r["echo"]["x"] for r in results] == [0, 1, 2, 3, 4]
+    assert client.retransmissions > 0
+    # At-most-once: duplicates of retransmitted requests never re-ran.
+    assert calls["count"] == 5
+
+
+def test_deadline_expired_before_send(net):
+    server, client, __ = make_async_stack(net)
+    ctx = CallContext(deadline=net.clock.now - 1.0)
+    with pytest.raises(DeadlineExceeded):
+        run_sim(net, client.call(server.address, PROG, 1, 2, context=ctx))
+
+
+def test_async_handler_cancelled_at_wire_deadline(net):
+    server, client, __ = make_async_stack(net)
+    ctx = CallContext(deadline=net.clock.now + 0.5)
+    with pytest.raises(DeadlineExceeded):
+        run_sim(
+            net,
+            client.call(server.address, PROG, 1, 1, {"delay": 60.0}, context=ctx),
+        )
+    # The server cancelled the handler instead of letting it run for 60
+    # virtual seconds past a dead budget.
+    assert server.cancelled_on_deadline == 1
+    assert net.clock.now < 10.0
+
+
+def test_shed_surfaces_as_server_shedding(net):
+    server, client, __ = make_async_stack(
+        net, admission=AdmissionPolicy(min_samples=1, quantile=0.5)
+    )
+    # Teach the estimator that proc 1 takes ~2 virtual seconds.
+    run_sim(
+        net, client.call(server.address, PROG, 1, 1, {"delay": 2.0}, timeout=10.0)
+    )
+    ctx = CallContext(deadline=net.clock.now + 0.5)
+    with pytest.raises(ServerShedding):
+        run_sim(
+            net,
+            client.call(server.address, PROG, 1, 1, {"delay": 2.0}, context=ctx),
+        )
+    assert server.calls_shed == 1
+
+
+def test_inflight_gauge_tracks_concurrency(net):
+    server, client, __ = make_async_stack(net)
+    seen = {}
+
+    async def probe():
+        await asyncio.sleep(0.05)
+        seen["mid"] = METRICS.gauge("rpc.async.inflight")
+
+    async def main():
+        await asyncio.gather(
+            probe(),
+            *[
+                client.call(
+                    server.address, PROG, 1, 1, {"delay": 1.0}, timeout=5.0
+                )
+                for i in range(10)
+            ],
+        )
+
+    run_sim(net, main())
+    assert seen["mid"] == 10
+    assert METRICS.gauge("rpc.async.inflight") == 0
+
+
+def test_sync_client_drives_async_server_without_a_loop(net):
+    """A sync caller on a sim stack still reaches an AsyncRpcServer."""
+    server, __, calls = make_async_stack(net)
+    sync_client = RpcClient(SimTransport(net, "scli"), timeout=1.0, retries=3)
+    result = sync_client.call(server.address, PROG, 1, 2, {"x": 3})
+    assert result["echo"] == {"x": 3}
+
+
+def test_async_client_reaches_sync_server(net):
+    """Flavours interoperate: the wire format is shared."""
+    server = RpcServer(SimTransport(net, "ssrv"))
+    program = RpcProgram(PROG + 1, 1, "sync")
+    program.register(1, lambda args: {"double": args["x"] * 2})
+    server.serve(program)
+    client = AsyncRpcClient(SimTransport(net, "acli2"), timeout=1.0, retries=3)
+    result = run_sim(net, client.call(server.address, PROG + 1, 1, 1, {"x": 21}))
+    assert result["double"] == 42
+
+
+def test_ambient_context_crosses_tasks(net):
+    """A handler's nested async call inherits trace id and deadline."""
+    inner_net = net
+    backend = AsyncRpcServer(SimTransport(inner_net, "backend"))
+    backend_prog = RpcProgram(PROG + 2, 1, "backend")
+    traces = []
+
+    def backend_handler(args):
+        from repro.context import current_context
+
+        ctx = current_context()
+        traces.append(ctx.trace_id if ctx else None)
+        return "pong"
+
+    backend_prog.register(1, backend_handler)
+    backend.serve(backend_prog)
+
+    front = AsyncRpcServer(SimTransport(inner_net, "front"))
+    front_prog = RpcProgram(PROG + 3, 1, "front")
+    nested_client = AsyncRpcClient(
+        SimTransport(inner_net, "front-out"), timeout=1.0, retries=3
+    )
+
+    async def forward(args):
+        return await nested_client.call(backend.address, PROG + 2, 1, 1)
+
+    front_prog.register(1, forward)
+    front.serve(front_prog)
+
+    client = AsyncRpcClient(SimTransport(inner_net, "acli3"), timeout=2.0, retries=3)
+    ctx = CallContext(deadline=inner_net.clock.now + 5.0, trace_id="trace-xyz")
+    result = run_sim(
+        net, client.call(front.address, PROG + 3, 1, 1, context=ctx)
+    )
+    assert result == "pong"
+    assert traces == ["trace-xyz"]
+
+
+# -- real sockets ----------------------------------------------------------
+
+
+def test_async_tcp_roundtrip_and_connection_reuse():
+    async def main():
+        st = await AsyncTcpTransport.create()
+        server = AsyncRpcServer(st)
+        program = RpcProgram(PROG + 4, 1, "tcp")
+
+        async def slow(args):
+            await asyncio.sleep(args["delay"])
+            return args["msg"]
+
+        program.register(1, slow)
+        server.serve(program)
+        ct = await AsyncTcpTransport.create(listen=False)
+        client = AsyncRpcClient(ct, timeout=5.0, retries=1)
+        t0 = time.perf_counter()
+        out = await asyncio.gather(*[
+            client.call(server.address, PROG + 4, 1, 1, {"msg": f"m{i}", "delay": 0.2})
+            for i in range(20)
+        ])
+        elapsed = time.perf_counter() - t0
+        stats = (ct.connections_opened, st.connections_accepted, st.connections_opened)
+        ct.close()
+        await st.aclose()
+        return out, elapsed, stats
+
+    out, elapsed, (opened, accepted, server_opened) = asyncio.run(main())
+    assert out == [f"m{i}" for i in range(20)]
+    # Concurrent on real sockets too: 20 x 0.2s in well under 4s serial time.
+    assert elapsed < 2.0
+    # One multiplexed connection carried all calls, and replies reused it
+    # (the server never dialled back).
+    assert opened == 1 and accepted == 1 and server_opened == 0
