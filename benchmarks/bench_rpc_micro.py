@@ -1,16 +1,45 @@
-"""Substrate microbenchmarks: XDR codec and raw RPC dispatch.
+"""Substrate microbenchmarks: XDR codec, compiled codecs, raw dispatch.
 
 Everything above (SIDs, trading, mediation) rides on these costs; the
-series here make the higher-level numbers interpretable.
+series here make the higher-level numbers interpretable.  The
+``codec_*`` series compare the tagged dynamic-marshalling path against
+the compiled per-signature path on the same values — the per-call floor
+the wire fast lane lowers.
 """
 
 import pytest
 
 from benchmarks.conftest import Stack
+from repro.rpc.codec import CompiledCodec
 from repro.rpc.server import RpcProgram
 from repro.rpc.xdr import decode_value, encode_value
+from repro.sidl import layout
 
 PROG = 910000
+
+#: A trader-RENEW-shaped record: the hot heartbeat signature.
+SMALL_SPEC = layout.struct(offer_id=layout.string())
+SMALL_VALUE = {"offer_id": "offer-0042"}
+
+#: A wider record mixing every fixed-width leaf with string tails.
+WIDE_SPEC = layout.struct(
+    sequence=layout.i64(),
+    price=layout.f64(),
+    available=layout.boolean(),
+    tier=layout.enum("gold", "silver", "bronze"),
+    name=layout.string(),
+    site=layout.string(),
+    matches=layout.seq(layout.struct(rank=layout.i64(), score=layout.f64())),
+)
+WIDE_VALUE = {
+    "sequence": 123456789,
+    "price": 19.94,
+    "available": True,
+    "tier": "silver",
+    "name": "CarRentalService",
+    "site": "site-b.example",
+    "matches": [{"rank": rank, "score": rank * 0.5} for rank in range(8)],
+}
 
 
 def nested_value(depth: int, width: int):
@@ -50,6 +79,44 @@ def test_xdr_bytes_payload(benchmark):
     value = {"blob": b"\x00" * 65536}
     payload = benchmark(lambda: encode_value(value))
     assert len(payload) > 65536
+
+
+@pytest.mark.parametrize(
+    "shape,spec,value",
+    [
+        ("small", SMALL_SPEC, SMALL_VALUE),
+        ("wide", WIDE_SPEC, WIDE_VALUE),
+    ],
+    ids=["small", "wide"],
+)
+def test_codec_compiled_encode(benchmark, shape, spec, value):
+    codec = CompiledCodec(spec)
+    payload = benchmark(lambda: codec.encode(value))
+    assert len(payload) < len(encode_value(value))
+
+
+@pytest.mark.parametrize(
+    "shape,spec,value",
+    [
+        ("small", SMALL_SPEC, SMALL_VALUE),
+        ("wide", WIDE_SPEC, WIDE_VALUE),
+    ],
+    ids=["small", "wide"],
+)
+def test_codec_compiled_decode(benchmark, shape, spec, value):
+    codec = CompiledCodec(spec)
+    payload = codec.encode(value)
+    assert benchmark(lambda: codec.decode(payload)) == value
+
+
+@pytest.mark.parametrize(
+    "shape,value",
+    [("small", SMALL_VALUE), ("wide", WIDE_VALUE)],
+    ids=["small", "wide"],
+)
+def test_codec_tagged_decode(benchmark, shape, value):
+    payload = encode_value(value)
+    assert benchmark(lambda: decode_value(payload)) == value
 
 
 @pytest.mark.parametrize("payload_size", [16, 4096])

@@ -31,10 +31,9 @@ import itertools
 import math
 import threading
 import uuid
-from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import CosmError
 
@@ -272,18 +271,15 @@ class CallContext:
         self.spans = other.spans
         self._span_lock = other._span_lock
 
-    @contextmanager
-    def span(self, layer: str, operation: str, clock: Clock) -> Iterator[SpanRecord]:
-        """Record one operation at one layer; re-raises, noting the outcome."""
-        record = SpanRecord(layer, operation, started_at=clock())
-        try:
-            yield record
-        except BaseException as exc:
-            record.outcome = type(exc).__name__
-            raise
-        finally:
-            record.elapsed = clock() - record.started_at
-            self.record_span(record)
+    def span(self, layer: str, operation: str, clock: Clock) -> "_SpanScope":
+        """Record one operation at one layer; re-raises, noting the outcome.
+
+        Returns a hand-rolled context manager rather than a
+        ``@contextmanager`` generator: spans wrap every RPC dispatch, so
+        the enter/exit pair sits on the wire fast path where generator
+        plus ``contextlib`` machinery is measurable.
+        """
+        return _SpanScope(self, SpanRecord(layer, operation, started_at=clock()), clock)
 
     def layer_costs(self) -> Dict[str, float]:
         """Total elapsed seconds per layer, from the span chain."""
@@ -327,6 +323,31 @@ class CallContext:
             hops=wire.get("hops"),
             visited=tuple(wire.get("visited", ())),
         )
+
+
+class _SpanScope:
+    """The context manager :meth:`CallContext.span` hands out.
+
+    ``__slots__`` and explicit ``__enter__``/``__exit__`` because one of
+    these brackets every RPC dispatch (client and server side)."""
+
+    __slots__ = ("_ctx", "_record", "_clock")
+
+    def __init__(self, ctx: "CallContext", record: SpanRecord, clock: Clock) -> None:
+        self._ctx = ctx
+        self._record = record
+        self._clock = clock
+
+    def __enter__(self) -> SpanRecord:
+        return self._record
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        record = self._record
+        if exc_type is not None:
+            record.outcome = exc_type.__name__
+        record.elapsed = self._clock() - record.started_at
+        self._ctx.record_span(record)
+        return False
 
 
 class DeadlineLedger:
@@ -387,11 +408,25 @@ def current_context() -> Optional[CallContext]:
     return _current.get()
 
 
-@contextmanager
-def use_context(ctx: Optional[CallContext]) -> Iterator[Optional[CallContext]]:
+class _AmbientScope:
+    """Hand-rolled context manager behind :func:`use_context` — same
+    fast-path rationale as :class:`_SpanScope`."""
+
+    __slots__ = ("_ctx", "_token")
+
+    def __init__(self, ctx: Optional[CallContext]) -> None:
+        self._ctx = ctx
+        self._token = None
+
+    def __enter__(self) -> Optional[CallContext]:
+        self._token = _current.set(self._ctx)
+        return self._ctx
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _current.reset(self._token)
+        return False
+
+
+def use_context(ctx: Optional[CallContext]) -> _AmbientScope:
     """Install ``ctx`` as the ambient context for the enclosed block."""
-    token = _current.set(ctx)
-    try:
-        yield ctx
-    finally:
-        _current.reset(token)
+    return _AmbientScope(ctx)

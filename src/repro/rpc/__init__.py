@@ -14,11 +14,19 @@ Replaces the prototype's Sun ONC RPC with a compatible-in-spirit layer:
 * :mod:`repro.rpc.txn` — transactional RPC (two-phase commit coordinator),
   the "Transactional RPC" box of Fig. 6,
 * :mod:`repro.rpc.resilience` — client-side failure recovery: decorrelated
-  backoff, ranked-offer failover, per-endpoint circuit breakers.
+  backoff, ranked-offer failover, per-endpoint circuit breakers,
+* :mod:`repro.rpc.codec` — compiled per-signature wire codecs with
+  transparent fallback to the tagged dynamic-marshalling path.
 """
 
-from repro.rpc.aio import AsyncRpcClient, AsyncRpcServer, AsyncTcpTransport
-from repro.rpc.client import RpcClient
+from repro.rpc.aio import (
+    AsyncBatchingClient,
+    AsyncRpcClient,
+    AsyncRpcServer,
+    AsyncTcpTransport,
+)
+from repro.rpc.client import BatchBuffer, BatchingClient, RpcClient
+from repro.rpc.codec import CODECS, CodecFallback, CodecRegistry, CompiledCodec
 from repro.rpc.errors import (
     DeadlineExceeded,
     GarbageArguments,
@@ -29,7 +37,14 @@ from repro.rpc.errors import (
     RpcTimeout,
     ServerShedding,
 )
-from repro.rpc.message import RpcCall, RpcReply, ReplyStatus
+from repro.rpc.message import (
+    MessageAssembler,
+    ReplyStatus,
+    RpcCall,
+    RpcReply,
+    decode_messages,
+    encode_batch,
+)
 from repro.rpc.multicast import MulticastCaller
 from repro.rpc.portmap import PORTMAP_PORT, PORTMAP_PROGRAM, Portmapper, portmap_lookup
 from repro.rpc.resilience import (
@@ -53,15 +68,23 @@ from repro.rpc.xdr import XdrDecoder, XdrEncoder, decode_value, encode_value
 __all__ = [
     "AdmissionPolicy",
     "AdmissionQueue",
+    "AsyncBatchingClient",
     "AsyncRpcClient",
     "AsyncRpcServer",
     "AsyncTcpTransport",
     "BackoffPolicy",
+    "BatchBuffer",
+    "BatchingClient",
     "BreakerPolicy",
+    "CODECS",
     "CircuitBreaker",
     "CircuitOpen",
+    "CodecFallback",
+    "CodecRegistry",
+    "CompiledCodec",
     "DeadlineExceeded",
     "GarbageArguments",
+    "MessageAssembler",
     "MulticastCaller",
     "PORTMAP_PORT",
     "PORTMAP_PROGRAM",
@@ -87,8 +110,10 @@ __all__ = [
     "TxnOutcome",
     "XdrDecoder",
     "XdrEncoder",
+    "decode_messages",
     "decode_value",
     "derive_capacity",
+    "encode_batch",
     "encode_value",
     "portmap_lookup",
 ]

@@ -34,7 +34,7 @@ from __future__ import annotations
 import asyncio
 import inspect
 import struct
-from typing import Any, Callable, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.context import CallContext, SpanRecord, current_context, use_context
 from repro.errors import CommunicationError
@@ -45,16 +45,17 @@ from repro.rpc.client import (
     reply_to_result,
     resolve_context,
 )
+from repro.rpc.codec import CODECS
 from repro.rpc.dispatch import dispatcher_for
 from repro.rpc.errors import DeadlineExceeded, RpcError, RpcTimeout
 from repro.rpc.message import ReplyStatus, RpcCall, RpcReply
 from repro.rpc.server import AdmissionPolicy, RpcServer
-from repro.rpc.transport import SimTransport, Transport
-from repro.rpc.xdr import encode_value
-from repro.telemetry.hub import flush_context
+from repro.rpc.transport import SimTransport, Transport, enable_nodelay
+from repro.telemetry.hub import flush_context, spans_wanted
 from repro.telemetry.metrics import METRICS
 
 __all__ = [
+    "AsyncBatchingClient",
     "AsyncRpcClient",
     "AsyncRpcServer",
     "AsyncTcpTransport",
@@ -184,6 +185,7 @@ class AsyncTcpTransport(Transport):
             # as a lost datagram would.
             self._connecting.pop(destination, None)
             return
+        enable_nodelay(writer.get_extra_info("socket"))
         self.connections_opened += 1
         advertised = self.local_address.port
         if advertised == 0:  # listen=False: per-connection reply address
@@ -206,6 +208,7 @@ class AsyncTcpTransport(Transport):
         except (asyncio.IncompleteReadError, ValueError, OSError):
             writer.close()
             return
+        enable_nodelay(writer.get_extra_info("socket"))
         self.connections_accepted += 1
         # Replies to this peer ride the inbound connection — no second
         # socket pair per client, unlike the threaded transport.
@@ -311,7 +314,8 @@ class AsyncRpcClient:
     ) -> Any:
         """Call and decode; raises a typed :class:`RpcError` on failure."""
         reply = await self.call_raw(
-            destination, prog, vers, proc, encode_value(args), timeout, retries,
+            destination, prog, vers, proc,
+            CODECS.encode_args(prog, vers, proc, args), timeout, retries,
             context,
         )
         return reply_to_result(reply, destination, prog, vers, proc)
@@ -390,7 +394,7 @@ class AsyncRpcClient:
                         span.add_event("retransmission", at=now, attempt=attempt)
                 self.calls_sent += 1
                 wait = ctx.attempt_timeout(now, attempts - attempt)
-                self.transport.send(destination, encoded)
+                self._send_call(destination, encoded, ctx.deadline)
                 try:
                     # shield: a per-attempt timeout must not cancel the
                     # waiter — the xid (and its future) live on into the
@@ -419,6 +423,16 @@ class AsyncRpcClient:
             _inflight(-1)
             self.retire_xid(xid)
 
+    def _send_call(
+        self, destination: Address, encoded: bytes, deadline: Optional[float]
+    ) -> None:
+        """Put one encoded CALL on the wire.
+
+        The seam :class:`AsyncBatchingClient` overrides to coalesce
+        same-tick writes; the base client writes immediately.
+        """
+        self.transport.send(destination, encoded)
+
     async def ping(self, destination: Address, prog: int, vers: int = 1) -> bool:
         """True when the destination answers procedure 0 (NULL proc)."""
         try:
@@ -431,14 +445,224 @@ class AsyncRpcClient:
         dispatcher_for(self.transport).client = None
 
 
+class AsyncBatchingClient(AsyncRpcClient):
+    """Async client that coalesces same-tick calls into BATCH writes.
+
+    Calls issued in the same event-loop tick — the natural shape of an
+    ``asyncio.gather`` fan-out — stage their CALL frames per
+    destination; a ``call_soon`` callback flushes each destination's
+    stage as one transport write before the loop goes back to I/O.  No
+    linger delay is ever added: the flush runs in the *current* tick, so
+    a lone call leaves exactly as fast as with the base client, and a
+    thousand-call gather leaves as ``ceil(1000 / max_batch)`` writes.
+    Count and byte watermarks cut oversized batches early.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        timeout: float = 1.0,
+        retries: int = 3,
+        retired_xid_capacity: int = 4096,
+        max_batch: int = 16,
+        max_bytes: int = 64 * 1024,
+    ) -> None:
+        super().__init__(transport, timeout, retries, retired_xid_capacity)
+        self.max_batch = max_batch
+        self.max_bytes = max_bytes
+        self.batches_sent = 0
+        self._staged: Dict[Address, List[bytes]] = {}
+        self._staged_bytes: Dict[Address, int] = {}
+        self._flush_scheduled: Set[Address] = set()
+
+    def _send_call(
+        self, destination: Address, encoded: bytes, deadline: Optional[float]
+    ) -> None:
+        staged = self._staged.setdefault(destination, [])
+        staged.append(encoded)
+        total = self._staged_bytes.get(destination, 0) + len(encoded)
+        self._staged_bytes[destination] = total
+        if len(staged) >= self.max_batch or total >= self.max_bytes:
+            self._flush(destination)
+            return
+        if destination not in self._flush_scheduled:
+            self._flush_scheduled.add(destination)
+            asyncio.get_running_loop().call_soon(self._flush, destination)
+
+    def _flush(self, destination: Address) -> None:
+        self._flush_scheduled.discard(destination)
+        staged = self._staged.pop(destination, None)
+        self._staged_bytes.pop(destination, None)
+        if staged:
+            self._send_batch(destination, staged)
+
+    def _send_batch(self, destination: Address, payloads: List[bytes]) -> None:
+        self.batches_sent += 1
+        METRICS.inc("rpc.client.batches_sent")
+        METRICS.observe("rpc.client.batch_size", float(len(payloads)))
+        self.transport.send(destination, b"".join(payloads))
+
+    def _send_batches(
+        self, destination: Address, encoded_calls: List[bytes]
+    ) -> None:
+        """Ship encoded CALLs in watermark-sized BATCH payloads."""
+        chunk: List[bytes] = []
+        chunk_bytes = 0
+        for encoded in encoded_calls:
+            if chunk and (
+                len(chunk) >= self.max_batch
+                or chunk_bytes + len(encoded) > self.max_bytes
+            ):
+                self._send_batch(destination, chunk)
+                chunk, chunk_bytes = [], 0
+            chunk.append(encoded)
+            chunk_bytes += len(encoded)
+        if chunk:
+            self._send_batch(destination, chunk)
+
+    # -- explicit batch API -----------------------------------------------
+
+    async def call_many(
+        self,
+        destination: Address,
+        calls: Sequence[Tuple[int, int, int, Any]],
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        context: Optional[CallContext] = None,
+    ) -> List[Any]:
+        """Issue many ``(prog, vers, proc, args)`` calls as batches.
+
+        The coroutine twin of
+        :meth:`repro.rpc.client.BatchingClient.call_many`: one shared
+        context (one deadline budget, one trace) covers the whole
+        batch, replies are awaited collectively instead of through a
+        per-call future+timeout pair, and outcomes come back in call
+        order — the decoded result or the typed :class:`RpcError`
+        *instance* that call would have raised.
+        """
+        calls = list(calls)
+        if not calls:
+            return []
+        ambient = current_context() if context is None else None
+        ctx = resolve_context(
+            context, timeout, retries, ambient,
+            self.timeout, self.retries, self.transport.now(),
+        )
+        owns_chain = context is None and ambient is None
+        try:
+            with ctx.span(
+                "rpc", f"call_many x{len(calls)}", self.transport.now
+            ):
+                return await self._batch_attempts(ctx, destination, calls)
+        finally:
+            if owns_chain:
+                flush_context(ctx)
+
+    async def _batch_attempts(
+        self,
+        ctx: CallContext,
+        destination: Address,
+        calls: Sequence[Tuple[int, int, int, Any]],
+    ) -> List[Any]:
+        loop = asyncio.get_running_loop()
+        entries = []
+        for prog, vers, proc, args in calls:
+            xid = next(self._xid_counter)
+            call = RpcCall(
+                xid, prog, vers, proc,
+                CODECS.encode_args(prog, vers, proc, args),
+                deadline=ctx.deadline, trace_id=ctx.trace_id, hops=ctx.hops,
+            )
+            self._waiters[xid] = loop.create_future()
+            entries.append((xid, prog, vers, proc, call.encode()))
+        _inflight(+len(entries))
+        try:
+            replies = await self._collect_replies(ctx, destination, entries)
+            expired = ctx.expired(self.transport.now())
+            outcomes: List[Any] = []
+            for xid, prog, vers, proc, __ in entries:
+                reply = replies.get(xid)
+                if reply is None:
+                    if expired:
+                        outcomes.append(DeadlineExceeded(
+                            f"no reply from {destination} for prog={prog} "
+                            f"proc={proc} within the deadline "
+                            f"(trace {ctx.trace_id})"
+                        ))
+                    else:
+                        outcomes.append(RpcTimeout(
+                            f"no reply from {destination} for prog={prog} "
+                            f"proc={proc} after "
+                            f"{ctx.retry.attempts} attempt(s)"
+                        ))
+                    continue
+                try:
+                    outcomes.append(
+                        reply_to_result(reply, destination, prog, vers, proc)
+                    )
+                except RpcError as error:
+                    outcomes.append(error)
+            return outcomes
+        finally:
+            _inflight(-len(entries))
+            for xid, *__ in entries:
+                self.retire_xid(xid)
+
+    async def _collect_replies(
+        self, ctx: CallContext, destination: Address, entries
+    ) -> Dict[int, RpcReply]:
+        """Send batches and gather replies, retransmitting only gaps."""
+        replies: Dict[int, RpcReply] = {}
+        outstanding = {
+            xid: (prog, proc, encoded)
+            for xid, prog, vers, proc, encoded in entries
+        }
+        attempts = ctx.retry.attempts
+        for attempt in range(attempts):
+            now = self.transport.now()
+            if ctx.expired(now):
+                break
+            if attempt:
+                for prog, proc, __ in outstanding.values():
+                    self.retransmissions += 1
+                    METRICS.inc(
+                        "rpc.client.retransmissions", (str(prog), str(proc))
+                    )
+            self.calls_sent += len(outstanding)
+            self._send_batches(
+                destination,
+                [encoded for __, __, encoded in outstanding.values()],
+            )
+            wait = ctx.attempt_timeout(now, attempts - attempt)
+            waiting = [
+                self._waiters[xid]
+                for xid in outstanding
+                if not self._waiters[xid].done()
+            ]
+            if waiting:
+                # One collective timeout; pending futures are left
+                # un-cancelled so the next attempt re-awaits them.
+                await asyncio.wait(waiting, timeout=wait)
+            for xid in list(outstanding):
+                waiter = self._waiters.get(xid)
+                if waiter is not None and waiter.done() and not waiter.cancelled():
+                    replies[xid] = waiter.result()
+                    del outstanding[xid]
+            if not outstanding:
+                break
+        return replies
+
+
 class AsyncRpcServer(RpcServer):
     """Task-per-call RPC server sharing the sync server's admission core.
 
     Arrival-time admission, the deadline-ordered queue, the at-most-once
     reply cache, and every counter are inherited unchanged from
     :class:`~repro.rpc.server.RpcServer`; only the drain differs —
-    admitted calls become event-loop tasks, so handlers overlap instead
-    of running serially, and ``async def`` handlers are awaited.
+    calls bound for ``async def`` handlers become event-loop tasks, so
+    they overlap and are awaited, while plain sync handlers (which
+    would hold the loop for their whole body regardless) execute inline
+    during the drain, skipping per-call task overhead.
 
     Cancellation on deadline expiry: an awaitable handler result runs
     under ``asyncio.wait_for`` bounded by the call's remaining wire
@@ -458,51 +682,205 @@ class AsyncRpcServer(RpcServer):
         super().__init__(transport, at_most_once, reply_cache_size, admission)
         self._handler_tasks: Set[asyncio.Task] = set()
         self.cancelled_on_deadline = 0
+        self.reply_max_batch = 16
+        self._reply_staged: Dict[Address, List[bytes]] = {}
+        self._reply_flush_scheduled: Set[Address] = set()
 
     def handle_call(self, source: Address, call: RpcCall) -> None:
         """Entry point from the dispatcher; spawns a task per admitted call."""
-        cache_key = (source, call.xid)
-        if self.at_most_once:
-            cached = self._reply_cache.get(cache_key)
-            if cached is not None:
-                self.duplicates_suppressed += 1
-                METRICS.inc("rpc.server.duplicates_suppressed")
-                self.transport.send(source, cached.encode())
-                return
-        if not self._admit(source, call, cache_key):
+        if not self._receive(source, call):
             return
         self._pump()
 
-    def _pump(self) -> None:
-        """Drain the admission queue into concurrent handler tasks.
+    def handle_batch(self, source: Address, calls: List[RpcCall]) -> None:
+        """BATCH entry point: admit every call, then start tasks once.
 
-        Entries leave the queue in deadline order, so tasks *start* in
-        deadline order; from there the event loop interleaves them.  A
-        caller outside the event loop (a sync test driving a sim clock
-        by hand) falls back to running each entry to completion — the
-        loop must not be running for that, mirroring the sync server's
-        serial drain.
+        All calls join the deadline-ordered queue before any task is
+        created, so the batch's most urgent call starts first regardless
+        of wire position.  Reply coalescing needs no batch scope here —
+        :meth:`_send_reply` tick-coalesces every reply.
+        """
+        for call in calls:
+            self._receive(source, call)
+        self._pump()
+
+    def _send_reply(self, source: Address, reply: RpcReply) -> None:
+        """Stage a reply; one write flushes everything ready this tick.
+
+        Handler tasks that complete in the same event-loop tick (common
+        for fast handlers fed by one BATCH payload) share a single
+        transport write.  Outside a running loop — the sim fallback
+        path — replies send immediately, matching the sync server.
+        """
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            self.transport.send(source, reply.encode())
+            return
+        staged = self._reply_staged.setdefault(source, [])
+        staged.append(reply.encode())
+        if len(staged) >= self.reply_max_batch:
+            self._flush_replies(source)
+            return
+        if source not in self._reply_flush_scheduled:
+            self._reply_flush_scheduled.add(source)
+            loop.call_soon(self._flush_replies, source)
+
+    def _flush_replies(self, source: Address) -> None:
+        self._reply_flush_scheduled.discard(source)
+        staged = self._reply_staged.pop(source, None)
+        if not staged:
+            return
+        METRICS.observe("rpc.server.batch_replies", float(len(staged)))
+        try:
+            self.transport.send(source, b"".join(staged))
+        except CommunicationError:
+            # Transport torn down while replies were staged; nobody is
+            # left to read them.
+            pass
+
+    def _pump(self) -> None:
+        """Drain the admission queue: inline for sync handlers, tasks else.
+
+        Entries leave the queue in deadline order.  ``async def``
+        handlers become event-loop tasks (so they overlap and can be
+        cancelled at their deadline); plain sync handlers — which would
+        monopolise the loop for their whole body either way — run
+        *inline* right here, skipping task creation, scheduling ticks,
+        and done-callback bookkeeping per call.  A caller outside the
+        event loop (a sync test driving a sim clock by hand) falls back
+        to running each entry to completion, mirroring the sync
+        server's serial drain.
         """
         try:
             loop = asyncio.get_running_loop()
         except RuntimeError:
             loop = None
-        while True:
-            entry = self._queue.pop()
-            if entry is None:
-                return
+        try:
+            while True:
+                entry = self._queue.pop()
+                if entry is None:
+                    return
+                source, call = entry
+                self._start_entry(source, call, loop)
+        finally:
             METRICS.set_gauge(
                 "rpc.server.queue_depth", len(self._queue), self._gauge_label
             )
-            source, call = entry
-            if loop is not None:
-                task = loop.create_task(self._run_entry(source, call))
-                self._handler_tasks.add(task)
-                task.add_done_callback(self._handler_tasks.discard)
+
+    def _start_entry(self, source: Address, call: RpcCall, loop) -> None:
+        if loop is None:
+            self._fallback_loop().run_until_complete(self._run_entry(source, call))
+        elif self._wants_task(call):
+            task = loop.create_task(self._run_entry(source, call))
+            self._handler_tasks.add(task)
+            task.add_done_callback(self._handler_tasks.discard)
+        else:
+            self._start_inline(source, call, loop)
+
+    def _wants_task(self, call: RpcCall) -> bool:
+        """True when the call's handler needs the task path (async def)."""
+        program = self._programs.get((call.prog, call.vers))
+        if program is None:
+            return False
+        handler = program.lookup(call.proc)
+        return handler is not None and inspect.iscoroutinefunction(handler)
+
+    def _start_inline(self, source: Address, call: RpcCall, loop) -> None:
+        """Sync-handler fast lane: dequeue checks + execution, no task."""
+        now = self.transport.now()
+        if call.deadline is not None and now >= call.deadline:
+            self._finish(source, call, self._reject_deadline(call), cacheable=True)
+            return
+        if self._shedding_needed(call, now):
+            self._finish(source, call, self._shed(call, "dequeue"), cacheable=False)
+            return
+        cache_key = (source, call.xid)
+        self._in_flight.add(cache_key)
+        reply: Optional[RpcReply] = None
+        handed_off = False
+        try:
+            reply = self._execute_inline(source, call, loop)
+            handed_off = reply is None
+        finally:
+            if not handed_off:
+                self._in_flight.discard(cache_key)
+        if reply is not None:
+            try:
+                self._finish(source, call, reply, cacheable=True)
+            except CommunicationError:
+                pass
+
+    def _execute_inline(
+        self, source: Address, call: RpcCall, loop
+    ) -> Optional[RpcReply]:
+        """Run a (presumed) sync handler without leaving this tick.
+
+        Returns the reply, or ``None`` when the handler turned out to
+        return an awaitable after all (a partial or wrapper the
+        ``iscoroutinefunction`` gate cannot see) — then a task finishes
+        the call and owns the in-flight key.
+        """
+        program, handler, args, early = self._prepare(call)
+        if early is not None:
+            return early
+        ctx = self._context_for(call)
+        started = self.transport.now()
+        try:
+            if ctx is not None:
+                # Server-built context, dropped after the dispatch:
+                # span bookkeeping only pays off with an exporter.
+                if spans_wanted():
+                    with ctx.span(
+                        "server", f"{program.name}:{call.proc}", self.transport.now
+                    ):
+                        with use_context(ctx):
+                            result = handler(args)
+                else:
+                    with use_context(ctx):
+                        result = handler(args)
             else:
-                self._fallback_loop().run_until_complete(
-                    self._run_entry(source, call)
+                result = handler(args)
+        except Exception as exc:  # noqa: BLE001 - faults cross the wire as data
+            self._observe(call, program, ctx, started)
+            return self._fault_reply(call.xid, exc)
+        if inspect.isawaitable(result):
+            task = loop.create_task(
+                self._finish_awaited(source, call, program, ctx, started, result)
+            )
+            self._handler_tasks.add(task)
+            task.add_done_callback(self._handler_tasks.discard)
+            return None
+        self._observe(call, program, ctx, started)
+        return self._success_reply(call, result)
+
+    async def _finish_awaited(
+        self, source: Address, call: RpcCall, program, ctx, started, awaitable
+    ) -> None:
+        """Complete an inline call whose sync handler returned an awaitable."""
+        try:
+            try:
+                value = await self._bounded(awaitable, call)
+            except asyncio.TimeoutError:
+                self.cancelled_on_deadline += 1
+                METRICS.inc(
+                    "rpc.server.cancelled_on_deadline",
+                    (program.name, str(call.proc)),
                 )
+                reply = self._reject_deadline(call)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - faults cross the wire as data
+                reply = self._fault_reply(call.xid, exc)
+            else:
+                reply = self._success_reply(call, value)
+        finally:
+            self._observe(call, program, ctx, started)
+            self._in_flight.discard((source, call.xid))
+        try:
+            self._finish(source, call, reply, cacheable=True)
+        except CommunicationError:
+            pass
 
     def _fallback_loop(self) -> asyncio.AbstractEventLoop:
         if isinstance(self.transport, SimTransport):
@@ -543,7 +921,7 @@ class AsyncRpcServer(RpcServer):
         started = self.transport.now()
         try:
             try:
-                if ctx is not None:
+                if ctx is not None and spans_wanted():
                     with ctx.span(
                         "server", f"{program.name}:{call.proc}", self.transport.now
                     ):
@@ -551,6 +929,11 @@ class AsyncRpcServer(RpcServer):
                             result = handler(args)
                             if inspect.isawaitable(result):
                                 result = await self._bounded(result, call)
+                elif ctx is not None:
+                    with use_context(ctx):
+                        result = handler(args)
+                        if inspect.isawaitable(result):
+                            result = await self._bounded(result, call)
                 else:
                     result = handler(args)
                     if inspect.isawaitable(result):
@@ -569,7 +952,7 @@ class AsyncRpcServer(RpcServer):
                 raise
             except Exception as exc:  # noqa: BLE001 - faults cross the wire as data
                 return self._fault_reply(call.xid, exc)
-            return self._success_reply(call.xid, result)
+            return self._success_reply(call, result)
         finally:
             self._observe(call, program, ctx, started)
 

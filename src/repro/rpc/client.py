@@ -1,13 +1,24 @@
-"""RPC client handle with retransmission and typed error surfacing."""
+"""RPC client handles: retransmission, typed errors, and call batching.
+
+:class:`RpcClient` is the one-call-per-write baseline.
+:class:`BatchingClient` adds the wire fast lane: concurrent calls to the
+same endpoint coalesce into a single BATCH payload (one ``send`` for
+many CALL frames), flushed when a count, byte, or deadline-slack
+watermark trips — see :class:`BatchBuffer`.  Batching never changes
+call semantics: each call keeps its own xid, deadline, retransmission
+schedule, and typed error surface.
+"""
 
 from __future__ import annotations
 
 import itertools
+import threading
 from collections import OrderedDict
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.context import CallContext, SpanRecord, current_context
 from repro.net.endpoints import Address
+from repro.rpc.codec import CODECS
 from repro.rpc.dispatch import dispatcher_for
 from repro.rpc.errors import (
     DeadlineExceeded,
@@ -21,7 +32,7 @@ from repro.rpc.errors import (
 )
 from repro.rpc.message import ReplyStatus, RpcCall, RpcReply
 from repro.rpc.transport import Transport
-from repro.rpc.xdr import decode_value, encode_value
+from repro.rpc.xdr import decode_value
 from repro.telemetry.hub import flush_context
 from repro.telemetry.metrics import METRICS
 
@@ -64,7 +75,7 @@ def reply_to_result(
     given status always surfaces as the same exception type.
     """
     if reply.status is ReplyStatus.SUCCESS:
-        return decode_value(reply.body)
+        return CODECS.decode_result(prog, vers, proc, reply.body)
     if reply.status is ReplyStatus.PROG_UNAVAIL:
         raise ProgramUnavailable(f"program {prog} v{vers} not at {destination}")
     if reply.status is ReplyStatus.PROC_UNAVAIL:
@@ -204,7 +215,8 @@ class RpcClient:
     ) -> Any:
         """Call and decode; raises a typed :class:`RpcError` on failure."""
         reply = self.call_raw(
-            destination, prog, vers, proc, encode_value(args), timeout, retries,
+            destination, prog, vers, proc,
+            CODECS.encode_args(prog, vers, proc, args), timeout, retries,
             context,
         )
         return reply_to_result(reply, destination, prog, vers, proc)
@@ -279,7 +291,7 @@ class RpcClient:
                         span.add_event("retransmission", at=now, attempt=attempt)
                 self.calls_sent += 1
                 wait = ctx.attempt_timeout(now, attempts - attempt)
-                self.transport.send(destination, encoded)
+                self._send_call(destination, encoded, ctx.deadline)
                 if self.transport.wait(lambda: xid in self._pending, wait):
                     reply = self._pending.pop(xid)
                     if reply.status is ReplyStatus.SHED:
@@ -302,6 +314,16 @@ class RpcClient:
         finally:
             self.retire_xid(xid)
 
+    def _send_call(
+        self, destination: Address, encoded: bytes, deadline: Optional[float]
+    ) -> None:
+        """Put one encoded CALL on the wire.
+
+        The seam :class:`BatchingClient` overrides to coalesce writes;
+        the base client writes immediately, one message per payload.
+        """
+        self.transport.send(destination, encoded)
+
     def ping(self, destination: Address, prog: int, vers: int = 1) -> bool:
         """True when the destination answers procedure 0 (NULL proc)."""
         try:
@@ -312,3 +334,293 @@ class RpcClient:
 
     def close(self) -> None:
         dispatcher_for(self.transport).client = None
+
+
+class BatchBuffer:
+    """Per-destination staging area for encoded CALL frames.
+
+    Three flush watermarks, checked on every :meth:`add`:
+
+    * ``max_batch`` — staged call count;
+    * ``max_bytes`` — staged payload bytes (keeps one batch inside a
+      sane write size);
+    * ``flush_slack`` — earliest-deadline slack: the moment the most
+      urgent staged call has less than this much budget left, the batch
+      goes out now rather than waiting for stragglers.
+
+    Flushes are tracked per destination by a generation counter so a
+    lingering leader can tell "someone already flushed my batch" from
+    "still mine to send" without holding the lock while sleeping.
+    """
+
+    def __init__(
+        self,
+        max_batch: int = 16,
+        max_bytes: int = 64 * 1024,
+        flush_slack: float = 0.005,
+    ) -> None:
+        self.max_batch = max_batch
+        self.max_bytes = max_bytes
+        self.flush_slack = flush_slack
+        self._lock = threading.Lock()
+        self._staged: Dict[Address, List[bytes]] = {}
+        self._bytes: Dict[Address, int] = {}
+        self._earliest: Dict[Address, float] = {}
+        self._generation: Dict[Address, int] = {}
+
+    def add(
+        self,
+        destination: Address,
+        encoded: bytes,
+        deadline: Optional[float],
+        now: float,
+    ) -> Tuple[str, Any]:
+        """Stage one encoded CALL.
+
+        Returns ``("flush", payloads)`` when a watermark tripped (the
+        caller must send them), ``("lead", generation)`` when this entry
+        opened an empty buffer (the caller should linger then
+        :meth:`take`), or ``("wait", None)`` when an existing leader
+        will flush it.
+        """
+        with self._lock:
+            staged = self._staged.setdefault(destination, [])
+            leader = not staged
+            staged.append(encoded)
+            self._bytes[destination] = self._bytes.get(destination, 0) + len(encoded)
+            if deadline is not None:
+                earliest = self._earliest.get(destination)
+                if earliest is None or deadline < earliest:
+                    self._earliest[destination] = deadline
+            if (
+                len(staged) >= self.max_batch
+                or self._bytes[destination] >= self.max_bytes
+                or (
+                    destination in self._earliest
+                    and self._earliest[destination] - now <= self.flush_slack
+                )
+            ):
+                return "flush", self._pop(destination)
+            if leader:
+                return "lead", self._generation.get(destination, 0)
+            return "wait", None
+
+    def take(self, destination: Address, generation: int) -> List[bytes]:
+        """Claim the staged batch if generation still matches, else []."""
+        with self._lock:
+            if self._generation.get(destination, 0) != generation:
+                return []
+            return self._pop(destination)
+
+    def flushed(self, destination: Address, generation: int) -> bool:
+        with self._lock:
+            return self._generation.get(destination, 0) != generation
+
+    def _pop(self, destination: Address) -> List[bytes]:
+        payloads = self._staged.pop(destination, [])
+        self._bytes.pop(destination, None)
+        self._earliest.pop(destination, None)
+        self._generation[destination] = self._generation.get(destination, 0) + 1
+        return payloads
+
+
+class BatchingClient(RpcClient):
+    """RPC client that coalesces concurrent calls into BATCH writes.
+
+    Two modes, freely mixed:
+
+    * :meth:`call_many` — the explicit fast lane: hand over a sequence
+      of calls for one endpoint and they ship as back-to-back CALL
+      frames in watermark-sized payloads, wait collectively, and
+      return per-call outcomes (result value or the typed error
+      *instance*) in order.  No linger delay.
+    * Transparent coalescing — plain :meth:`call` from concurrent
+      threads routes through :class:`BatchBuffer`: the first call to
+      touch an idle destination becomes the *leader*, lingers up to
+      ``linger`` seconds for companions, then flushes everyone in one
+      write.  Watermarks (count/bytes/deadline slack) cut the linger
+      short.  ``linger=0`` disables coalescing entirely.
+
+    Per-call semantics are untouched: same xids, same retransmission
+    pacing, same at-most-once behaviour server-side, and the wire
+    format is plain concatenated CALL frames, so a non-batching server
+    reads them back-to-back.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        timeout: float = 1.0,
+        retries: int = 3,
+        retired_xid_capacity: int = 4096,
+        max_batch: int = 16,
+        max_bytes: int = 64 * 1024,
+        linger: float = 0.001,
+        flush_slack: float = 0.005,
+    ) -> None:
+        super().__init__(transport, timeout, retries, retired_xid_capacity)
+        self.linger = linger
+        self.batches_sent = 0
+        self._buffer = BatchBuffer(max_batch, max_bytes, flush_slack)
+
+    # -- transparent coalescing -------------------------------------------
+
+    def _send_call(
+        self, destination: Address, encoded: bytes, deadline: Optional[float]
+    ) -> None:
+        if self.linger <= 0:
+            self.transport.send(destination, encoded)
+            return
+        action, data = self._buffer.add(
+            destination, encoded, deadline, self.transport.now()
+        )
+        if action == "flush":
+            self._send_batch(destination, data)
+        elif action == "lead":
+            generation = data
+            self.transport.wait(
+                lambda: self._buffer.flushed(destination, generation),
+                self.linger,
+            )
+            payloads = self._buffer.take(destination, generation)
+            if payloads:
+                self._send_batch(destination, payloads)
+        # "wait": the current leader (or a watermark) flushes it for us
+        # within ``linger``.
+
+    # -- explicit batch API -----------------------------------------------
+
+    def call_many(
+        self,
+        destination: Address,
+        calls: Sequence[Tuple[int, int, int, Any]],
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        context: Optional[CallContext] = None,
+    ) -> List[Any]:
+        """Issue many ``(prog, vers, proc, args)`` calls as batches.
+
+        Returns outcomes in call order: the decoded result, or the
+        typed :class:`RpcError` instance that call would have raised.
+        All calls share one context (one deadline budget, one trace).
+        """
+        calls = list(calls)
+        if not calls:
+            return []
+        ambient = current_context() if context is None else None
+        ctx = self._effective_context(context, timeout, retries, ambient)
+        owns_chain = context is None and ambient is None
+        try:
+            with ctx.span(
+                "rpc", f"call_many x{len(calls)}", self.transport.now
+            ):
+                return self._batch_attempts(ctx, destination, calls)
+        finally:
+            if owns_chain:
+                flush_context(ctx)
+
+    def _batch_attempts(
+        self,
+        ctx: CallContext,
+        destination: Address,
+        calls: Sequence[Tuple[int, int, int, Any]],
+    ) -> List[Any]:
+        entries = []
+        for prog, vers, proc, args in calls:
+            xid = next(self._xid_counter)
+            call = RpcCall(
+                xid, prog, vers, proc,
+                CODECS.encode_args(prog, vers, proc, args),
+                deadline=ctx.deadline, trace_id=ctx.trace_id, hops=ctx.hops,
+            )
+            entries.append((xid, prog, vers, proc, call.encode()))
+        try:
+            replies = self._collect_replies(ctx, destination, entries)
+            expired = ctx.expired(self.transport.now())
+            outcomes: List[Any] = []
+            for xid, prog, vers, proc, __ in entries:
+                reply = replies.get(xid)
+                if reply is None:
+                    if expired:
+                        outcomes.append(DeadlineExceeded(
+                            f"no reply from {destination} for prog={prog} "
+                            f"proc={proc} within the deadline "
+                            f"(trace {ctx.trace_id})"
+                        ))
+                    else:
+                        outcomes.append(RpcTimeout(
+                            f"no reply from {destination} for prog={prog} "
+                            f"proc={proc} after {ctx.retry.attempts} attempt(s)"
+                        ))
+                    continue
+                try:
+                    outcomes.append(
+                        reply_to_result(reply, destination, prog, vers, proc)
+                    )
+                except RpcError as error:
+                    outcomes.append(error)
+            return outcomes
+        finally:
+            for xid, *__ in entries:
+                self.retire_xid(xid)
+
+    def _collect_replies(
+        self, ctx: CallContext, destination: Address, entries
+    ) -> Dict[int, RpcReply]:
+        """Send batches and gather replies, retransmitting only gaps."""
+        replies: Dict[int, RpcReply] = {}
+        outstanding = {
+            xid: (prog, proc, encoded)
+            for xid, prog, vers, proc, encoded in entries
+        }
+        attempts = ctx.retry.attempts
+        for attempt in range(attempts):
+            now = self.transport.now()
+            if ctx.expired(now):
+                break
+            if attempt:
+                for prog, proc, __ in outstanding.values():
+                    self.retransmissions += 1
+                    METRICS.inc(
+                        "rpc.client.retransmissions", (str(prog), str(proc))
+                    )
+            self.calls_sent += len(outstanding)
+            self._send_batches(
+                destination, [encoded for __, __, encoded in outstanding.values()]
+            )
+            wait = ctx.attempt_timeout(now, attempts - attempt)
+            self.transport.wait(
+                lambda: all(xid in self._pending for xid in outstanding), wait
+            )
+            for xid in list(outstanding):
+                reply = self._pending.pop(xid, None)
+                if reply is not None:
+                    replies[xid] = reply
+                    del outstanding[xid]
+            if not outstanding:
+                break
+        return replies
+
+    def _send_batches(
+        self, destination: Address, encoded_calls: List[bytes]
+    ) -> None:
+        """Ship encoded CALLs in watermark-sized BATCH payloads."""
+        chunk: List[bytes] = []
+        chunk_bytes = 0
+        for encoded in encoded_calls:
+            if chunk and (
+                len(chunk) >= self._buffer.max_batch
+                or chunk_bytes + len(encoded) > self._buffer.max_bytes
+            ):
+                self._send_batch(destination, chunk)
+                chunk, chunk_bytes = [], 0
+            chunk.append(encoded)
+            chunk_bytes += len(encoded)
+        if chunk:
+            self._send_batch(destination, chunk)
+
+    def _send_batch(self, destination: Address, payloads: List[bytes]) -> None:
+        self.batches_sent += 1
+        METRICS.inc("rpc.client.batches_sent")
+        METRICS.observe("rpc.client.batch_size", float(len(payloads)))
+        self.transport.send(destination, b"".join(payloads))

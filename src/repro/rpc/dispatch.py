@@ -12,7 +12,7 @@ from typing import Optional
 
 from repro.net.endpoints import Address
 from repro.rpc.errors import XdrError
-from repro.rpc.message import ReplyStatus, RpcCall, RpcReply, decode_message
+from repro.rpc.message import ReplyStatus, RpcCall, RpcReply, decode_messages
 from repro.rpc.transport import Transport
 from repro.telemetry.metrics import METRICS
 
@@ -40,32 +40,43 @@ class RpcDispatcher:
 
     def _on_message(self, source: Address, payload: bytes) -> None:
         try:
-            message = decode_message(payload)
+            messages = decode_messages(payload)
         except XdrError:
             self.malformed_count += 1
             METRICS.inc("rpc.dispatch.malformed")
             return
-        if isinstance(message, RpcCall):
-            if self.server is not None:
-                if getattr(self.server, "owns_admission", False):
-                    self.server.handle_call(source, message)
-                    return
-                if (
-                    message.deadline is not None
-                    and self.transport.now() >= message.deadline
-                ):
-                    self.expired_rejected += 1
-                    METRICS.inc(
-                        "rpc.dispatch.expired_rejected",
-                        (str(message.prog), str(message.proc)),
-                    )
-                    reply = RpcReply(message.xid, ReplyStatus.DEADLINE_EXCEEDED)
-                    self.transport.send(source, reply.encode())
-                    return
-                self.server.handle_call(source, message)
-        elif isinstance(message, RpcReply):
-            if self.client is not None:
-                self.client.handle_reply(source, message)
+        calls = [m for m in messages if isinstance(m, RpcCall)]
+        for message in messages:
+            if isinstance(message, RpcReply):
+                if self.client is not None:
+                    self.client.handle_reply(source, message)
+        if not calls or self.server is None:
+            return
+        if len(calls) > 1 and hasattr(self.server, "handle_batch"):
+            # A BATCH envelope landed on a batch-aware server: let it
+            # drain every call before writing, so replies coalesce.
+            self.server.handle_batch(source, calls)
+            return
+        for call in calls:
+            self._route_call(source, call)
+
+    def _route_call(self, source: Address, message: RpcCall) -> None:
+        if getattr(self.server, "owns_admission", False):
+            self.server.handle_call(source, message)
+            return
+        if (
+            message.deadline is not None
+            and self.transport.now() >= message.deadline
+        ):
+            self.expired_rejected += 1
+            METRICS.inc(
+                "rpc.dispatch.expired_rejected",
+                (str(message.prog), str(message.proc)),
+            )
+            reply = RpcReply(message.xid, ReplyStatus.DEADLINE_EXCEEDED)
+            self.transport.send(source, reply.encode())
+            return
+        self.server.handle_call(source, message)
 
 
 def dispatcher_for(transport: Transport) -> RpcDispatcher:

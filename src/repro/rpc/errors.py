@@ -60,3 +60,13 @@ class RemoteFault(RpcError):
 
 class XdrError(ProtocolError):
     """Malformed XDR data or an unencodable value."""
+
+
+class XdrTruncated(XdrError):
+    """XDR data ended before the value did.
+
+    Distinct from :class:`XdrError` so stream reassembly can tell
+    "incomplete, wait for more bytes" from "malformed, drop it" — the
+    :class:`~repro.rpc.message.MessageAssembler` stalls on truncation
+    and raises on anything else.
+    """

@@ -36,12 +36,13 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
 from repro.context import CallContext, use_context
 from repro.errors import ConfigurationError
 from repro.net.endpoints import Address
+from repro.rpc.codec import CODECS
 from repro.rpc.dispatch import dispatcher_for
 from repro.rpc.errors import XdrError
 from repro.rpc.message import ReplyStatus, RpcCall, RpcReply
 from repro.rpc.transport import Transport
-from repro.rpc.xdr import decode_value, encode_value
-from repro.telemetry.hub import flush_context
+from repro.rpc.xdr import encode_value
+from repro.telemetry.hub import flush_context, spans_wanted
 from repro.telemetry.metrics import METRICS, MetricsRegistry
 
 Handler = Callable[..., Any]
@@ -271,6 +272,9 @@ class RpcServer:
         self._service_times = MetricsRegistry()
         self._in_flight: Set[Tuple[Address, int]] = set()
         self._active = 0  # drain-loop depth (reentrant under virtual time)
+        # Per-thread stack of reply-coalescing scopes opened by
+        # handle_batch: (expected (source, xid) keys, buffered encodings).
+        self._reply_batches = threading.local()
         self._gauge_label = (f"{transport.local_address.host}:{transport.local_address.port}",)
         self.calls_handled = 0
         self.duplicates_suppressed = 0
@@ -303,19 +307,66 @@ class RpcServer:
         nested inside a running handler, preserving the reentrant
         processing cyclic federation topologies depend on.
         """
+        if not self._receive(source, call):
+            return
+        METRICS.set_gauge(
+            "rpc.server.queue_depth", len(self._queue), self._gauge_label
+        )
+        if self._active and self.admission.defer_while_busy:
+            return  # parked: the active drain loop will reach it
+        self._drain()
+
+    def handle_batch(self, source: Address, calls: List[RpcCall]) -> None:
+        """Process a BATCH payload: admit everything, then drain once.
+
+        Pipelining in two directions: every decodable call enters the
+        deadline-ordered admission queue *before* any handler runs (so
+        the most urgent call in the batch executes first, regardless of
+        its wire position), and replies owed to this batch coalesce into
+        a single transport write instead of one write per call.  Replies
+        to anything *else* — nested reentrant calls a handler makes back
+        into this server mid-batch — bypass the buffer and send
+        immediately, so cyclic federation topologies cannot deadlock on
+        a held-back reply.
+        """
+        expected = {(source, call.xid) for call in calls}
+        buffered: List[bytes] = []
+        stack = self._batch_stack()
+        stack.append((expected, buffered))
+        try:
+            admitted = False
+            for call in calls:
+                admitted = self._receive(source, call) or admitted
+            # One depth gauge per payload, not per push: no reader can
+            # observe the intermediate depths anyway.
+            METRICS.set_gauge(
+                "rpc.server.queue_depth", len(self._queue), self._gauge_label
+            )
+            if admitted and not (self._active and self.admission.defer_while_busy):
+                self._drain()
+        finally:
+            stack.pop()
+        if buffered:
+            METRICS.observe("rpc.server.batch_replies", float(len(buffered)))
+            self.transport.send(source, b"".join(buffered))
+
+    def _receive(self, source: Address, call: RpcCall) -> bool:
+        """Replay-or-admit one arrival; True when it joined the queue."""
         cache_key = (source, call.xid)
         if self.at_most_once:
             cached = self._reply_cache.get(cache_key)
             if cached is not None:
                 self.duplicates_suppressed += 1
                 METRICS.inc("rpc.server.duplicates_suppressed")
-                self.transport.send(source, cached.encode())
-                return
-        if not self._admit(source, call, cache_key):
-            return
-        if self._active and self.admission.defer_while_busy:
-            return  # parked: the active drain loop will reach it
-        self._drain()
+                self._send_reply(source, cached)
+                return False
+        return self._admit(source, call, cache_key)
+
+    def _batch_stack(self) -> List[Tuple[Set[Tuple[Address, int]], List[bytes]]]:
+        stack = getattr(self._reply_batches, "stack", None)
+        if stack is None:
+            stack = self._reply_batches.stack = []
+        return stack
 
     def _admit(self, source: Address, call: RpcCall, cache_key: Tuple[Address, int]) -> bool:
         """Arrival-time admission; True when the call was queued."""
@@ -324,7 +375,9 @@ class RpcServer:
             reply = self._reject_deadline(call)
             self._finish(source, call, reply, cacheable=True)
             return False
-        if call.deadline is not None:
+        if call.deadline is not None and self._auto_capacity:
+            # Arrival budgets only feed the "auto" capacity derivation;
+            # with a fixed bound the sample would never be read.
             self._service_times.observe(
                 "rpc.server.arrival_budget_seconds", call.deadline - now
             )
@@ -341,7 +394,6 @@ class RpcServer:
             return False
         entry = (source, call)
         shed_entry = self._queue.push(entry, call.deadline, key=cache_key)
-        METRICS.set_gauge("rpc.server.queue_depth", len(self._queue), self._gauge_label)
         if shed_entry is not None:
             shed_source, shed_call = shed_entry
             self._finish(
@@ -358,13 +410,15 @@ class RpcServer:
                 entry = self._queue.pop()
                 if entry is None:
                     break
-                METRICS.set_gauge(
-                    "rpc.server.queue_depth", len(self._queue), self._gauge_label
-                )
                 source, call = entry
                 self._dispatch_entry(source, call)
         finally:
             self._active -= 1
+            # Depth gauge per drain, not per pop: arrivals re-gauge on
+            # push, so between drains the gauge stays fresh anyway.
+            METRICS.set_gauge(
+                "rpc.server.queue_depth", len(self._queue), self._gauge_label
+            )
         if not self._active and len(self._queue):
             # A deferred arrival slipped in between our last pop and the
             # depth decrement (TCP reader-thread interleaving): claim it.
@@ -395,6 +449,25 @@ class RpcServer:
             self._reply_cache[(source, call.xid)] = reply
             while len(self._reply_cache) > self._reply_cache_size:
                 self._reply_cache.popitem(last=False)
+        self._send_reply(source, reply)
+
+    def _send_reply(self, source: Address, reply: RpcReply) -> None:
+        """Write one reply, or coalesce it into the open batch scope.
+
+        Only replies the innermost :meth:`handle_batch` scope is
+        *expecting* (registered by ``(source, xid)``) are buffered; each
+        key buffers at most once.  Everything else — replies to nested
+        reentrant arrivals, or to calls from other peers — goes straight
+        to the transport.
+        """
+        stack = self._batch_stack()
+        if stack:
+            expected, buffered = stack[-1]
+            key = (source, reply.xid)
+            if key in expected:
+                expected.discard(key)
+                buffered.append(reply.encode())
+                return
         self.transport.send(source, reply.encode())
 
     def _reject_deadline(self, call: RpcCall) -> RpcReply:
@@ -477,7 +550,11 @@ class RpcServer:
         if handler is None:
             return program, None, None, RpcReply(call.xid, ReplyStatus.PROC_UNAVAIL)
         try:
-            args = decode_value(call.body) if call.body else None
+            args = (
+                CODECS.decode_args(call.prog, call.vers, call.proc, call.body)
+                if call.body
+                else None
+            )
         except XdrError:
             return program, handler, None, RpcReply(call.xid, ReplyStatus.GARBAGE_ARGS)
         self.calls_handled += 1
@@ -489,12 +566,12 @@ class RpcServer:
         return RpcReply(xid, ReplyStatus.REMOTE_FAULT, encode_value(fault))
 
     @staticmethod
-    def _success_reply(xid: int, result: Any) -> RpcReply:
+    def _success_reply(call: RpcCall, result: Any) -> RpcReply:
         try:
-            body = encode_value(result)
+            body = CODECS.encode_result(call.prog, call.vers, call.proc, result)
         except XdrError as exc:
-            return RpcServer._fault_reply(xid, exc)
-        return RpcReply(xid, ReplyStatus.SUCCESS, body)
+            return RpcServer._fault_reply(call.xid, exc)
+        return RpcReply(call.xid, ReplyStatus.SUCCESS, body)
 
     def _observe(
         self,
@@ -514,9 +591,16 @@ class RpcServer:
         elapsed = ended - started
         labels = (program.name, str(call.proc))
         METRICS.observe("rpc.server.handler_seconds", elapsed, labels)
-        self._service_times.observe("rpc.server.handler_seconds", elapsed, labels)
-        # Aggregate stream feeding the "auto" capacity derivation.
-        self._service_times.observe("rpc.server.handler_seconds", elapsed, _ALL_PROCS)
+        if self.admission.shed:
+            # Per-procedure estimates are only consulted by shedding.
+            self._service_times.observe(
+                "rpc.server.handler_seconds", elapsed, labels
+            )
+        if self._auto_capacity:
+            # Aggregate stream feeding the "auto" capacity derivation.
+            self._service_times.observe(
+                "rpc.server.handler_seconds", elapsed, _ALL_PROCS
+            )
         if call.deadline is not None and ended > call.deadline:
             # The deadline lapsed *mid-execution*: these handler
             # seconds bought an answer nobody is waiting for — the
@@ -541,16 +625,25 @@ class RpcServer:
         try:
             try:
                 if ctx is not None:
-                    with ctx.span(
-                        "server", f"{program.name}:{call.proc}", self.transport.now
-                    ):
+                    # The server built this context from the wire and
+                    # drops it after the dispatch; record a span only
+                    # when an exporter will actually read the chain.
+                    if spans_wanted():
+                        with ctx.span(
+                            "server",
+                            f"{program.name}:{call.proc}",
+                            self.transport.now,
+                        ):
+                            with use_context(ctx):
+                                result = handler(args)
+                    else:
                         with use_context(ctx):
                             result = handler(args)
                 else:
                     result = handler(args)
             except Exception as exc:  # noqa: BLE001 - faults cross the wire as data
                 return self._fault_reply(call.xid, exc)
-            return self._success_reply(call.xid, result)
+            return self._success_reply(call, result)
         finally:
             self._observe(call, program, ctx, started)
 

@@ -10,19 +10,41 @@ Two layers:
   the paper's **dynamic marshalling** possible: a generic client that has
   just downloaded a SID can marshal parameters for a service it has never
   seen, because values carry their own structure on the wire.
+
+The decoder runs on a :class:`memoryview` of the input: primitives are
+read with precompiled ``struct`` ``unpack_from`` at an offset, and only
+the leaves (opaque/string payloads) ever copy bytes — nested values no
+longer re-slice the buffer at every level.  Truncated input raises
+:class:`~repro.rpc.errors.XdrTruncated` with offset context instead of
+surfacing short reads, and :func:`decode_value` bounds nesting depth so
+adversarial payloads fail with a clean :class:`XdrError` rather than
+exhausting the interpreter's recursion limit.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List
 
 from repro.net.endpoints import Address
-from repro.rpc.errors import XdrError
+from repro.rpc.errors import XdrError, XdrTruncated
 
 _I32_MIN, _I32_MAX = -(2**31), 2**31 - 1
 _U32_MAX = 2**32 - 1
 _I64_MIN, _I64_MAX = -(2**63), 2**63 - 1
+
+_U32 = struct.Struct(">I")
+_I32 = struct.Struct(">i")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+#: Cache of ``>{n}I`` structs for :meth:`XdrDecoder.unpack_u32s`.
+_U32_RUNS: Dict[int, struct.Struct] = {2: struct.Struct(">2I"), 4: struct.Struct(">4I")}
+
+#: Maximum nesting depth :func:`decode_value` accepts.  Deep enough for
+#: any real SID-shaped value, shallow enough that an adversarially
+#: nested payload (a list-of-list-of-... bomb) fails with an
+#: :class:`XdrError` long before Python's recursion limit.
+MAX_VALUE_DEPTH = 64
 
 
 class XdrEncoder:
@@ -37,20 +59,20 @@ class XdrEncoder:
     def pack_u32(self, value: int) -> None:
         if not 0 <= value <= _U32_MAX:
             raise XdrError(f"u32 out of range: {value!r}")
-        self._chunks.append(struct.pack(">I", value))
+        self._chunks.append(_U32.pack(value))
 
     def pack_i32(self, value: int) -> None:
         if not _I32_MIN <= value <= _I32_MAX:
             raise XdrError(f"i32 out of range: {value!r}")
-        self._chunks.append(struct.pack(">i", value))
+        self._chunks.append(_I32.pack(value))
 
     def pack_i64(self, value: int) -> None:
         if not _I64_MIN <= value <= _I64_MAX:
             raise XdrError(f"i64 out of range: {value!r}")
-        self._chunks.append(struct.pack(">q", value))
+        self._chunks.append(_I64.pack(value))
 
     def pack_double(self, value: float) -> None:
-        self._chunks.append(struct.pack(">d", value))
+        self._chunks.append(_F64.pack(value))
 
     def pack_bool(self, value: bool) -> None:
         self.pack_u32(1 if value else 0)
@@ -68,39 +90,82 @@ class XdrEncoder:
 
 
 class XdrDecoder:
-    """Consumes XDR primitives from a byte buffer."""
+    """Consumes XDR primitives from a byte buffer without copying.
 
-    def __init__(self, data: bytes) -> None:
-        self._data = data
+    The input is wrapped in a :class:`memoryview`; fixed-width reads go
+    through ``unpack_from`` at the running offset and opaque payloads
+    are materialised as ``bytes`` only at the leaf.  Every read is
+    bounds-checked: running past the end raises :class:`XdrTruncated`
+    naming the offending offset.
+    """
+
+    def __init__(self, data) -> None:
+        self._view = memoryview(data)
+        self._length = len(self._view)
         self._offset = 0
 
     def remaining(self) -> int:
-        return len(self._data) - self._offset
+        return self._length - self._offset
 
     def done(self) -> bool:
-        return self._offset >= len(self._data)
+        return self._offset >= self._length
 
-    def _take(self, count: int) -> bytes:
-        if self._offset + count > len(self._data):
-            raise XdrError(
-                f"truncated XDR data: wanted {count} bytes, "
-                f"have {len(self._data) - self._offset}"
+    @property
+    def offset(self) -> int:
+        return self._offset
+
+    def _require(self, count: int) -> None:
+        if self._offset + count > self._length:
+            raise XdrTruncated(
+                f"truncated XDR data at offset {self._offset}: wanted "
+                f"{count} bytes, have {self._length - self._offset}"
             )
-        chunk = self._data[self._offset : self._offset + count]
+
+    def _take(self, count: int) -> memoryview:
+        self._require(count)
+        chunk = self._view[self._offset : self._offset + count]
         self._offset += count
         return chunk
 
     def unpack_u32(self) -> int:
-        return struct.unpack(">I", self._take(4))[0]
+        self._require(4)
+        (value,) = _U32.unpack_from(self._view, self._offset)
+        self._offset += 4
+        return value
+
+    def unpack_u32s(self, count: int):
+        """Read ``count`` consecutive u32 words with one unpack.
+
+        The message-frame fast path: fixed headers are several u32s in a
+        row, and one precompiled multi-word unpack replaces ``count``
+        bounds checks and method calls.
+        """
+        size = 4 * count
+        self._require(size)
+        fmt = _U32_RUNS.get(count)
+        if fmt is None:
+            fmt = _U32_RUNS[count] = struct.Struct(f">{count}I")
+        values = fmt.unpack_from(self._view, self._offset)
+        self._offset += size
+        return values
 
     def unpack_i32(self) -> int:
-        return struct.unpack(">i", self._take(4))[0]
+        self._require(4)
+        (value,) = _I32.unpack_from(self._view, self._offset)
+        self._offset += 4
+        return value
 
     def unpack_i64(self) -> int:
-        return struct.unpack(">q", self._take(8))[0]
+        self._require(8)
+        (value,) = _I64.unpack_from(self._view, self._offset)
+        self._offset += 8
+        return value
 
     def unpack_double(self) -> float:
-        return struct.unpack(">d", self._take(8))[0]
+        self._require(8)
+        (value,) = _F64.unpack_from(self._view, self._offset)
+        self._offset += 8
+        return value
 
     def unpack_bool(self) -> bool:
         value = self.unpack_u32()
@@ -110,7 +175,7 @@ class XdrDecoder:
 
     def unpack_opaque(self) -> bytes:
         length = self.unpack_u32()
-        data = self._take(length)
+        data = bytes(self._take(length))
         pad = (-length) % 4
         if pad:
             padding = self._take(pad)
@@ -192,16 +257,21 @@ def decode_value(data: bytes) -> Any:
     """Decode bytes produced by :func:`encode_value`.
 
     Raises :class:`~repro.rpc.errors.XdrError` on malformed or trailing
-    data.
+    data, and on values nested deeper than :data:`MAX_VALUE_DEPTH`.
     """
     decoder = XdrDecoder(data)
-    value = _decode_from(decoder)
+    value = _decode_from(decoder, 0)
     if not decoder.done():
         raise XdrError(f"{decoder.remaining()} trailing bytes after value")
     return value
 
 
-def _decode_from(dec: XdrDecoder) -> Any:
+def _decode_from(dec: XdrDecoder, depth: int) -> Any:
+    if depth > MAX_VALUE_DEPTH:
+        raise XdrError(
+            f"value nesting exceeds MAX_VALUE_DEPTH={MAX_VALUE_DEPTH} "
+            f"at offset {dec.offset}"
+        )
     tag = dec.unpack_u32()
     if tag == _TAG_NULL:
         return None
@@ -217,13 +287,21 @@ def _decode_from(dec: XdrDecoder) -> Any:
         return dec.unpack_opaque()
     if tag == _TAG_LIST:
         length = dec.unpack_u32()
-        return [_decode_from(dec) for __ in range(length)]
+        if length > dec.remaining():
+            raise XdrTruncated(
+                f"implausible list length {length} at offset {dec.offset}"
+            )
+        return [_decode_from(dec, depth + 1) for __ in range(length)]
     if tag == _TAG_DICT:
         length = dec.unpack_u32()
+        if length > dec.remaining():
+            raise XdrTruncated(
+                f"implausible dict length {length} at offset {dec.offset}"
+            )
         result: Dict[str, Any] = {}
         for __ in range(length):
             key = dec.unpack_string()
-            result[key] = _decode_from(dec)
+            result[key] = _decode_from(dec, depth + 1)
         return result
     if tag == _TAG_ADDRESS:
         host = dec.unpack_string()

@@ -112,6 +112,20 @@ def set_hub(hub: TelemetryHub) -> TelemetryHub:
     return previous
 
 
+def spans_wanted() -> bool:
+    """True when at least one exporter is installed on the process hub.
+
+    Boundary layers that *construct* a context themselves (the RPC
+    server rebuilding the caller's wire context) use this to skip span
+    bookkeeping entirely when nothing will ever read the chain: without
+    an exporter a server-side span is appended, flushed into a no-op,
+    and discarded — pure fast-path overhead.  Contexts handed in by a
+    caller always record spans, exporter or not, because the caller can
+    read ``ctx.spans`` directly.
+    """
+    return bool(_hub._exporters)
+
+
 def flush_context(ctx: Any) -> None:
     """Best-effort chain flush — the boundary hooks call this.
 

@@ -15,9 +15,11 @@ from repro.context import CallContext, Clock, current_context, use_context
 from repro.naming.refs import ServiceRef
 from repro.net.endpoints import Address
 from repro.rpc.client import RpcClient
+from repro.rpc.codec import CODECS
 from repro.rpc.errors import DeadlineExceeded, ServerShedding
 from repro.rpc.server import RpcProgram, RpcServer
 from repro.rpc.transport import SimTransport
+from repro.sidl import layout
 from repro.telemetry.metrics import METRICS
 from repro.trader.constraints import parse_constraint
 from repro.trader.dynamic import resolve_properties
@@ -46,6 +48,37 @@ _PROC_GET_TYPE = 8
 _PROC_LIST_OFFERS = 9
 _PROC_MASK_TYPE = 10
 _PROC_RENEW = 11
+
+# Compiled wire codecs for the trader procedures whose signatures the
+# SID pins down statically.  RENEW is the hot one — every exported offer
+# heartbeats it for its whole lifetime — and the management calls are
+# pure fixed-shape string traffic.  Procedures built on genuinely
+# dynamic values (IMPORT constraints, EXPORT/MODIFY property dicts,
+# type definitions) stay on the tagged path by simply not registering;
+# EXPORT registers its *result* (the offer id string) only.
+_OFFER_ID_ARGS = layout.struct(offer_id=layout.string())
+_NAME_ARGS = layout.struct(name=layout.string())
+CODECS.register(
+    TRADER_PROGRAM, 1, _PROC_RENEW,
+    args=_OFFER_ID_ARGS, result=layout.optional(layout.f64()),
+)
+CODECS.register(
+    TRADER_PROGRAM, 1, _PROC_WITHDRAW,
+    args=_OFFER_ID_ARGS, result=layout.boolean(),
+)
+CODECS.register(
+    TRADER_PROGRAM, 1, _PROC_REMOVE_TYPE,
+    args=_NAME_ARGS, result=layout.boolean(),
+)
+CODECS.register(
+    TRADER_PROGRAM, 1, _PROC_MASK_TYPE,
+    args=_NAME_ARGS, result=layout.boolean(),
+)
+CODECS.register(
+    TRADER_PROGRAM, 1, _PROC_LIST_TYPES,
+    args=layout.struct(), result=layout.seq(layout.string()),
+)
+CODECS.register(TRADER_PROGRAM, 1, _PROC_EXPORT, result=layout.string())
 
 
 @dataclass

@@ -159,6 +159,84 @@ def run_rpc_workload(
     )
 
 
+def run_rpc_workload_batched(
+    seed: int,
+    drop: float = 0.0,
+    duplicate: float = 0.0,
+    calls: int = 12,
+    timeout: float = 0.08,
+    retries: int = 3,
+    max_batch: int = 4,
+) -> ChaosRun:
+    """The :func:`run_rpc_workload` traffic, shipped through the batched
+    wire path instead of one frame per call.
+
+    Same seed, same echo program, same fault knobs — the only variable
+    is the envelope: ``BatchingClient.call_many`` coalesces the calls
+    into BATCH payloads and the server coalesces the replies.  Chaos
+    parity means the *outcome labels* match the serial run's invariants
+    (drops masked by retransmission, duplicates never double-executed),
+    not byte-identical traffic.
+    """
+    from repro.rpc.client import BatchingClient
+
+    net = SimNetwork(seed=seed)
+    server = RpcServer(SimTransport(net, "srv"))
+    program = RpcProgram(WORK_PROG, name="chaos-work")
+    executions: List[str] = []
+
+    def work(args):
+        executions.append(args["id"])
+        return {"id": args["id"]}
+
+    program.register(1, work, "work")
+    server.serve(program)
+    client = BatchingClient(
+        SimTransport(net, "cli"),
+        timeout=timeout,
+        retries=retries,
+        max_batch=max_batch,
+    )
+
+    net.faults.drop_probability = drop
+    net.faults.duplicate_probability = duplicate
+
+    ids = [f"c{index:02d}" for index in range(calls)]
+    results = client.call_many(
+        server.address,
+        [(WORK_PROG, 1, 1, {"id": call_id}) for call_id in ids],
+    )
+    outcomes: Dict[str, str] = {}
+    for call_id, result in zip(ids, results):
+        if isinstance(result, ServerShedding):
+            outcomes[call_id] = "shed"
+        elif isinstance(result, DeadlineExceeded):
+            outcomes[call_id] = "deadline"
+        elif isinstance(result, RpcTimeout):
+            outcomes[call_id] = "timeout"
+        elif result == {"id": call_id}:
+            outcomes[call_id] = "success"
+        else:
+            outcomes[call_id] = "corrupt"
+    net.clock.drain()
+
+    return ChaosRun(
+        outcomes=outcomes,
+        executions=sorted(executions),
+        retransmissions=client.retransmissions,
+        dropped=net.faults.dropped_count,
+        duplicated=net.faults.duplicated_count,
+        duplicates_suppressed=server.duplicates_suppressed,
+        duplicates_coalesced=server.duplicates_coalesced,
+        calls_shed=server.calls_shed,
+        deadlines_rejected=server.deadlines_rejected,
+        extra={
+            "pending_replies": len(client._pending),
+            "batches_sent": client.batches_sent,
+        },
+    )
+
+
 # -- federated trading workload ----------------------------------------------
 
 

@@ -297,3 +297,38 @@ def test_async_tcp_roundtrip_and_connection_reuse():
     # One multiplexed connection carried all calls, and replies reused it
     # (the server never dialled back).
     assert opened == 1 and accepted == 1 and server_opened == 0
+
+
+def test_async_tcp_sets_nodelay_both_sides():
+    """Nagle stays off on connect and accept: small CALL frames must not
+    sit in the kernel waiting for an ACK to piggyback on."""
+    import socket
+
+    async def main():
+        st = await AsyncTcpTransport.create()
+        server = AsyncRpcServer(st)
+        program = RpcProgram(PROG + 5, 1, "nodelay")
+        program.register(1, lambda args: args)
+        server.serve(program)
+        ct = await AsyncTcpTransport.create(listen=False)
+        client = AsyncRpcClient(ct, timeout=5.0, retries=1)
+        await client.call(server.address, PROG + 5, 1, 1, {"x": 1})
+
+        def nodelay_flags(transport):
+            flags = []
+            for writer in transport._writers.values():
+                sock = writer.get_extra_info("socket")
+                flags.append(
+                    sock.getsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY)
+                )
+            return flags
+
+        client_flags = nodelay_flags(ct)
+        server_flags = nodelay_flags(st)
+        ct.close()
+        await st.aclose()
+        return client_flags, server_flags
+
+    client_flags, server_flags = asyncio.run(main())
+    assert client_flags and all(flag == 1 for flag in client_flags)
+    assert server_flags and all(flag == 1 for flag in server_flags)

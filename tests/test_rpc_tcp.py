@@ -80,3 +80,35 @@ def test_generic_client_over_tcp():
     finally:
         server_transport.close()
         client_transport.close()
+
+
+def test_nodelay_set_on_outgoing_connections(tcp_pair):
+    """Nagle must stay off on the wire fast lane: a 100-byte CALL frame
+    sitting in the kernel for 40 ms would dwarf every software win."""
+    import socket
+
+    server_transport, client_transport = tcp_pair
+    server = RpcServer(server_transport)
+    program = RpcProgram(PROG, 1)
+    program.register(1, lambda args: args, "echo")
+    server.serve(program)
+    client = RpcClient(client_transport, timeout=2.0)
+    assert client.call(server.address, PROG, 1, 1, {"x": 1}) == {"x": 1}
+    conns = list(client_transport._connections.values())
+    assert conns, "expected a cached outgoing connection"
+    for conn in conns:
+        assert conn.getsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY) == 1
+
+
+def test_enable_nodelay_tolerates_non_tcp_sockets():
+    import socket
+
+    from repro.rpc.transport import enable_nodelay
+
+    left, right = socket.socketpair()  # AF_UNIX: no TCP_NODELAY option
+    try:
+        enable_nodelay(left)  # must not raise
+        enable_nodelay(None)  # and must tolerate missing sockets
+    finally:
+        left.close()
+        right.close()

@@ -197,3 +197,75 @@ def test_value_roundtrip_property(value):
 @given(_values)
 def test_encoding_is_deterministic(value):
     assert encode_value(value) == encode_value(value)
+
+
+# -- truncation context, depth guard, bulk u32 reads -------------------------
+
+
+def test_truncation_names_the_offending_offset():
+    from repro.rpc.errors import XdrTruncated
+
+    dec = XdrDecoder(b"\x00\x00\x00\x01\x00\x00")  # one u32, then 2 bytes
+    assert dec.unpack_u32() == 1
+    with pytest.raises(XdrTruncated) as excinfo:
+        dec.unpack_u32()
+    assert "offset 4" in str(excinfo.value)
+    assert "wanted 4 bytes, have 2" in str(excinfo.value)
+
+
+def test_truncated_opaque_reports_offset():
+    from repro.rpc.errors import XdrTruncated
+
+    enc = XdrEncoder()
+    enc.pack_opaque(b"0123456789")
+    data = enc.getvalue()[:8]  # length says 10, only 4 payload bytes left
+    with pytest.raises(XdrTruncated) as excinfo:
+        XdrDecoder(data).unpack_opaque()
+    assert "offset" in str(excinfo.value)
+
+
+def test_truncated_is_an_xdr_error():
+    """Callers that only catch XdrError still see truncation."""
+    from repro.rpc.errors import XdrError, XdrTruncated
+
+    assert issubclass(XdrTruncated, XdrError)
+
+
+def test_depth_guard_rejects_adversarial_nesting():
+    from repro.rpc.xdr import MAX_VALUE_DEPTH
+
+    value = "leaf"
+    for __ in range(MAX_VALUE_DEPTH + 1):
+        value = [value]
+    with pytest.raises(XdrError, match="MAX_VALUE_DEPTH"):
+        decode_value(encode_value(value))
+
+
+def test_depth_guard_admits_reasonable_nesting():
+    from repro.rpc.xdr import MAX_VALUE_DEPTH
+
+    value = "leaf"
+    for __ in range(MAX_VALUE_DEPTH - 1):
+        value = [value]
+    assert decode_value(encode_value(value)) == value
+
+
+def test_unpack_u32s_matches_single_reads():
+    enc = XdrEncoder()
+    for number in (0, 1, 2**32 - 1, 7, 42, 99):
+        enc.pack_u32(number)
+    data = enc.getvalue()
+    bulk = XdrDecoder(data)
+    assert bulk.unpack_u32s(6) == (0, 1, 2**32 - 1, 7, 42, 99)
+    assert bulk.done()
+    single = XdrDecoder(data)
+    assert [single.unpack_u32() for __ in range(6)] == [0, 1, 2**32 - 1, 7, 42, 99]
+
+
+def test_unpack_u32s_truncation():
+    from repro.rpc.errors import XdrTruncated
+
+    dec = XdrDecoder(b"\x00" * 7)  # not even two words
+    with pytest.raises(XdrTruncated):
+        dec.unpack_u32s(2)
+    assert dec.offset == 0  # nothing consumed on failure
