@@ -1,0 +1,247 @@
+"""Telemetry overhead A/B: head sampling pays for always-on tracing.
+
+Two claims, measured on the simulated stack (wall-clock CPU cost of
+driving calls — virtual network latency costs nothing, so the timed
+region is pure instrumentation overhead) plus a survival census:
+
+* **overhead** — with a JSONL exporter installed and **1% head
+  sampling**, instrumented RPC throughput stays within 5% of the
+  telemetry-off baseline (the smoke configuration on shared CI runners
+  gets a 15% allowance).  The unsampled arm (rate 1.0, every chain
+  serialised and written) is reported alongside to show what sampling
+  saves.
+* **error survival** — at 1% sampling with ``keep_errors`` on, chains
+  containing an error span survive at **100%**: every failed call's
+  trace is exported regardless of its head decision, while ok chains
+  export at roughly the head rate.
+
+Run standalone to emit ``BENCH_telemetry.json`` (CI smoke shrinks the
+call counts)::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import tempfile
+import time
+from typing import Any, Dict, List
+
+from repro.net import SimNetwork
+from repro.rpc.client import RpcClient
+from repro.rpc.errors import RemoteFault
+from repro.rpc.server import AdmissionPolicy, RpcProgram, RpcServer
+from repro.rpc.transport import SimTransport
+from repro.telemetry.exporters import JsonlExporter, RingExporter
+from repro.telemetry.hub import use_exporter
+from repro.telemetry.sampling import SamplingPolicy, use_policy
+
+PROG = 930000
+ROUNDS = 8
+
+
+def _best_of(*fns) -> List[float]:
+    """Per-arm minimum elapsed seconds over ROUNDS *interleaved* rounds.
+
+    Same noise filters as bench_wire_batching — the min discards rounds
+    slowed by scheduler jitter and interleaving defeats sustained slow
+    phases — plus two fixes this A/B specifically needs because the
+    arms differ by single-digit percent: the arm order *rotates* every
+    round (a runner that slows within a round otherwise hands whichever
+    arm runs first a systematic win) and each timed region starts from a
+    collected heap so one arm's garbage is not billed to the next."""
+    best = [float("inf")] * len(fns)
+    order = list(enumerate(fns))
+    for round_index in range(ROUNDS):
+        for index, fn in order:
+            gc.collect()
+            best[index] = min(best[index], fn())
+        order.append(order.pop(0))  # rotate who runs first
+    return best
+
+
+def make_stack():
+    net = SimNetwork(seed=1994)
+    server = RpcServer(
+        SimTransport(net, "bench-srv"), admission=AdmissionPolicy(shed=False)
+    )
+    program = RpcProgram(PROG, 1, "bench-telemetry")
+    program.register(1, lambda args: args, "echo")
+
+    def boom(args):
+        raise ValueError("synthetic fault")
+
+    program.register(2, boom, "boom")
+    server.serve(program)
+    client = RpcClient(SimTransport(net, "bench-cli"), timeout=5.0, retries=0)
+    return server, client
+
+
+def bench_throughput(calls: int) -> Dict[str, Any]:
+    server, client = make_stack()
+    address = server.address
+    args = {"offer_id": "offer-0042"}
+
+    def drive() -> float:
+        start = time.perf_counter()
+        for _ in range(calls):
+            client.call(address, PROG, 1, 1, args)
+        return time.perf_counter() - start
+
+    workdir = tempfile.mkdtemp(prefix="bench-telemetry-")
+
+    def run_off() -> float:
+        return drive()  # no exporter installed: spans are never recorded
+
+    def run_sampled() -> float:
+        exporter = JsonlExporter(os.path.join(workdir, "sampled.jsonl"))
+        try:
+            with use_policy(SamplingPolicy(rate=0.01)):
+                with use_exporter(exporter):
+                    return drive()
+        finally:
+            exporter.close()
+
+    def run_full() -> float:
+        exporter = JsonlExporter(os.path.join(workdir, "full.jsonl"))
+        try:
+            with use_exporter(exporter):
+                return drive()
+        finally:
+            exporter.close()
+
+    # Warm every path (codec caches, service-time estimators) once.
+    for fn in (run_off, run_sampled, run_full):
+        fn()
+    off_elapsed, sampled_elapsed, full_elapsed = _best_of(
+        run_off, run_sampled, run_full
+    )
+    return {
+        "stack": "throughput",
+        "calls": calls,
+        "telemetry_off_cps": round(calls / off_elapsed, 1),
+        "sampled_1pct_cps": round(calls / sampled_elapsed, 1),
+        "unsampled_cps": round(calls / full_elapsed, 1),
+        "sampled_over_off": round(off_elapsed / sampled_elapsed, 4),
+        "unsampled_over_off": round(off_elapsed / full_elapsed, 4),
+    }
+
+
+def bench_error_survival(ok_calls: int, error_calls: int) -> Dict[str, Any]:
+    server, client = make_stack()
+    address = server.address
+    ring = RingExporter(capacity=ok_calls + error_calls + 16)
+    faults = 0
+    with use_policy(SamplingPolicy(rate=0.01, keep_errors=True)):
+        with use_exporter(ring):
+            for _ in range(ok_calls):
+                client.call(address, PROG, 1, 1, {"offer_id": "x"})
+            for _ in range(error_calls):
+                try:
+                    client.call(address, PROG, 1, 2, None)
+                except RemoteFault:
+                    faults += 1
+    error_chains = 0
+    ok_chains = 0
+    for chain in ring.chains():
+        if any(span.outcome != "ok" for span in chain.spans):
+            error_chains += 1
+        else:
+            ok_chains += 1
+    return {
+        "stack": "error-survival",
+        "ok_calls": ok_calls,
+        "error_calls": error_calls,
+        "faults_observed": faults,
+        "error_chains_exported": error_chains,
+        "error_survival": round(error_chains / error_calls, 4),
+        "ok_chains_exported": ok_chains,
+        "ok_export_fraction": round(ok_chains / ok_calls, 4),
+    }
+
+
+def run_sweep(smoke: bool = False) -> Dict[str, Any]:
+    calls = 400 if smoke else 2000
+    return {
+        "benchmark": "bench_telemetry_overhead",
+        "smoke": smoke,
+        "unit": "wall-clock seconds on the simulated stack",
+        "rows": [
+            bench_throughput(calls),
+            bench_error_survival(ok_calls=calls, error_calls=100 if smoke else 400),
+        ],
+    }
+
+
+def assert_claims(report: Dict[str, Any]) -> None:
+    """The tracked claims; loud failure keeps CI honest."""
+    rows = {row["stack"]: row for row in report["rows"]}
+    # Claim 1: 1% head sampling holds instrumented throughput within 5%
+    # of telemetry-off (15% on smoke: short timed regions, shared runner).
+    floor = 0.85 if report["smoke"] else 0.95
+    assert rows["throughput"]["sampled_over_off"] >= floor, rows["throughput"]
+    # Claim 2: at 1% sampling, every error chain survives (tail keep).
+    survival = rows["error-survival"]
+    assert survival["faults_observed"] == survival["error_calls"], survival
+    assert survival["error_survival"] == 1.0, survival
+    # Sanity: the head rate actually thinned the ok traffic.
+    assert survival["ok_export_fraction"] < 0.2, survival
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="reduced CI configuration")
+    parser.add_argument("--out", default="BENCH_telemetry.json")
+    args = parser.parse_args()
+    report = run_sweep(smoke=args.smoke)
+    try:
+        assert_claims(report)
+    except AssertionError:
+        # One fresh measurement separates a noisy run from a regression
+        # (same guard as the other wall-clock benches).
+        print("claims failed on first measurement; re-measuring once")
+        report = run_sweep(smoke=args.smoke)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+    for row in report["rows"]:
+        if row["stack"] == "throughput":
+            print(
+                f"throughput: off {row['telemetry_off_cps']:.0f}/s, "
+                f"1% sampled {row['sampled_1pct_cps']:.0f}/s "
+                f"({row['sampled_over_off']:.3f}x), "
+                f"unsampled {row['unsampled_cps']:.0f}/s "
+                f"({row['unsampled_over_off']:.3f}x)"
+            )
+        else:
+            print(
+                f"error survival: {row['error_chains_exported']}/"
+                f"{row['error_calls']} error chains exported "
+                f"({row['error_survival']:.0%}), ok chains at "
+                f"{row['ok_export_fraction']:.1%}"
+            )
+    assert_claims(report)
+    print(f"wrote {args.out}")
+
+
+# -- pytest-benchmark hooks (explicit runs only; not part of tier-1) ---------
+
+
+def test_telemetry_overhead(benchmark):
+    row = benchmark.pedantic(lambda: bench_throughput(200), rounds=2, iterations=1)
+    assert row["sampled_over_off"] >= 0.7  # generous: micro runs are noisy
+
+
+def test_error_survival(benchmark):
+    row = benchmark.pedantic(
+        lambda: bench_error_survival(ok_calls=200, error_calls=50),
+        rounds=2, iterations=1,
+    )
+    assert row["error_survival"] == 1.0
+
+
+if __name__ == "__main__":
+    main()

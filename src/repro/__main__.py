@@ -9,36 +9,90 @@ Subcommands::
 
     python -m repro                     # the tour (default)
     python -m repro telemetry-report …  # per-layer latency report
+    python -m repro telemetry-dash …    # live RED dashboard (tail + STATS)
+    python -m repro stats HOST:PORT     # one-shot STATS snapshot dump
 """
 
 from __future__ import annotations
 
 import sys
-
-from repro.core import BrowserService, CosmMediator, GenericClient, make_tradable
-from repro.net import SimNetwork
-from repro.rpc import RpcClient, RpcServer
-from repro.rpc.transport import SimTransport
-from repro.services import start_car_rental, start_stock_quotes
-from repro.sidl.fsm import FsmViolation
-from repro.trader.trader import TraderClient, TraderService
-from repro.uims.session import UiSession
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 
-def main(argv=None) -> int:
-    argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] == "telemetry-report":
-        from repro.telemetry import report
-
-        return report.main(argv[1:])
-    if argv:
-        print(f"unknown subcommand {argv[0]!r}; known: telemetry-report", file=sys.stderr)
-        return 2
+def _run_tour(argv: Sequence[str]) -> int:
+    if argv and argv[0] in ("-h", "--help"):
+        print(__doc__.strip())
+        return 0
     tour()
     return 0
 
 
+def _run_telemetry_report(argv: Sequence[str]) -> int:
+    from repro.telemetry import report
+
+    return report.main(list(argv))
+
+
+def _run_telemetry_dash(argv: Sequence[str]) -> int:
+    from repro.telemetry import live
+
+    return live.main(list(argv))
+
+
+def _run_stats(argv: Sequence[str]) -> int:
+    from repro.rpc import stats
+
+    return stats.main(list(argv))
+
+
+#: subcommand -> (runner, one-line help).  ``tour`` is also the default
+#: when no subcommand is given.
+COMMANDS: Dict[str, Tuple[Callable[[Sequence[str]], int], str]] = {
+    "tour": (_run_tour, "end-to-end narrative on a simulated network (default)"),
+    "telemetry-report": (_run_telemetry_report, "per-layer latency report from a JSONL trace"),
+    "telemetry-dash": (_run_telemetry_dash, "live RED dashboard: tail a JSONL trace and/or poll STATS"),
+    "stats": (_run_stats, "fetch one STATS snapshot from a live server"),
+}
+
+
+def _usage(stream) -> None:
+    print("usage: python -m repro [SUBCOMMAND] [OPTIONS]", file=stream)
+    print("\nsubcommands:", file=stream)
+    width = max(len(name) for name in COMMANDS)
+    for name, (_, help_text) in COMMANDS.items():
+        print(f"  {name:<{width}}  {help_text}", file=stream)
+    print(
+        "\nrun 'python -m repro SUBCOMMAND --help' for subcommand options",
+        file=stream,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        return _run_tour([])
+    head, rest = argv[0], argv[1:]
+    if head in ("-h", "--help", "help"):
+        _usage(sys.stdout)
+        return 0
+    entry = COMMANDS.get(head)
+    if entry is None:
+        print(f"unknown subcommand {head!r}", file=sys.stderr)
+        _usage(sys.stderr)
+        return 2
+    return entry[0](rest)
+
+
 def tour() -> None:
+    from repro.core import BrowserService, CosmMediator, GenericClient, make_tradable
+    from repro.net import SimNetwork
+    from repro.rpc import RpcClient, RpcServer
+    from repro.rpc.transport import SimTransport
+    from repro.services import start_car_rental, start_stock_quotes
+    from repro.sidl.fsm import FsmViolation
+    from repro.trader.trader import TraderClient, TraderService
+    from repro.uims.session import UiSession
+
     print(__doc__.strip().splitlines()[0])
     print("=" * 64)
     net = SimNetwork()

@@ -40,11 +40,23 @@ from repro.errors import CosmError
 Clock = Callable[[], float]
 
 _trace_counter = itertools.count(1)
+_span_uid_counter = itertools.count(1)
 
 
 def new_trace_id() -> str:
     """A process-unique trace id: ordinal prefix + random suffix."""
     return f"t{next(_trace_counter):05d}-{uuid.uuid4().hex[:8]}"
+
+
+def _new_span_uid() -> str:
+    """A process-unique span uid, assigned at span *creation* time.
+
+    Export-time span ids are positional within the chain
+    (``<trace>-s0003``) and therefore unknowable while the span is still
+    open; the uid exists so structured log records emitted *inside* a
+    span (:mod:`repro.telemetry.log`) can be joined to it after export.
+    """
+    return f"u{next(_span_uid_counter):06d}"
 
 
 class HopBudgetExhausted(CosmError):
@@ -87,6 +99,7 @@ class SpanRecord:
     elapsed: float = 0.0
     outcome: str = "ok"
     events: List[Dict[str, Any]] = field(default_factory=list)
+    uid: str = field(default_factory=_new_span_uid)
 
     def add_event(self, name: str, at: float, **attributes: Any) -> None:
         event: Dict[str, Any] = {"name": name, "at": at}
@@ -100,6 +113,7 @@ class SpanRecord:
             "started_at": self.started_at,
             "elapsed": self.elapsed,
             "outcome": self.outcome,
+            "span_uid": self.uid,
         }
         if self.events:
             wire["events"] = [dict(event) for event in self.events]
@@ -131,6 +145,11 @@ class CallContext:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     spans: List[SpanRecord] = field(default_factory=list)
     spans_dropped: int = 0
+    #: Head-sampling decision for this trace: ``True``/``False`` once a
+    #: hop has decided (:func:`repro.telemetry.sampling.mark`), ``None``
+    #: while no sampling policy has weighed in.  Rides the wire like the
+    #: hop budget so every peer of a federated call agrees.
+    sampled: Optional[bool] = None
     # Guards the shared span chain: worker threads (federation fan-out)
     # append to the parent's list concurrently.  ``derive``/``hop`` pass
     # the lock through ``replace`` so one chain always has one lock.
@@ -313,6 +332,8 @@ class CallContext:
             wire["hops"] = self.hops
         if self.visited:
             wire["visited"] = list(self.visited)
+        if self.sampled is not None:
+            wire["sampled"] = self.sampled
         return wire
 
     @classmethod
@@ -322,6 +343,7 @@ class CallContext:
             deadline=wire.get("deadline"),
             hops=wire.get("hops"),
             visited=tuple(wire.get("visited", ())),
+            sampled=wire.get("sampled"),
         )
 
 
@@ -331,17 +353,20 @@ class _SpanScope:
     ``__slots__`` and explicit ``__enter__``/``__exit__`` because one of
     these brackets every RPC dispatch (client and server side)."""
 
-    __slots__ = ("_ctx", "_record", "_clock")
+    __slots__ = ("_ctx", "_record", "_clock", "_token")
 
     def __init__(self, ctx: "CallContext", record: SpanRecord, clock: Clock) -> None:
         self._ctx = ctx
         self._record = record
         self._clock = clock
+        self._token = None
 
     def __enter__(self) -> SpanRecord:
+        self._token = _current_span.set(self._record)
         return self._record
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        _current_span.reset(self._token)
         record = self._record
         if exc_type is not None:
             record.outcome = exc_type.__name__
@@ -395,6 +420,19 @@ class DeadlineLedger:
 _current: ContextVar[Optional[CallContext]] = ContextVar(
     "cosm_call_context", default=None
 )
+_current_span: ContextVar[Optional[SpanRecord]] = ContextVar(
+    "cosm_current_span", default=None
+)
+
+
+def current_span() -> Optional[SpanRecord]:
+    """The innermost open span of the executing task/thread, if any.
+
+    Maintained by :meth:`CallContext.span`'s scope; structured log
+    records use it to stamp the ``span_uid`` of the work they happened
+    inside.
+    """
+    return _current_span.get()
 
 
 def current_context() -> Optional[CallContext]:

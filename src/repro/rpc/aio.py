@@ -51,6 +51,7 @@ from repro.rpc.errors import DeadlineExceeded, RpcError, RpcTimeout
 from repro.rpc.message import ReplyStatus, RpcCall, RpcReply
 from repro.rpc.server import AdmissionPolicy, RpcServer
 from repro.rpc.transport import SimTransport, Transport, enable_nodelay
+from repro.telemetry import sampling
 from repro.telemetry.hub import flush_context, spans_wanted
 from repro.telemetry.metrics import METRICS
 
@@ -369,6 +370,7 @@ class AsyncRpcClient:
         call = RpcCall(
             xid, prog, vers, proc, body,
             deadline=ctx.deadline, trace_id=ctx.trace_id, hops=ctx.hops,
+            sampled=sampling.mark(ctx),
         )
         encoded = call.encode()
         # One future per xid, shared across attempts: retransmissions
@@ -440,6 +442,18 @@ class AsyncRpcClient:
             return True
         except RpcError:
             return False
+
+    async def stats(self, destination: Address, **kwargs: Any) -> Dict[str, Any]:
+        """Fetch the STATS snapshot from the server at ``destination``."""
+        from repro.rpc import stats as stats_mod
+
+        return await self.call(
+            destination,
+            stats_mod.STATS_PROGRAM,
+            stats_mod.STATS_VERSION,
+            stats_mod.PROC_SNAPSHOT,
+            **kwargs,
+        )
 
     def close(self) -> None:
         dispatcher_for(self.transport).client = None
@@ -566,12 +580,14 @@ class AsyncBatchingClient(AsyncRpcClient):
     ) -> List[Any]:
         loop = asyncio.get_running_loop()
         entries = []
+        sampled = sampling.mark(ctx)
         for prog, vers, proc, args in calls:
             xid = next(self._xid_counter)
             call = RpcCall(
                 xid, prog, vers, proc,
                 CODECS.encode_args(prog, vers, proc, args),
                 deadline=ctx.deadline, trace_id=ctx.trace_id, hops=ctx.hops,
+                sampled=sampled,
             )
             self._waiters[xid] = loop.create_future()
             entries.append((xid, prog, vers, proc, call.encode()))

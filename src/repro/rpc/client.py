@@ -33,6 +33,7 @@ from repro.rpc.errors import (
 from repro.rpc.message import ReplyStatus, RpcCall, RpcReply
 from repro.rpc.transport import Transport
 from repro.rpc.xdr import decode_value
+from repro.telemetry import sampling
 from repro.telemetry.hub import flush_context
 from repro.telemetry.metrics import METRICS
 
@@ -133,6 +134,7 @@ def resolve_context(
             shim.deadline = min(shim.deadline, ambient.deadline)
         shim.hops = ambient.hops
         shim.visited = ambient.visited
+        shim.sampled = ambient.sampled
     return shim
 
 
@@ -270,6 +272,7 @@ class RpcClient:
         call = RpcCall(
             xid, prog, vers, proc, body,
             deadline=ctx.deadline, trace_id=ctx.trace_id, hops=ctx.hops,
+            sampled=sampling.mark(ctx),
         )
         encoded = call.encode()
         attempts = ctx.retry.attempts
@@ -331,6 +334,16 @@ class RpcClient:
             return True
         except RpcError:
             return False
+
+    def stats(self, destination: Address, **kwargs: Any) -> Dict[str, Any]:
+        """Fetch the STATS snapshot from the server at ``destination``.
+
+        Every :class:`~repro.rpc.server.RpcServer` serves the well-known
+        stats program; this is the client-side one-liner for it.
+        """
+        from repro.rpc import stats as stats_mod
+
+        return stats_mod.fetch(self, destination, **kwargs)
 
     def close(self) -> None:
         dispatcher_for(self.transport).client = None
@@ -526,12 +539,14 @@ class BatchingClient(RpcClient):
         calls: Sequence[Tuple[int, int, int, Any]],
     ) -> List[Any]:
         entries = []
+        sampled = sampling.mark(ctx)
         for prog, vers, proc, args in calls:
             xid = next(self._xid_counter)
             call = RpcCall(
                 xid, prog, vers, proc,
                 CODECS.encode_args(prog, vers, proc, args),
                 deadline=ctx.deadline, trace_id=ctx.trace_id, hops=ctx.hops,
+                sampled=sampled,
             )
             entries.append((xid, prog, vers, proc, call.encode()))
         try:

@@ -27,7 +27,10 @@ class RpcDispatcher:
     cached reply replays even for a late retransmission).  For foreign
     server objects without that attribute the dispatcher keeps the legacy
     pre-check: calls whose wire deadline has already passed are answered
-    ``DEADLINE_EXCEEDED`` before the server sees them.
+    ``DEADLINE_EXCEEDED`` before the server sees them.  STATS probes
+    (:data:`repro.rpc.stats.STATS_PROGRAM`) are exempt from that
+    pre-check — introspection is answered regardless of a stale probe
+    deadline.
     """
 
     def __init__(self, transport: Transport) -> None:
@@ -64,8 +67,11 @@ class RpcDispatcher:
         if getattr(self.server, "owns_admission", False):
             self.server.handle_call(source, message)
             return
+        from repro.rpc.stats import STATS_PROGRAM
+
         if (
-            message.deadline is not None
+            message.prog != STATS_PROGRAM
+            and message.deadline is not None
             and self.transport.now() >= message.deadline
         ):
             self.expired_rejected += 1

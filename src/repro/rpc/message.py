@@ -37,6 +37,7 @@ _MSG_REPLY = 1
 _CTX_DEADLINE = 1
 _CTX_TRACE = 2
 _CTX_HOPS = 4
+_CTX_SAMPLED = 8
 
 # Frames are encoded with precompiled structs rather than the general
 # XdrEncoder: the header shape is static, and one ``pack`` for the fixed
@@ -76,9 +77,12 @@ class ReplyStatus(enum.IntEnum):
 class RpcCall:
     """A request for procedure ``proc`` of program ``prog`` version ``vers``.
 
-    ``deadline``/``trace_id``/``hops`` are the wire form of the caller's
-    call context; all three are optional so context-free callers (and
-    pre-context peers) stay interoperable.
+    ``deadline``/``trace_id``/``hops``/``sampled`` are the wire form of
+    the caller's call context; all are optional so context-free callers
+    (and pre-context peers) stay interoperable.  ``sampled`` is the head
+    trace-sampling decision — only emitted once some hop has actually
+    decided (``None`` means "no sampling policy weighed in" and adds no
+    bytes, keeping frames byte-identical to pre-sampling peers).
     """
 
     xid: int
@@ -89,6 +93,7 @@ class RpcCall:
     deadline: Optional[float] = None
     trace_id: str = ""
     hops: Optional[int] = None
+    sampled: Optional[bool] = None
 
     def encode(self) -> bytes:
         flags = 0
@@ -98,6 +103,8 @@ class RpcCall:
             flags |= _CTX_TRACE
         if self.hops is not None:
             flags |= _CTX_HOPS
+        if self.sampled is not None:
+            flags |= _CTX_SAMPLED
         parts = [
             _CALL_FIXED.pack(
                 self.xid, _MSG_CALL, self.prog, self.vers, self.proc, flags
@@ -109,6 +116,8 @@ class RpcCall:
             parts.append(_opaque(self.trace_id.encode("utf-8")))
         if self.hops is not None:
             parts.append(_U32.pack(self.hops))
+        if self.sampled is not None:
+            parts.append(_U32.pack(1 if self.sampled else 0))
         parts.append(_opaque(self.body))
         return b"".join(parts)
 
@@ -138,8 +147,11 @@ def _decode_one(dec: XdrDecoder) -> RpcMessage:
         deadline = dec.unpack_double() if flags & _CTX_DEADLINE else None
         trace_id = dec.unpack_string() if flags & _CTX_TRACE else ""
         hops = dec.unpack_u32() if flags & _CTX_HOPS else None
+        sampled = bool(dec.unpack_u32()) if flags & _CTX_SAMPLED else None
         body = dec.unpack_opaque()
-        return RpcCall(xid, prog, vers, proc, body, deadline, trace_id, hops)
+        return RpcCall(
+            xid, prog, vers, proc, body, deadline, trace_id, hops, sampled
+        )
     if kind == _MSG_REPLY:
         status_raw = dec.unpack_u32()
         try:

@@ -43,6 +43,7 @@ from repro.context import CallContext, Clock, current_context
 from repro.errors import BindingError, CommunicationError
 from repro.rpc.client import RpcClient
 from repro.rpc.errors import DeadlineExceeded, RpcError, RpcTimeout, ServerShedding
+from repro.telemetry.log import LOG
 from repro.telemetry.metrics import METRICS
 
 T = TypeVar("T")
@@ -189,6 +190,12 @@ class CircuitBreaker:
             if self._state != STATE_CLOSED:
                 self._state = STATE_CLOSED
                 self._publish()
+                if LOG.active:
+                    LOG.event(
+                        "rpc.breaker_closed",
+                        at=self._clock() if now is None else now,
+                        endpoint=self.name,
+                    )
 
     def record_failure(self, now: Optional[float] = None) -> None:
         now = self._clock() if now is None else now
@@ -209,6 +216,15 @@ class CircuitBreaker:
         self.opens += 1
         METRICS.inc("rpc.breaker.opens", (self.name,))
         self._publish()
+        if LOG.active:
+            LOG.event(
+                "rpc.breaker_open",
+                level="warning",
+                at=now,
+                endpoint=self.name,
+                failures=self._consecutive_failures,
+                opens=self.opens,
+            )
 
     def _publish(self) -> None:
         METRICS.set_gauge("rpc.breaker.state", self._state, (self.name,))
@@ -333,6 +349,15 @@ class ResilientCaller:
                     METRICS.inc("rpc.failover.attempts", (endpoint,))
                     span.add_event("failover", at=clock(), endpoint=endpoint,
                                    round=round_index)
+                    if LOG.active:
+                        LOG.event(
+                            "rpc.failover",
+                            level="warning",
+                            at=clock(),
+                            endpoint=endpoint,
+                            round=round_index,
+                            candidates_left=len(targets) - position,
+                        )
                 attempted += 1
                 first_attempt = False
                 child = self._attempt_context(ctx, len(targets) - position)
@@ -428,6 +453,15 @@ class ResilientCaller:
                     METRICS.inc("rpc.failover.attempts", (endpoint,))
                     span.add_event("failover", at=clock(), endpoint=endpoint,
                                    round=round_index)
+                    if LOG.active:
+                        LOG.event(
+                            "rpc.failover",
+                            level="warning",
+                            at=clock(),
+                            endpoint=endpoint,
+                            round=round_index,
+                            candidates_left=len(targets) - position,
+                        )
                 attempted += 1
                 first_attempt = False
                 child = self._attempt_context(ctx, len(targets) - position)

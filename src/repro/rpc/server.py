@@ -33,7 +33,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
 
-from repro.context import CallContext, use_context
+from repro.context import CallContext, SpanRecord, use_context
 from repro.errors import ConfigurationError
 from repro.net.endpoints import Address
 from repro.rpc.codec import CODECS
@@ -42,7 +42,9 @@ from repro.rpc.errors import XdrError
 from repro.rpc.message import ReplyStatus, RpcCall, RpcReply
 from repro.rpc.transport import Transport
 from repro.rpc.xdr import encode_value
+from repro.rpc import stats as stats_mod
 from repro.telemetry.hub import flush_context, spans_wanted
+from repro.telemetry.log import LOG
 from repro.telemetry.metrics import METRICS, MetricsRegistry
 
 Handler = Callable[..., Any]
@@ -281,6 +283,19 @@ class RpcServer:
         self.duplicates_coalesced = 0
         self.deadlines_rejected = 0
         self.calls_shed = 0
+        # Every server answers the well-known stats program: probes
+        # bypass admission under a small token-bucket budget (see
+        # repro.rpc.stats), so introspection works *during* overload.
+        self._stats_budget = stats_mod.StatsBudget()
+        stats_program = RpcProgram(
+            stats_mod.STATS_PROGRAM, stats_mod.STATS_VERSION, name="stats"
+        )
+        stats_program.register(
+            stats_mod.PROC_SNAPSHOT,
+            lambda args: stats_mod.build_snapshot(self),
+            name="snapshot",
+        )
+        self.serve(stats_program)
         dispatcher_for(transport).server = self
 
     @property
@@ -374,6 +389,20 @@ class RpcServer:
         if call.deadline is not None and now >= call.deadline:
             reply = self._reject_deadline(call)
             self._finish(source, call, reply, cacheable=True)
+            return False
+        if call.prog == stats_mod.STATS_PROGRAM:
+            # Introspection bypasses the admission queue: a probe is most
+            # valuable exactly when the queue is full of urgent work that
+            # would shed it.  The token bucket keeps the bypass from
+            # becoming a load vector — beyond it, probes shed like
+            # anything else.  Executed inline (the snapshot handler is a
+            # pure read), so this works identically on the async server.
+            if self._stats_budget.take(now):
+                self._finish(source, call, self._execute(call), cacheable=True)
+            else:
+                self._finish(
+                    source, call, self._shed(call, "stats_budget"), cacheable=False
+                )
             return False
         if call.deadline is not None and self._auto_capacity:
             # Arrival budgets only feed the "auto" capacity derivation;
@@ -480,6 +509,16 @@ class RpcServer:
         program = self._programs.get((call.prog, call.vers))
         name = program.name if program is not None else str(call.prog)
         METRICS.inc("rpc.server.shed", (stage, name, str(call.proc)))
+        if LOG.active:
+            LOG.event(
+                "rpc.shed",
+                level="warning",
+                at=self.transport.now(),
+                stage=stage,
+                program=name,
+                proc=call.proc,
+                trace_id=call.trace_id or None,
+            )
         return RpcReply(call.xid, ReplyStatus.SHED)
 
     def _adapt_capacity(self) -> None:
@@ -608,9 +647,11 @@ class RpcServer:
             # on/off in benchmarks/bench_overload_shedding.py).
             METRICS.inc("rpc.server.wasted_handler_seconds", labels, amount=elapsed)
             METRICS.inc("rpc.server.missed_deadline_executions", labels)
-        if ctx is not None:
+        if ctx is not None and (ctx.spans or ctx.spans_dropped):
             # The server-side chain ends here; flush best-effort
-            # (no-op unless an exporter is installed).
+            # (no-op unless an exporter is installed).  Sampled-out
+            # dispatches recorded nothing, so they skip the hub walk —
+            # drop accounting lives with the chain owner (the caller).
             flush_context(ctx)
 
     def _execute(self, call: RpcCall) -> RpcReply:
@@ -628,7 +669,12 @@ class RpcServer:
                     # The server built this context from the wire and
                     # drops it after the dispatch; record a span only
                     # when an exporter will actually read the chain.
-                    if spans_wanted():
+                    # A wire stamp of ``sampled=False`` means the chain
+                    # can only ever be exported by the tail error keep,
+                    # so the success path skips span bookkeeping
+                    # entirely and the except arm reconstructs the span
+                    # — head sampling then costs the hot path nothing.
+                    if spans_wanted() and ctx.sampled is not False:
                         with ctx.span(
                             "server",
                             f"{program.name}:{call.proc}",
@@ -642,6 +688,17 @@ class RpcServer:
                 else:
                     result = handler(args)
             except Exception as exc:  # noqa: BLE001 - faults cross the wire as data
+                if ctx is not None and ctx.sampled is False and spans_wanted():
+                    # Rebuild the span the fast path skipped: the tail
+                    # keep still needs the error chain.
+                    record = SpanRecord(
+                        "server",
+                        f"{program.name}:{call.proc}",
+                        started_at=started,
+                        elapsed=self.transport.now() - started,
+                        outcome=type(exc).__name__,
+                    )
+                    ctx.record_span(record)
                 return self._fault_reply(call.xid, exc)
             return self._success_reply(call, result)
         finally:
@@ -654,9 +711,14 @@ class RpcServer:
             return None
         if call.trace_id:
             return CallContext(
-                trace_id=call.trace_id, deadline=call.deadline, hops=call.hops
+                trace_id=call.trace_id,
+                deadline=call.deadline,
+                hops=call.hops,
+                sampled=call.sampled,
             )
-        return CallContext(deadline=call.deadline, hops=call.hops)
+        return CallContext(
+            deadline=call.deadline, hops=call.hops, sampled=call.sampled
+        )
 
     def close(self) -> None:
         dispatcher_for(self.transport).server = None

@@ -173,9 +173,22 @@ class JsonlExporter(SpanExporter):
         self._lock = threading.Lock()
 
     def export(self, chain: TraceChain) -> None:
+        self._write_json(chain.to_wire())
+
+    def write_record(self, record: Dict[str, Any]) -> None:
+        """Append an arbitrary JSON record (one line) to the same file.
+
+        The structured logger (:mod:`repro.telemetry.log`) shares the
+        span sink through this: log records and span chains interleave
+        in one stream, rotate together, and carry the same trace ids —
+        which is what lets the live dashboard join them.
+        """
+        self._write_json(record)
+
+    def _write_json(self, record: Dict[str, Any]) -> None:
         if self.disabled:
             return
-        line = json.dumps(chain.to_wire()) + "\n"
+        line = json.dumps(record) + "\n"
         payload = line.encode("utf-8")
         with self._lock:
             try:

@@ -22,6 +22,7 @@ import threading
 from contextlib import contextmanager
 from typing import Any, Iterator, List
 
+from repro.telemetry import sampling
 from repro.telemetry.exporters import SpanExporter, TraceChain
 from repro.telemetry.metrics import METRICS, MetricsRegistry
 
@@ -93,6 +94,13 @@ class TelemetryHub:
         else:
             spans = list(ctx.spans)
         if not spans and not ctx.spans_dropped:
+            return
+        # Head-sampling gate: recording above was free to happen — only
+        # the *export* is sampled, so the tail override still sees error
+        # chains that were head-sampled out.
+        if not sampling.export_decision(ctx, spans):
+            self.metrics.inc("telemetry.spans_sampled_out", amount=len(spans))
+            self.metrics.inc("telemetry.chains_sampled_out")
             return
         self.export_chain(TraceChain(ctx.trace_id, spans, ctx.spans_dropped))
 

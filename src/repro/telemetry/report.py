@@ -14,7 +14,7 @@ The tables render through the existing :mod:`repro.uims` backends (the
 same widget model that renders generated service forms), so the report
 is available as text and as a self-contained HTML page::
 
-    python -m repro telemetry-report --out report.html --json BENCH_telemetry.json
+    python -m repro telemetry-report --out report.html --json BENCH_telemetry_report.json
 
 Virtual seconds throughout: the simulated network advances a virtual
 clock, so numbers are deterministic and describe the *modelled* network,

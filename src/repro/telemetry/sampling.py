@@ -1,0 +1,162 @@
+"""Trace sampling: head decisions keyed on the trace id, tail overrides.
+
+Always-on tracing has two costs: recording spans (cheap, in-memory) and
+*exporting* finished chains (JSON serialisation plus a file write per
+chain — the part that shows up at million-user scale).  This module
+gates the second one:
+
+* **Head sampling** — the keep/drop decision is a deterministic hash of
+  the trace id (:func:`head_sampled`), so every hop of a federated call
+  reaches the *same* verdict independently: a hub trader, its peers,
+  and the exporters they fan out to either all export a trace or none
+  do, even when some of them never saw the wire ``sampled`` flag.
+* **Wire flag** — the first process to decide stamps the decision into
+  the :class:`~repro.context.CallContext` (:func:`mark`) and the RPC
+  clients carry it in the CALL header, so downstream peers skip the
+  hash.  Peers that predate the flag recompute it from the trace id and
+  agree anyway — that is the compatibility story.
+* **Tail override** — chains that contain an error span (any span whose
+  outcome is not ``"ok"``: a remote fault, ``DeadlineExceeded``, a
+  shed) are kept even when head-sampled out, so the traces worth
+  debugging always survive.  The hub consults
+  :func:`export_decision` at flush time.
+
+Dropped chains are accounted in ``telemetry.spans_sampled_out`` (span
+count, not chain count) and ``telemetry.chains_sampled_out``; tail
+rescues bump ``telemetry.chains_kept_tail``.
+
+The default policy (``rate=1.0``) is the pre-sampling behaviour: no
+decision is ever computed, nothing extra rides the wire, and the hot
+path pays one float compare.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Optional
+from zlib import crc32
+
+#: Resolution of the hash bucket the rate is compared against.
+_BUCKETS = 1 << 16
+
+
+@dataclass(frozen=True)
+class SamplingPolicy:
+    """How the process samples trace exports.
+
+    ``rate`` is the kept fraction (1.0 = keep everything, the default;
+    0.01 = keep one trace in a hundred).  ``keep_errors`` is the tail
+    override: chains containing a non-``ok`` span are exported
+    regardless of the head decision.
+    """
+
+    rate: float = 1.0
+    keep_errors: bool = True
+
+    @property
+    def active(self) -> bool:
+        return self.rate < 1.0
+
+
+_DEFAULT = SamplingPolicy()
+_policy = _DEFAULT
+_lock = threading.Lock()
+
+
+def get_policy() -> SamplingPolicy:
+    return _policy
+
+
+def set_policy(policy: SamplingPolicy) -> SamplingPolicy:
+    """Install ``policy`` process-wide; returns the previous one."""
+    global _policy
+    with _lock:
+        previous, _policy = _policy, policy
+    return previous
+
+
+class use_policy:
+    """Scope a sampling policy (tests, benches)::
+
+        with use_policy(SamplingPolicy(rate=0.01)):
+            ...
+    """
+
+    def __init__(self, policy: SamplingPolicy) -> None:
+        self._policy = policy
+        self._previous: Optional[SamplingPolicy] = None
+
+    def __enter__(self) -> SamplingPolicy:
+        self._previous = set_policy(self._policy)
+        return self._policy
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        set_policy(self._previous or _DEFAULT)
+        return False
+
+
+def head_sampled(trace_id: str, rate: float) -> bool:
+    """The deterministic head decision for ``trace_id`` at ``rate``.
+
+    A CRC-32 of the trace id reduced to a 16-bit bucket, compared
+    against the rate: pure arithmetic on data every hop already has, so
+    federated peers agree without coordination.
+    """
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    bucket = crc32(trace_id.encode("utf-8")) % _BUCKETS
+    return bucket < int(rate * _BUCKETS)
+
+
+def mark(ctx: Any) -> Optional[bool]:
+    """Stamp (and return) the head decision for ``ctx``'s trace.
+
+    ``None`` when no sampling policy is active — nothing rides the wire
+    and pre-sampling peers see byte-identical CALL frames.  Once a
+    decision exists on the context it is reused, not recomputed: the
+    first hop decides, every later hop inherits.
+    """
+    sampled = ctx.sampled
+    if sampled is not None:
+        return sampled
+    policy = _policy
+    if not policy.active:
+        return None
+    decision = head_sampled(ctx.trace_id, policy.rate)
+    ctx.sampled = decision
+    return decision
+
+
+def chain_has_error(spans: Any) -> bool:
+    """True when any span in the chain did not end ``"ok"``."""
+    for span in spans:
+        if span.outcome != "ok":
+            return True
+    return False
+
+
+def export_decision(ctx: Any, spans: Any) -> bool:
+    """Should this finished chain be exported?  Called by the hub.
+
+    Keeps everything when no policy is active.  Otherwise the head
+    decision (the context's stamp, or the trace-id hash when the stamp
+    never arrived) rules, with the error tail override on top.  The
+    caller accounts the drop; this function accounts the tail rescue.
+    """
+    policy = _policy
+    if not policy.active:
+        return True
+    sampled = getattr(ctx, "sampled", None)
+    if sampled is None:
+        sampled = head_sampled(ctx.trace_id, policy.rate)
+    if sampled:
+        return True
+    if policy.keep_errors and chain_has_error(spans):
+        from repro.telemetry.metrics import METRICS
+
+        METRICS.inc("telemetry.chains_kept_tail")
+        return True
+    return False

@@ -20,6 +20,7 @@ from repro.rpc.errors import DeadlineExceeded, ServerShedding
 from repro.rpc.server import RpcProgram, RpcServer
 from repro.rpc.transport import SimTransport
 from repro.sidl import layout
+from repro.telemetry.log import LOG
 from repro.telemetry.metrics import METRICS
 from repro.trader.constraints import parse_constraint
 from repro.trader.dynamic import resolve_properties
@@ -199,6 +200,7 @@ class LocalTrader:
         )
         self.offers.add(offer)
         self.exports_accepted += 1
+        self._gauge_live_offers()
         return offer.offer_id
 
     def renew(self, offer_id: str, now: float = 0.0) -> Optional[float]:
@@ -230,6 +232,17 @@ class LocalTrader:
             METRICS.inc(
                 "trader.offers.expired", (self.trader_id, "swept"), amount=len(expired)
             )
+            self._gauge_live_offers()
+            if LOG.active:
+                for offer_id in expired:
+                    LOG.event(
+                        "trader.lease_expired",
+                        level="warning",
+                        at=now,
+                        trader=self.trader_id,
+                        offer=offer_id,
+                        mode="swept",
+                    )
         return len(expired)
 
     def purge_expired(self, now: float) -> int:
@@ -237,7 +250,15 @@ class LocalTrader:
         return self.expire_offers(now)
 
     def withdraw(self, offer_id: str) -> ServiceOffer:
-        return self.offers.remove(offer_id)
+        offer = self.offers.remove(offer_id)
+        self._gauge_live_offers()
+        return offer
+
+    def _gauge_live_offers(self) -> None:
+        """Keep the live-offer gauge current for the STATS snapshot."""
+        METRICS.set_gauge(
+            "trader.offers.live", len(self.offers.all()), (self.trader_id,)
+        )
 
     def modify(self, offer_id: str, properties: Dict[str, Any]) -> ServiceOffer:
         offer = self.offers.get(offer_id)
@@ -280,6 +301,15 @@ class LocalTrader:
                 # Lazy exclusion: a lapsed lease stops matching before any
                 # sweep runs, so importers never see a dead exporter.
                 METRICS.inc("trader.offers.expired", (self.trader_id, "lazy"))
+                if LOG.active:
+                    LOG.event(
+                        "trader.lease_expired",
+                        level="warning",
+                        at=now,
+                        trader=self.trader_id,
+                        offer=offer.offer_id,
+                        mode="lazy",
+                    )
                 continue
             resolved = resolve_properties(offer.properties, self.dynamic_evaluator)
             if constraint.evaluate(resolved):
