@@ -11,6 +11,7 @@ Subcommands::
     python -m repro telemetry-report …  # per-layer latency report
     python -m repro telemetry-dash …    # live RED dashboard (tail + STATS)
     python -m repro stats HOST:PORT     # one-shot STATS snapshot dump
+    python -m repro sharded-trader …    # sharded trader: placement, failover
 """
 
 from __future__ import annotations
@@ -45,6 +46,12 @@ def _run_stats(argv: Sequence[str]) -> int:
     return stats.main(list(argv))
 
 
+def _run_sharded_trader(argv: Sequence[str]) -> int:
+    from repro.trader.sharding import cli
+
+    return cli.main(list(argv))
+
+
 #: subcommand -> (runner, one-line help).  ``tour`` is also the default
 #: when no subcommand is given.
 COMMANDS: Dict[str, Tuple[Callable[[Sequence[str]], int], str]] = {
@@ -52,6 +59,10 @@ COMMANDS: Dict[str, Tuple[Callable[[Sequence[str]], int], str]] = {
     "telemetry-report": (_run_telemetry_report, "per-layer latency report from a JSONL trace"),
     "telemetry-dash": (_run_telemetry_dash, "live RED dashboard: tail a JSONL trace and/or poll STATS"),
     "stats": (_run_stats, "fetch one STATS snapshot from a live server"),
+    "sharded-trader": (
+        _run_sharded_trader,
+        "sharded/replicated trader walkthrough: placement, fan-out, failover",
+    ),
 }
 
 

@@ -340,6 +340,32 @@ class RebindingClient:
 
     # -- lifecycle ---------------------------------------------------------
 
+    def refresh(self, service_type: Optional[str] = None) -> int:
+        """Drop cached ranked cohorts so the next invoke re-imports.
+
+        With ``service_type`` only that type's cohorts (any constraint or
+        preference) are dropped; without it, all of them.  Open bindings
+        are *kept* — the cached endpoints may still be the best ones, and
+        an unchanged ranking will keep reusing them — this only forces
+        the ranking itself to be recomputed, e.g. after a trader-side
+        topology change (shard failover, rebalance) or an offer-watch
+        event.  Returns how many cohorts were dropped.
+        """
+        with self._lock:
+            if service_type is None:
+                dropped = len(self._offers)
+                self._offers.clear()
+            else:
+                stale = [key for key in self._offers if key[0] == service_type]
+                dropped = len(stale)
+                for key in stale:
+                    del self._offers[key]
+        if dropped:
+            METRICS.inc(
+                "client.rebind.refreshed", (service_type or "*",), amount=dropped
+            )
+        return dropped
+
     def close(self) -> None:
         with self._lock:
             bindings = list(self._bindings.values())

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Union
 
 from repro.core.browser import BrowserService
 from repro.errors import ConfigurationError
@@ -91,6 +91,63 @@ def restore_trader(snapshot: Dict[str, Any], **trader_options: Any) -> LocalTrad
     for offer_wire in snapshot["offers"]:
         trader.offers.add(ServiceOffer.from_wire(offer_wire))
     return trader
+
+
+# -- shard snapshots -------------------------------------------------------------
+
+
+def shard_snapshot(shard: Any) -> Dict[str, Any]:
+    """A :class:`~repro.trader.sharding.shard.TraderShard` checkpoint.
+
+    The trader snapshot plus the replication coordinates — role, applied
+    sequence, shard-map version — so a restarted shard knows where in the
+    delta stream to resume (``deltas_since(applied_seq)``) instead of
+    refetching the world.
+    """
+    snapshot = trader_snapshot(shard.trader)
+    snapshot["kind"] = "trader_shard"
+    snapshot["shard_id"] = shard.shard_id
+    snapshot["offer_prefix"] = shard.trader.offers.prefix
+    snapshot["role"] = shard.role
+    snapshot["applied_seq"] = shard.applied_seq
+    snapshot["map_version"] = shard.map_version
+    return snapshot
+
+
+def restore_shard(
+    snapshot: Dict[str, Any], now: Optional[float] = None, **shard_options: Any
+) -> Any:
+    """Rebuild a shard from its checkpoint — lease-aware.
+
+    A snapshot freezes lease expiry times as absolutes; any lease that
+    lapsed while the shard was down is expired immediately when ``now``
+    is given, *before* the shard serves anything — the restart half of
+    the anti-entropy contract (the catch-up half lives in
+    ``TraderShard.sync_from``).  The restored log starts empty at
+    ``applied_seq``, so replicas older than the snapshot are told to
+    take a snapshot themselves rather than a delta batch.
+    """
+    from repro.trader.sharding.shard import TraderShard
+
+    _check(snapshot, "trader_shard")
+    shard = TraderShard(
+        snapshot["shard_id"],
+        offer_prefix=snapshot.get("offer_prefix", "offer"),
+        role=snapshot.get("role", "primary"),
+        base_seq=snapshot.get("applied_seq", 0),
+        **shard_options,
+    )
+    shard.map_version = snapshot.get("map_version", 0)
+    trader_view = dict(snapshot, kind="trader")
+    restored = restore_trader(
+        trader_view,
+        offer_prefix=snapshot.get("offer_prefix", "offer"),
+    )
+    shard.trader.types = restored.types
+    shard.trader.offers = restored.offers
+    if now is not None:
+        shard.trader.expire_offers(now)
+    return shard
 
 
 # -- browser snapshots ---------------------------------------------------------------

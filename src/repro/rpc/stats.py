@@ -157,6 +157,26 @@ def build_snapshot(server: Any) -> Dict[str, Any]:
             "replies": METRICS.histogram("rpc.server.batch_replies") or {},
             "queue_depth": _series_by_label(gauges, "rpc.server.queue_depth"),
         },
+        "sharding": {
+            "map_version": _series_by_label(
+                METRICS.gauges("sharding."), "sharding.map_version"
+            ),
+            "replication_seq": _series_by_label(
+                METRICS.gauges("sharding."), "sharding.replication_seq"
+            ),
+            "routed": _series_by_label(
+                METRICS.counters("sharding.routed"), "sharding.routed"
+            ),
+            "fanout": METRICS.counter_total("sharding.fanout"),
+            "failovers": _series_by_label(
+                METRICS.counters("sharding.failovers"), "sharding.failovers"
+            ),
+            "promotions": _series_by_label(
+                METRICS.counters("sharding.promotions"), "sharding.promotions"
+            ),
+            "syncs": METRICS.counter_total("sharding.syncs"),
+            "push_failed": METRICS.counter_total("sharding.push_failed"),
+        },
         "sampling": {
             "rate": sampling_policy.rate,
             "keep_errors": sampling_policy.keep_errors,

@@ -71,6 +71,13 @@ class Constraint:
     such a property differs from the literal can never satisfy the
     constraint, which lets an offer store pre-filter candidates by index
     before paying for full evaluation.  Empty for every other shape.
+
+    ``range_conjuncts`` is the ordering twin: the ``(property, operator,
+    literal)`` triples the top-level ``and``-chain pins with ``<``,
+    ``<=``, ``>`` or ``>=`` against a literal (mirrored comparisons are
+    normalised, so ``30 > ChargePerDay`` records ``("ChargePerDay", "<",
+    30)``).  They let a sorted index pre-filter ceilings and floors the
+    same way the equality index pre-filters pins.
     """
 
     def __init__(self, source: str, root) -> None:
@@ -78,6 +85,9 @@ class Constraint:
         self._root = root
         self.equality_conjuncts: Tuple[Tuple[str, Any], ...] = getattr(
             root, "eq_conjuncts", ()
+        )
+        self.range_conjuncts: Tuple[Tuple[str, str, Any], ...] = getattr(
+            root, "range_conjuncts", ()
         )
 
     def evaluate(self, properties: Dict[str, Any]) -> bool:
@@ -272,11 +282,18 @@ def _make_or(left, right):
 
 def _make_and(left, right):
     combined = lambda props: _truth(left(props)) and _truth(right(props))  # noqa: E731
-    # An and-node requires every equality its children require.
+    # An and-node requires every equality and range bound its children require.
     combined.eq_conjuncts = getattr(left, "eq_conjuncts", ()) + getattr(
         right, "eq_conjuncts", ()
     )
+    combined.range_conjuncts = getattr(left, "range_conjuncts", ()) + getattr(
+        right, "range_conjuncts", ()
+    )
     return combined
+
+
+#: Mirrored comparison operators: ``lit OP Prop`` == ``Prop MIRROR[OP] lit``.
+_MIRRORED = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
 
 
 def _make_comparison(left, operator: str, right):
@@ -308,6 +325,16 @@ def _make_comparison(left, operator: str, right):
             value = getattr(left, "literal_value", MISSING)
         if name is not None and value is not MISSING:
             compare.eq_conjuncts = ((name, value),)
+    elif operator in _MIRRORED:
+        name = getattr(left, "prop_name", None)
+        value = getattr(right, "literal_value", MISSING)
+        bound = operator
+        if name is None:  # mirrored `literal < Prop` pins `Prop > literal`
+            name = getattr(right, "prop_name", None)
+            value = getattr(left, "literal_value", MISSING)
+            bound = _MIRRORED[operator]
+        if name is not None and value is not MISSING:
+            compare.range_conjuncts = ((name, bound, value),)
     return compare
 
 

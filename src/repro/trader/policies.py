@@ -29,6 +29,13 @@ class Preference:
         self.source = source
         self.kind = kind
         self._expr = expr
+        # For a min/max over a bare property reference ("min ChargePerDay")
+        # the sorted property index can rank candidates without scoring
+        # each one; compound expressions keep this None and take the
+        # general path.
+        self.key_property: Optional[str] = (
+            getattr(expr, "prop_name", None) if kind in ("min", "max") else None
+        )
 
     def apply(self, offers: List[ServiceOffer], rng: Optional[random.Random] = None) -> List[ServiceOffer]:
         if self.kind == "first":

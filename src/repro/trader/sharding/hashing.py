@@ -1,0 +1,81 @@
+"""Rendezvous placement: which shard owns a service-type name.
+
+Highest-random-weight (HRW) hashing gives every ``(shard, key)`` pair a
+pseudo-random score and assigns the key to the highest-scoring shard.
+Unlike modulo placement, adding or removing one shard only moves the
+keys whose winning shard changed — about ``1/N`` of them — and unlike
+consistent-hash rings it needs no virtual-node bookkeeping to balance.
+
+Scores come from a keyed blake2b digest, **never** from Python's
+built-in ``hash()``: that one is salted per process, and two router
+processes that disagree on placement would silently split the offer
+space.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Iterable, List, Tuple
+
+
+def rendezvous_score(shard_id: str, key: str) -> int:
+    """The HRW weight of ``key`` on ``shard_id`` — stable across processes."""
+    digest = hashlib.blake2b(
+        f"{shard_id}\x00{key}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ShardMap:
+    """A versioned set of shard ids with deterministic key placement.
+
+    The map is immutable; adding or removing a shard yields a *new* map
+    with the version bumped.  Routers stamp the version on everything
+    they send so a shard holding a stale map can detect the skew (the
+    shard-map version header of the replication protocol).
+    """
+
+    def __init__(self, shard_ids: Iterable[str], version: int = 1) -> None:
+        ordered = list(dict.fromkeys(shard_ids))
+        self.shard_ids: Tuple[str, ...] = tuple(ordered)
+        self.version = version
+
+    def owner(self, key: str) -> str:
+        """The shard that owns ``key``; ties break on shard id."""
+        if not self.shard_ids:
+            raise ValueError("shard map is empty")
+        return max(
+            self.shard_ids,
+            key=lambda shard_id: (rendezvous_score(shard_id, key), shard_id),
+        )
+
+    def owners(self, keys: Iterable[str]) -> List[str]:
+        """Owning shards for ``keys``, deduplicated, in first-use order."""
+        return list(dict.fromkeys(self.owner(key) for key in keys))
+
+    def with_shard(self, shard_id: str) -> "ShardMap":
+        if shard_id in self.shard_ids:
+            return self
+        return ShardMap(self.shard_ids + (shard_id,), self.version + 1)
+
+    def without_shard(self, shard_id: str) -> "ShardMap":
+        if shard_id not in self.shard_ids:
+            return self
+        remaining = tuple(s for s in self.shard_ids if s != shard_id)
+        return ShardMap(remaining, self.version + 1)
+
+    def __len__(self) -> int:
+        return len(self.shard_ids)
+
+    def __contains__(self, shard_id: str) -> bool:
+        return shard_id in self.shard_ids
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ShardMap v{self.version} {list(self.shard_ids)}>"
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"version": self.version, "shard_ids": list(self.shard_ids)}
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any]) -> "ShardMap":
+        return cls(data["shard_ids"], data["version"])

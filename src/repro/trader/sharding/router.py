@@ -1,0 +1,470 @@
+"""The shard router: the full trader surface over a partitioned offer space.
+
+The router implements the same computational and management interface as
+:class:`~repro.trader.trader.LocalTrader` — ``TraderService`` can wrap
+either without knowing which it got.  EXPORT/WITHDRAW/MODIFY/RENEW route
+to the one shard that owns the offer's service type (rendezvous placement
+over the versioned :class:`ShardMap`); IMPORT fans out to the owner plus
+every shard covering a subtype-widened query, over the same
+deadline-ledger engine federation uses; management ops broadcast.
+
+Each shard is a :class:`ShardHandle`: a primary backend, an ordered list
+of replica backends, and a circuit breaker around the primary.  When the
+breaker opens, the handle promotes the first replica — which expires any
+leases that lapsed in the failover window before serving — and retries
+the failed call there, so a primary crash costs availability only for
+the instant of detection.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+from repro.context import CallContext, Clock, current_context
+from repro.naming.refs import ServiceRef
+from repro.rpc.resilience import STATE_OPEN, BreakerPolicy, CircuitBreaker
+from repro.telemetry.metrics import METRICS
+from repro.trader.errors import OfferNotFound, TraderError
+from repro.trader.federation import DEFAULT_FANOUT_WORKERS, TraderLink, fan_out
+from repro.trader.offers import ServiceOffer
+from repro.trader.policies import parse_preference
+from repro.trader.service_types import ServiceType
+from repro.trader.sharding.hashing import ShardMap
+from repro.trader.sharding.replication import ShardUnavailable
+from repro.trader.sharding.shard import TraderShard
+from repro.trader.trader import ImportRequest
+from repro.trader.type_manager import TypeManager
+
+#: Breaker policy for shard primaries: one hard failure opens the
+#: circuit, because unlike a federation peer a shard has a warm replica
+#: standing by — failing over immediately beats retrying a corpse.
+SHARD_BREAKER = BreakerPolicy(failure_threshold=1, probe_interval=30.0)
+
+
+class ShardHandle:
+    """One shard's primary + replicas behind a circuit breaker."""
+
+    def __init__(
+        self,
+        shard_id: str,
+        primary: Any,
+        replicas: Iterable[Any] = (),
+        clock: Optional[Clock] = None,
+        policy: BreakerPolicy = SHARD_BREAKER,
+        router_id: str = "router",
+    ) -> None:
+        self.shard_id = shard_id
+        self.primary = primary
+        self.replicas: List[Any] = list(replicas)
+        self._clock = clock or (lambda: 0.0)
+        self._policy = policy
+        self._router_id = router_id
+        self.breaker = self._new_breaker()
+
+    def _new_breaker(self) -> CircuitBreaker:
+        return CircuitBreaker(
+            f"{self._router_id}/{self.shard_id}", self._policy, self._clock
+        )
+
+    def call(self, op: str, *args: Any, **kwargs: Any) -> Any:
+        """Invoke ``op`` on the primary, failing over when its breaker opens.
+
+        Application errors (:class:`TraderError` — unknown type, missing
+        offer…) are *successful* calls of the backend and propagate
+        untouched; only infrastructure failures trip the breaker.
+        """
+        if self.breaker.allow():
+            try:
+                result = getattr(self.primary, op)(*args, **kwargs)
+            except TraderError:
+                self.breaker.record_success()
+                raise
+            except Exception as failure:  # noqa: BLE001 - backend is down
+                self.breaker.record_failure()
+                if self.breaker.state != STATE_OPEN:
+                    raise  # transient; breaker still closed, let caller retry
+                return self._failover(op, args, kwargs, failure)
+            else:
+                self.breaker.record_success()
+                return result
+        return self._failover(op, args, kwargs, None)
+
+    def _failover(self, op, args, kwargs, failure: Optional[Exception]) -> Any:
+        if not self.replicas:
+            raise ShardUnavailable(
+                f"shard {self.shard_id}: primary down, no replica to promote"
+            ) from failure
+        promoted = self.replicas.pop(0)
+        now = self._clock()
+        promoted.promote(now)
+        self.primary = promoted
+        self.breaker = self._new_breaker()
+        METRICS.inc("sharding.failovers", (self._router_id, self.shard_id))
+        return self.call(op, *args, **kwargs)
+
+    def status(self) -> Dict[str, Any]:
+        return {
+            "shard_id": self.shard_id,
+            "breaker": self.breaker.state_name,
+            "replicas": len(self.replicas),
+        }
+
+
+class _RouterOffers:
+    """Read-only aggregate of every shard's offers (duck-typing the
+    corner of ``OfferStore`` that service wrappers and tools consume)."""
+
+    def __init__(self, router: "ShardRouter") -> None:
+        self._router = router
+
+    def all(self) -> List[ServiceOffer]:
+        offers: List[ServiceOffer] = []
+        for shard_id in self._router.map.shard_ids:
+            offers.extend(self._router.handle(shard_id).call("list_offers"))
+        return offers
+
+    def get(self, offer_id: str) -> ServiceOffer:
+        for offer in self.all():
+            if offer.offer_id == offer_id:
+                return offer
+        raise OfferNotFound(f"no offer {offer_id!r}")
+
+    def __len__(self) -> int:
+        return len(self.all())
+
+
+class ShardRouter:
+    """Route the trader surface over rendezvous-placed shards."""
+
+    def __init__(
+        self,
+        router_id: str = "router",
+        offer_prefix: Optional[str] = None,
+        seed: int = 0,
+        clock: Optional[Clock] = None,
+        fanout_workers: int = DEFAULT_FANOUT_WORKERS,
+        breaker_policy: BreakerPolicy = SHARD_BREAKER,
+    ) -> None:
+        self.trader_id = router_id
+        self.offer_prefix = offer_prefix or router_id
+        self.types = TypeManager()
+        self.rng = random.Random(seed)
+        self.map = ShardMap((), version=0)
+        self.clock = clock
+        self.fanout_workers = fanout_workers
+        self.fanout_loop = None  # duck compat with LocalTrader (sim stacks)
+        self.links: Dict[str, TraderLink] = {}  # routers do not federate (yet)
+        self.dynamic_evaluator = None
+        self._breaker_policy = breaker_policy
+        self._handles: Dict[str, ShardHandle] = {}
+        self.offers = _RouterOffers(self)
+        self.exports_accepted = 0
+        self.imports_served = 0
+
+    # -- topology ---------------------------------------------------------------
+
+    def add_shard(self, shard_id: str, primary: Any, replicas: Iterable[Any] = ()) -> None:
+        """Register a shard backend and re-version the map.
+
+        Backends are anything exposing the shard surface —
+        :class:`TraderShard` in-process, or the RPC backend from
+        :mod:`repro.trader.sharding.rpc` for a shard living elsewhere.
+        """
+        self._handles[shard_id] = ShardHandle(
+            shard_id,
+            primary,
+            replicas,
+            clock=self.clock,
+            policy=self._breaker_policy,
+            router_id=self.trader_id,
+        )
+        self.map = self.map.with_shard(shard_id)
+        self._push_map()
+
+    def remove_shard(self, shard_id: str) -> None:
+        self._handles.pop(shard_id, None)
+        self.map = self.map.without_shard(shard_id)
+        self._push_map()
+
+    def handle(self, shard_id: str) -> ShardHandle:
+        return self._handles[shard_id]
+
+    def _push_map(self) -> None:
+        METRICS.set_gauge("sharding.map_version", self.map.version, (self.trader_id,))
+        map_wire = self.map.to_wire()
+        for handle in self._handles.values():
+            try:
+                handle.call("set_map", map_wire)
+            except Exception:  # noqa: BLE001 - a dark shard learns the map on sync
+                METRICS.inc("sharding.map_push_failed", (self.trader_id,))
+
+    # -- management interface (broadcast) ----------------------------------------
+
+    def add_type(self, service_type: ServiceType, now: float = 0.0) -> None:
+        # The router's mirror first: it raises on duplicates/unknown
+        # supers exactly as a single trader would, before any shard moves.
+        self.types.add(service_type, now)
+        for handle in self._handles.values():
+            handle.call("add_type", service_type, now)
+
+    def remove_type(self, name: str) -> bool:
+        removed = self.types.remove(name)
+        for handle in self._handles.values():
+            handle.call("remove_type", name)
+        return removed
+
+    def mask_type(self, name: str) -> None:
+        self.types.mask(name)
+        for handle in self._handles.values():
+            handle.call("mask_type", name)
+
+    # -- exporter interface --------------------------------------------------------
+
+    def export(
+        self,
+        service_type: str,
+        ref: Union[ServiceRef, Dict[str, Any]],
+        properties: Dict[str, Any],
+        now: float = 0.0,
+        lifetime: Optional[float] = None,
+        lease_seconds: Optional[float] = None,
+    ) -> str:
+        owner = self.map.owner(service_type)
+        offer_id = self._handles[owner].call(
+            "export", service_type, ref, properties, now, lifetime, lease_seconds
+        )
+        self.exports_accepted += 1
+        METRICS.inc("sharding.routed", (self.trader_id, owner, "export"))
+        return offer_id
+
+    def renew(self, offer_id: str, now: float = 0.0) -> Optional[float]:
+        owner = self._owner_of_offer(offer_id)
+        METRICS.inc("sharding.routed", (self.trader_id, owner, "renew"))
+        return self._handles[owner].call("renew", offer_id, now)
+
+    def withdraw(self, offer_id: str) -> ServiceOffer:
+        owner = self._owner_of_offer(offer_id)
+        METRICS.inc("sharding.routed", (self.trader_id, owner, "withdraw"))
+        return self._handles[owner].call("withdraw", offer_id)
+
+    def modify(self, offer_id: str, properties: Dict[str, Any]) -> ServiceOffer:
+        owner = self._owner_of_offer(offer_id)
+        METRICS.inc("sharding.routed", (self.trader_id, owner, "modify"))
+        return self._handles[owner].call("modify", offer_id, properties)
+
+    def expire_offers(self, now: float) -> int:
+        """Broadcast the lease sweep; each primary replicates its own."""
+        return sum(
+            self._handles[shard_id].call("expire_offers", now)
+            for shard_id in self.map.shard_ids
+        )
+
+    def purge_expired(self, now: float) -> int:
+        return self.expire_offers(now)
+
+    def _owner_of_offer(self, offer_id: str) -> str:
+        """Offer ids are ``prefix:type:n`` — placement needs no lookup."""
+        prefix = self.offer_prefix + ":"
+        if offer_id.startswith(prefix):
+            service_type, _, suffix = offer_id[len(prefix) :].rpartition(":")
+            if service_type and suffix.isdigit():
+                return self.map.owner(service_type)
+        raise OfferNotFound(f"no offer {offer_id!r}")
+
+    # -- importer interface ---------------------------------------------------------
+
+    def import_(
+        self,
+        request: ImportRequest,
+        now: float = 0.0,
+        ctx: Optional[CallContext] = None,
+    ) -> List[ServiceOffer]:
+        """Fan the query out to every covering shard; rank at the router.
+
+        The router restores the single-trader candidate order — types in
+        ``matching_types`` order, offers in per-type export order, both
+        recoverable from the offer id — and applies the preference once,
+        so ranking (and the rng behind ``random``) is bit-identical to an
+        unsharded trader.
+
+        Bounded queries with a deterministic preference are answered by
+        **scatter-gather top-K**: ``max_matches`` and the preference are
+        pushed down so each shard returns only its local top-K (riding
+        the sorted-index fast path for ``min``/``max``), and the router
+        re-ranks the union.  This is exact: every deterministic
+        preference is a total order whose ties break on the canonical
+        candidate order, and a shard's candidate order is the global one
+        restricted to that shard — so the global top-K is contained in
+        the union of the shards' local top-Ks.  ``random`` (rng over the
+        full match set) and unbounded queries gather raw matches.
+        """
+        if ctx is None:
+            ctx = current_context()
+        if ctx is None:
+            ctx = CallContext.background(
+                hops=request.hop_limit, visited=tuple(request.visited)
+            )
+        self.imports_served += 1
+        METRICS.inc("trader.imports", (self.trader_id,))
+        preference = parse_preference(request.preference)
+        type_names = self.types.matching_types(
+            request.service_type, structural=request.structural
+        )
+        owners = self.map.owners(type_names)
+        forwarded = request.to_wire()
+        if request.max_matches > 0 and preference.kind != "random":
+            METRICS.inc("sharding.topk_pushdown", (self.trader_id,))
+        else:
+            forwarded["preference"] = ""  # shards return raw matches; we order
+            forwarded["max_matches"] = 0
+        forwarded["hop_limit"] = 0  # shards are partitions, not federation hops
+        wire_lists = self._gather(owners, forwarded, ctx, now)
+        merged: Dict[str, ServiceOffer] = {}
+        for wires in wire_lists:
+            for item in wires or ():
+                offer = ServiceOffer.from_wire(item)
+                merged.setdefault(offer.offer_id, offer)
+        position = {name: index for index, name in enumerate(type_names)}
+        candidates = sorted(
+            merged.values(),
+            key=lambda offer: (
+                position.get(offer.service_type, len(position)),
+                self._export_seq(offer.offer_id),
+            ),
+        )
+        ordered = preference.apply(candidates, self.rng)
+        if request.max_matches > 0:
+            ordered = ordered[: request.max_matches]
+        return ordered
+
+    def _gather(
+        self,
+        owners: List[str],
+        forwarded: Dict[str, Any],
+        ctx: CallContext,
+        now: float,
+    ) -> List[Optional[List[Dict[str, Any]]]]:
+        METRICS.inc(
+            "sharding.fanout", (self.trader_id,), amount=max(len(owners), 1)
+        )
+        if len(owners) == 1 or self.fanout_workers <= 1:
+            results: List[Optional[List[Dict[str, Any]]]] = []
+            for shard_id in owners:
+                results.append(
+                    self._handles[shard_id].call("import_wire", forwarded, now, ctx)
+                )
+            return results
+        clock = self.clock or (lambda: now)
+        links = []
+        for shard_id in owners:
+            handle = self._handles[shard_id]
+
+            def forward(wire, ctx=None, _handle=handle, _now=now):
+                return _handle.call("import_wire", wire, _now, ctx)
+
+            links.append(TraderLink(f"shard:{shard_id}", forward))
+        return fan_out(links, forwarded, ctx, clock, workers=self.fanout_workers)
+
+    def _export_seq(self, offer_id: str) -> int:
+        suffix = offer_id.rpartition(":")[2]
+        return int(suffix) if suffix.isdigit() else 0
+
+    def select_best(
+        self,
+        request: ImportRequest,
+        now: float = 0.0,
+        ctx: Optional[CallContext] = None,
+    ) -> Optional[ServiceOffer]:
+        narrowed = ImportRequest(**{**request.__dict__, "max_matches": 1})
+        offers = self.import_(narrowed, now, ctx)
+        return offers[0] if offers else None
+
+    def import_wire(
+        self,
+        request_wire: Dict[str, Any],
+        now: float = 0.0,
+        ctx: Optional[CallContext] = None,
+    ) -> List[Dict[str, Any]]:
+        try:
+            offers = self.import_(ImportRequest.from_wire(request_wire), now, ctx)
+        except TraderError:
+            return []
+        return [offer.to_wire() for offer in offers]
+
+    # -- introspection ----------------------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        return {
+            "router_id": self.trader_id,
+            "map_version": self.map.version,
+            "shards": {
+                shard_id: self._handles[shard_id].status()
+                for shard_id in self.map.shard_ids
+            },
+        }
+
+
+def build_local_router(
+    shard_ids: Iterable[str],
+    replicas: int = 0,
+    router_id: str = "router",
+    offer_prefix: Optional[str] = None,
+    seed: int = 0,
+    clock: Optional[Clock] = None,
+    fanout_workers: int = 1,
+    breaker_policy: BreakerPolicy = SHARD_BREAKER,
+    dynamic_evaluator=None,
+    range_index: bool = True,
+) -> ShardRouter:
+    """An in-process sharded trader: N primaries, R replicas each, wired.
+
+    Every primary pushes deltas straight into its replicas' ``apply_delta``;
+    a push that finds the replica out of sequence falls back to a pull
+    ``sync_from`` (which also runs the lease-expiry catch-up step).
+    """
+    router = ShardRouter(
+        router_id=router_id,
+        offer_prefix=offer_prefix,
+        seed=seed,
+        clock=clock,
+        fanout_workers=fanout_workers,
+        breaker_policy=breaker_policy,
+    )
+    for shard_id in shard_ids:
+        primary = TraderShard(
+            f"{router.trader_id}/{shard_id}",
+            offer_prefix=router.offer_prefix,
+            seed=seed,
+            dynamic_evaluator=dynamic_evaluator,
+            clock=clock,
+            range_index=range_index,
+        )
+        shard_replicas = []
+        for replica_index in range(replicas):
+            replica = TraderShard(
+                f"{router.trader_id}/{shard_id}-r{replica_index + 1}",
+                offer_prefix=router.offer_prefix,
+                seed=seed,
+                dynamic_evaluator=dynamic_evaluator,
+                clock=clock,
+                range_index=range_index,
+                role="replica",
+            )
+            primary.attach_replica(
+                replica.shard_id, _push_with_sync(primary, replica, clock)
+            )
+            shard_replicas.append(replica)
+        router.add_shard(shard_id, primary, shard_replicas)
+    return router
+
+
+def _push_with_sync(
+    primary: TraderShard, replica: TraderShard, clock: Optional[Clock]
+) -> Callable[[Dict[str, Any]], None]:
+    def push(delta_wire: Dict[str, Any]) -> None:
+        if not replica.apply_delta(delta_wire):
+            now = clock() if clock is not None else 0.0
+            replica.sync_from(primary.deltas_since, now)
+
+    return push

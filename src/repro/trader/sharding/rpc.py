@@ -1,0 +1,183 @@
+"""Wire plane for sharding: the replication program and remote backends.
+
+A shard *node* runs two programs on one server: the ordinary trader
+program (100200) for the client-facing surface, and this replication
+program for the delta stream, catch-up SYNC, promotion, and shard-map
+distribution.  A router reaches such a node through
+:class:`RemoteShardBackend`, which presents the same duck surface as an
+in-process :class:`~repro.trader.sharding.shard.TraderShard`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.context import CallContext
+from repro.net.endpoints import Address
+from repro.rpc.client import RpcClient
+from repro.rpc.server import RpcProgram, RpcServer
+from repro.trader.offers import ServiceOffer
+from repro.trader.service_types import ServiceType
+from repro.trader.sharding.shard import TraderShard
+from repro.trader.trader import TRADER_PROGRAM, TraderClient
+
+SHARDING_PROGRAM = 100900
+
+_PROC_APPLY_DELTA = 1
+_PROC_DELTAS_SINCE = 2
+_PROC_PROMOTE = 3
+_PROC_STATUS = 4
+_PROC_SET_MAP = 5
+_PROC_EXPIRE = 6
+
+_PROC_TRADER_IMPORT = 4  # the trader program's IMPORT procedure
+
+
+class ShardReplicationService:
+    """Expose a :class:`TraderShard`'s replication surface over RPC."""
+
+    def __init__(self, server: RpcServer, shard: TraderShard, now=lambda: 0.0) -> None:
+        self.shard = shard
+        self._now = now
+        program = RpcProgram(SHARDING_PROGRAM, 1, "sharding")
+        program.register(_PROC_APPLY_DELTA, self._apply_delta, "apply_delta")
+        program.register(_PROC_DELTAS_SINCE, self._deltas_since, "deltas_since")
+        program.register(_PROC_PROMOTE, self._promote, "promote")
+        program.register(_PROC_STATUS, self._status, "status")
+        program.register(_PROC_SET_MAP, self._set_map, "set_map")
+        program.register(_PROC_EXPIRE, self._expire, "expire")
+        server.serve(program)
+        self.address = server.address
+
+    def _apply_delta(self, args) -> bool:
+        return self.shard.apply_delta(args["delta"])
+
+    def _deltas_since(self, args) -> List[Dict[str, Any]]:
+        return self.shard.deltas_since(args["seq"])
+
+    def _promote(self, args) -> int:
+        return self.shard.promote(args.get("now", self._now()))
+
+    def _status(self, args) -> Dict[str, Any]:
+        return self.shard.status()
+
+    def _set_map(self, args) -> bool:
+        return self.shard.set_map(args["map"])
+
+    def _expire(self, args) -> int:
+        return self.shard.expire_offers(args.get("now", self._now()))
+
+
+class ShardAdminClient:
+    """Replication-plane stub for a remote shard."""
+
+    def __init__(self, client: RpcClient, address: Address) -> None:
+        self._client = client
+        self.address = address
+
+    def apply_delta(self, delta_wire: Dict[str, Any]) -> bool:
+        return self._call(_PROC_APPLY_DELTA, {"delta": delta_wire})
+
+    def deltas_since(self, seq: int) -> List[Dict[str, Any]]:
+        return self._call(_PROC_DELTAS_SINCE, {"seq": seq})
+
+    def promote(self, now: Optional[float] = None) -> int:
+        return self._call(_PROC_PROMOTE, {"now": now})
+
+    def status(self) -> Dict[str, Any]:
+        return self._call(_PROC_STATUS, {})
+
+    def set_map(self, map_wire: Dict[str, Any]) -> bool:
+        return self._call(_PROC_SET_MAP, {"map": map_wire})
+
+    def expire(self, now: Optional[float] = None) -> int:
+        return self._call(_PROC_EXPIRE, {"now": now})
+
+    def _call(self, proc: int, args: Dict[str, Any]) -> Any:
+        return self._client.call(self.address, SHARDING_PROGRAM, 1, proc, args)
+
+
+class RemoteShardBackend:
+    """A shard living on another node, duck-shaped like a TraderShard.
+
+    Composes the trader stub (exports, imports, …) with the replication
+    stub (promote, status, …) so a :class:`ShardHandle` can hold local
+    and remote shards interchangeably.
+    """
+
+    def __init__(self, client: RpcClient, address: Address) -> None:
+        self._client = client
+        self.address = address
+        self._trader = TraderClient(client, address)
+        self._admin = ShardAdminClient(client, address)
+
+    # trader surface ---------------------------------------------------------
+
+    def export(
+        self,
+        service_type: str,
+        ref,
+        properties: Dict[str, Any],
+        now: float = 0.0,
+        lifetime: Optional[float] = None,
+        lease_seconds: Optional[float] = None,
+    ) -> str:
+        # ``now`` is the remote node's clock concern; the wire op carries
+        # only the lease terms, exactly as any exporter client would.
+        return self._trader.export(service_type, ref, properties, lifetime, lease_seconds)
+
+    def withdraw(self, offer_id: str) -> bool:
+        return self._trader.withdraw(offer_id)
+
+    def modify(self, offer_id: str, properties: Dict[str, Any]) -> bool:
+        return self._trader.modify(offer_id, properties)
+
+    def renew(self, offer_id: str, now: float = 0.0) -> Optional[float]:
+        return self._trader.renew(offer_id)
+
+    def import_wire(
+        self,
+        request_wire: Dict[str, Any],
+        now: float = 0.0,
+        ctx: Optional[CallContext] = None,
+    ) -> List[Dict[str, Any]]:
+        if ctx is not None:
+            return self._client.call(
+                self.address, TRADER_PROGRAM, 1, _PROC_TRADER_IMPORT,
+                request_wire, context=ctx,
+            )
+        return self._client.call(
+            self.address, TRADER_PROGRAM, 1, _PROC_TRADER_IMPORT, request_wire
+        )
+
+    def list_offers(self) -> List[ServiceOffer]:
+        return self._trader.list_offers()
+
+    def add_type(self, service_type: ServiceType, now: float = 0.0) -> bool:
+        return self._trader.add_type(service_type)
+
+    def remove_type(self, name: str) -> bool:
+        return self._trader.remove_type(name)
+
+    def mask_type(self, name: str) -> bool:
+        return self._trader.mask_type(name)
+
+    # replication surface ----------------------------------------------------
+
+    def apply_delta(self, delta_wire: Dict[str, Any]) -> bool:
+        return self._admin.apply_delta(delta_wire)
+
+    def deltas_since(self, seq: int) -> List[Dict[str, Any]]:
+        return self._admin.deltas_since(seq)
+
+    def promote(self, now: Optional[float] = None) -> int:
+        return self._admin.promote(now)
+
+    def status(self) -> Dict[str, Any]:
+        return self._admin.status()
+
+    def set_map(self, map_wire: Dict[str, Any]) -> bool:
+        return self._admin.set_map(map_wire)
+
+    def expire_offers(self, now: Optional[float] = None) -> int:
+        return self._admin.expire(now)

@@ -1,0 +1,302 @@
+"""One shard of the partitioned trader: a LocalTrader plus a replication role.
+
+A shard owns the offers of the service types rendezvous-placed on it and
+replicates every mutation to its replicas as a sequence-numbered delta
+stream.  Replicas apply deltas in order, mirror the log (so a promoted
+replica can keep replicating onward), and run the *lease-aware
+anti-entropy* step on catch-up and promotion: any lease that lapsed
+while the replica was dark is expired before it serves a single import.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.context import CallContext
+from repro.naming.refs import ServiceRef
+from repro.telemetry.metrics import METRICS
+from repro.trader.errors import DuplicateServiceType, OfferNotFound
+from repro.trader.offers import ServiceOffer
+from repro.trader.service_types import ServiceType
+from repro.trader.sharding.replication import DeltaLog, ShardDelta, ShardingError
+from repro.trader.trader import ImportRequest, LocalTrader
+from repro.trader.type_manager import TypeManager
+
+ROLE_PRIMARY = "primary"
+ROLE_REPLICA = "replica"
+
+#: A replica push target: called with each new delta's wire form.
+DeltaSink = Callable[[Dict[str, Any]], None]
+
+
+class TraderShard:
+    """A partition of the offer space behind a :class:`ShardRouter`.
+
+    ``offer_prefix`` is shared across every shard of one logical trader,
+    so the ids a shard mints are exactly the ids a single trader would
+    mint (per-type counters make them independent of placement).
+    ``shard_id`` keys the shard's own metrics and replication identity.
+    """
+
+    def __init__(
+        self,
+        shard_id: str,
+        offer_prefix: str = "offer",
+        role: str = ROLE_PRIMARY,
+        type_manager: Optional[TypeManager] = None,
+        seed: int = 0,
+        dynamic_evaluator=None,
+        clock=None,
+        range_index: bool = True,
+        base_seq: int = 0,
+    ) -> None:
+        self.shard_id = shard_id
+        self.role = role
+        self.trader = LocalTrader(
+            trader_id=shard_id,
+            type_manager=type_manager,
+            seed=seed,
+            dynamic_evaluator=dynamic_evaluator,
+            clock=clock,
+            offer_prefix=offer_prefix,
+            range_index=range_index,
+        )
+        # Duck compat with ``LocalTrader`` for service wrappers that
+        # configure their trader's clock/fan-out plumbing.
+        self.clock = clock
+        self.fanout_loop = None
+        self.log = DeltaLog(base_seq)
+        #: Replica-side high-water mark: the last delta folded in (equals
+        #: ``log.last_seq`` except transiently inside ``apply_delta``).
+        self.applied_seq = base_seq
+        self.map_version = 0
+        self._sinks: Dict[str, DeltaSink] = {}
+
+    @property
+    def types(self) -> TypeManager:
+        """Delegated so ``TraderService`` can wrap a shard as its trader
+        (a shard node serves the ordinary trader program too)."""
+        return self.trader.types
+
+    @property
+    def offers(self):
+        return self.trader.offers
+
+    @property
+    def dynamic_evaluator(self):
+        return self.trader.dynamic_evaluator
+
+    @dynamic_evaluator.setter
+    def dynamic_evaluator(self, evaluator) -> None:
+        self.trader.dynamic_evaluator = evaluator
+
+    # -- shard-map distribution ------------------------------------------------
+
+    def set_map(self, map_wire: Dict[str, Any]) -> bool:
+        """Install the router's shard map; stale versions are refused."""
+        version = map_wire["version"]
+        if version < self.map_version:
+            return False
+        self.map_version = version
+        return True
+
+    # -- primary mutating surface ----------------------------------------------
+
+    def export(
+        self,
+        service_type: str,
+        ref: Union[ServiceRef, Dict[str, Any]],
+        properties: Dict[str, Any],
+        now: float = 0.0,
+        lifetime: Optional[float] = None,
+        lease_seconds: Optional[float] = None,
+    ) -> str:
+        self._require_primary("export")
+        offer_id = self.trader.export(
+            service_type, ref, properties, now, lifetime, lease_seconds
+        )
+        offer = self.trader.offers.get(offer_id)
+        self._log("export", {"offer": offer.to_wire()})
+        return offer_id
+
+    def withdraw(self, offer_id: str) -> ServiceOffer:
+        self._require_primary("withdraw")
+        offer = self.trader.withdraw(offer_id)
+        self._log("withdraw", {"offer_id": offer_id})
+        return offer
+
+    def modify(self, offer_id: str, properties: Dict[str, Any]) -> ServiceOffer:
+        self._require_primary("modify")
+        offer = self.trader.modify(offer_id, properties)
+        # Replicate the *checked* properties, not the caller's raw dict.
+        self._log(
+            "modify", {"offer_id": offer_id, "properties": dict(offer.properties)}
+        )
+        return offer
+
+    def renew(self, offer_id: str, now: float = 0.0) -> Optional[float]:
+        self._require_primary("renew")
+        expires_at = self.trader.renew(offer_id, now)
+        self._log("renew", {"offer_id": offer_id, "expires_at": expires_at})
+        return expires_at
+
+    def expire_offers(self, now: float) -> int:
+        """Sweep lapsed leases; the sweep itself replicates as a delta."""
+        removed = self.trader.expire_offers(now)
+        if removed and self.role == ROLE_PRIMARY:
+            self._log("expire", {"now": now})
+        return removed
+
+    def add_type(self, service_type: ServiceType, now: float = 0.0) -> None:
+        self._require_primary("add_type")
+        self.trader.add_type(service_type, now)
+        self._log("add_type", {"type": service_type.to_wire(), "now": now})
+
+    def remove_type(self, name: str) -> bool:
+        self._require_primary("remove_type")
+        removed = self.trader.remove_type(name)
+        self._log("remove_type", {"name": name})
+        return removed
+
+    def mask_type(self, name: str) -> None:
+        self._require_primary("mask_type")
+        self.trader.mask_type(name)
+        self._log("mask_type", {"name": name})
+
+    # -- read surface (any role) -----------------------------------------------
+
+    def import_wire(
+        self,
+        request_wire: Dict[str, Any],
+        now: float = 0.0,
+        ctx: Optional[CallContext] = None,
+    ) -> List[Dict[str, Any]]:
+        return self.trader.import_wire(request_wire, now, ctx)
+
+    def import_(
+        self,
+        request: ImportRequest,
+        now: float = 0.0,
+        ctx: Optional[CallContext] = None,
+    ) -> List[ServiceOffer]:
+        return self.trader.import_(request, now, ctx)
+
+    def list_offers(self) -> List[ServiceOffer]:
+        return self.trader.offers.all()
+
+    def status(self) -> Dict[str, Any]:
+        return {
+            "shard_id": self.shard_id,
+            "role": self.role,
+            "applied_seq": self.applied_seq,
+            "last_seq": self.log.last_seq,
+            "map_version": self.map_version,
+            "offers": len(self.trader.offers),
+            "replicas": sorted(self._sinks),
+        }
+
+    # -- replication: primary side ----------------------------------------------
+
+    def attach_replica(self, name: str, sink: DeltaSink) -> None:
+        self._sinks[name] = sink
+
+    def detach_replica(self, name: str) -> None:
+        self._sinks.pop(name, None)
+
+    def deltas_since(self, seq: int) -> List[Dict[str, Any]]:
+        """Catch-up batch for a replica at ``seq`` (the SYNC op)."""
+        return [delta.to_wire() for delta in self.log.since(seq)]
+
+    def _log(self, op: str, data: Dict[str, Any]) -> None:
+        delta = self.log.append(op, data, self.map_version)
+        self.applied_seq = delta.seq
+        METRICS.set_gauge("sharding.replication_seq", delta.seq, (self.shard_id,))
+        for name, sink in list(self._sinks.items()):
+            try:
+                sink(delta.to_wire())
+            except Exception:  # noqa: BLE001 - a dark replica must not fail writes
+                METRICS.inc("sharding.push_failed", (self.shard_id, name))
+
+    def _require_primary(self, op: str) -> None:
+        if self.role != ROLE_PRIMARY:
+            raise ShardingError(f"{self.shard_id}: {op} refused, shard is a replica")
+
+    # -- replication: replica side -----------------------------------------------
+
+    def apply_delta(self, delta_wire: Dict[str, Any]) -> bool:
+        """Fold one pushed delta in; False = out of order, caller should SYNC.
+
+        Duplicates (at or below ``applied_seq``) are acknowledged without
+        re-applying, so a primary may safely re-push after a timeout.
+        """
+        delta = ShardDelta.from_wire(delta_wire)
+        if delta.seq <= self.applied_seq:
+            return True
+        if delta.seq != self.applied_seq + 1:
+            METRICS.inc("sharding.apply_gap", (self.shard_id,))
+            return False
+        self._apply(delta)
+        self.log.record(delta)
+        self.applied_seq = delta.seq
+        if delta.map_version > self.map_version:
+            self.map_version = delta.map_version
+        METRICS.set_gauge("sharding.replication_seq", delta.seq, (self.shard_id,))
+        return True
+
+    def sync_from(self, fetch: Callable[[int], List[Dict[str, Any]]], now: float) -> int:
+        """Pull-and-apply everything after ``applied_seq``, then run the
+        lease-aware anti-entropy step: leases that lapsed while this
+        replica was dark are expired before it can serve them."""
+        deltas = fetch(self.applied_seq)
+        for delta_wire in deltas:
+            if not self.apply_delta(delta_wire):
+                raise ShardingError(
+                    f"{self.shard_id}: non-contiguous sync batch at "
+                    f"{delta_wire.get('seq')}"
+                )
+        METRICS.inc("sharding.syncs", (self.shard_id,))
+        self.trader.expire_offers(now)
+        return len(deltas)
+
+    def promote(self, now: float) -> int:
+        """Replica → primary.  Expires every lease that lapsed before the
+        promotion instant — the write path this shard now serves must
+        never hand out an offer whose exporter already went dark —
+        and replicates that sweep onward.  Returns the evicted count."""
+        self.role = ROLE_PRIMARY
+        METRICS.inc("sharding.promotions", (self.shard_id,))
+        return self.expire_offers(now)
+
+    def _apply(self, delta: ShardDelta) -> None:
+        op, data = delta.op, delta.data
+        trader = self.trader
+        if op == "export":
+            trader.offers.add(ServiceOffer.from_wire(data["offer"]))
+            trader.exports_accepted += 1
+        elif op == "withdraw":
+            try:
+                trader.offers.remove(data["offer_id"])
+            except OfferNotFound:
+                pass  # lost a race with an expire delta: already gone
+        elif op == "modify":
+            trader.offers.replace_properties(data["offer_id"], data["properties"])
+        elif op == "renew":
+            try:
+                trader.offers.get(data["offer_id"]).expires_at = data["expires_at"]
+            except OfferNotFound:
+                pass
+        elif op == "expire":
+            trader.expire_offers(data["now"])
+        elif op == "add_type":
+            try:
+                trader.types.add(
+                    ServiceType.from_wire(data["type"]), data.get("now", 0.0)
+                )
+            except DuplicateServiceType:
+                pass  # seeded out of band (shared snapshot): same definition
+        elif op == "remove_type":
+            trader.types.remove(data["name"])
+        elif op == "mask_type":
+            trader.types.mask(data["name"])
+        else:
+            raise ShardingError(f"unknown delta op {op!r}")

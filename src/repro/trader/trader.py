@@ -129,10 +129,18 @@ class LocalTrader:
         dynamic_evaluator=None,
         fanout_workers: int = DEFAULT_FANOUT_WORKERS,
         clock: Optional[Clock] = None,
+        offer_prefix: Optional[str] = None,
+        range_index: bool = True,
     ) -> None:
         self.trader_id = trader_id
         self.types = type_manager or TypeManager()
-        self.offers = OfferStore(prefix=trader_id)
+        # ``offer_prefix`` decouples the minted offer-id namespace from
+        # the trader's identity: shards of one logical trader share the
+        # router's prefix so the ids they mint are indistinguishable from
+        # a single trader's, while metrics stay keyed by trader_id.
+        self.offers = OfferStore(
+            prefix=offer_prefix or trader_id, range_index=range_index
+        )
         self.links: Dict[str, TraderLink] = {}
         self.rng = random.Random(seed)
         # resolves dynamic-property markers at import time (ODP-style
@@ -256,9 +264,7 @@ class LocalTrader:
 
     def _gauge_live_offers(self) -> None:
         """Keep the live-offer gauge current for the STATS snapshot."""
-        METRICS.set_gauge(
-            "trader.offers.live", len(self.offers.all()), (self.trader_id,)
-        )
+        METRICS.set_gauge("trader.offers.live", len(self.offers), (self.trader_id,))
 
     def modify(self, offer_id: str, properties: Dict[str, Any]) -> ServiceOffer:
         offer = self.offers.get(offer_id)
@@ -292,9 +298,15 @@ class LocalTrader:
         type_names = self.types.matching_types(
             request.service_type, structural=request.structural
         )
+        fast = self._ordered_fast_path(request, constraint, preference, type_names, now)
+        if fast is not None:
+            return fast
         # Equality conjuncts pinned by the constraint pre-filter candidates
-        # through the offer store's index; no conjuncts = full type scan.
-        candidates = self.offers.candidates(type_names, constraint.equality_conjuncts)
+        # through the offer store's index; range conjuncts (ceilings and
+        # floors) through the sorted index; no conjuncts = full type scan.
+        candidates = self.offers.candidates(
+            type_names, constraint.equality_conjuncts, constraint.range_conjuncts
+        )
         matched = []
         for offer in candidates:
             if offer.expired(now):
@@ -342,6 +354,54 @@ class LocalTrader:
         if request.max_matches > 0:
             ordered = ordered[: request.max_matches]
         return ordered
+
+    def _ordered_fast_path(
+        self, request, constraint, preference, type_names, now
+    ) -> Optional[List[ServiceOffer]]:
+        """Top-k via the sorted index for ``min``/``max`` over one property.
+
+        A bounded import ranked by a bare property reference need not
+        score and sort every candidate: the store can walk offers in
+        exactly preference-rank order, so matching stops as soon as
+        ``max_matches`` offers satisfy the constraint.  Only taken when
+        the ranking is provably identical to the general path — local
+        offers only (federated merges need the full set), the sorted
+        index is on, and no offer hides the property behind a dynamic
+        marker (its resolved value could re-rank it).  Returns None to
+        decline.
+        """
+        if self.links or request.max_matches <= 0:
+            return None
+        prop = preference.key_property
+        if prop is None or not self.offers.range_index_enabled:
+            return None
+        if any(self.offers.has_unindexed(name, prop) for name in type_names):
+            return None
+        METRICS.inc("trader.ordered_scans", (self.trader_id,))
+        matched: List[ServiceOffer] = []
+        walk = self.offers.ordered_by(type_names, prop, reverse=preference.kind == "max")
+        for offer in walk:
+            if offer.expired(now):
+                METRICS.inc("trader.offers.expired", (self.trader_id, "lazy"))
+                continue
+            resolved = resolve_properties(offer.properties, self.dynamic_evaluator)
+            if constraint.evaluate(resolved):
+                if resolved is not offer.properties:
+                    # markers on *other* properties than the ranking key:
+                    # importers still see the fresh values
+                    offer = ServiceOffer(
+                        offer_id=offer.offer_id,
+                        service_type=offer.service_type,
+                        ref=offer.ref,
+                        properties=resolved,
+                        exported_at=offer.exported_at,
+                        expires_at=offer.expires_at,
+                        lease_seconds=offer.lease_seconds,
+                    )
+                matched.append(offer)
+                if len(matched) >= request.max_matches:
+                    break
+        return matched
 
     def select_best(
         self,

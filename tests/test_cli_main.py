@@ -23,7 +23,9 @@ def test_top_level_help_lists_subcommands(capsys):
         assert name in out
 
 
-@pytest.mark.parametrize("subcommand", ["telemetry-dash", "stats", "telemetry-report"])
+@pytest.mark.parametrize(
+    "subcommand", ["telemetry-dash", "stats", "telemetry-report", "sharded-trader"]
+)
 def test_each_subcommand_answers_help(subcommand, capsys):
     with pytest.raises(SystemExit) as excinfo:
         main([subcommand, "--help"])
@@ -34,3 +36,13 @@ def test_each_subcommand_answers_help(subcommand, capsys):
 def test_tour_help_prints_module_doc(capsys):
     assert main(["tour", "--help"]) == 0
     assert "two-minute tour" in capsys.readouterr().out
+
+
+def test_sharded_trader_walkthrough_survives_its_own_crash(capsys):
+    assert main(
+        ["sharded-trader", "--shards", "3", "--replicas", "1",
+         "--types", "6", "--offers", "2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "placement (rendezvous by type name)" in out
+    assert "result identical across failover: True" in out

@@ -154,3 +154,32 @@ def test_no_offers_raises_lookup_failure(stack):
     net, service, rebinder, spawn = stack
     with pytest.raises(LookupFailure):
         select(rebinder)
+
+
+def test_refresh_drops_cohorts_and_forces_a_reimport(stack):
+    net, service, rebinder, spawn = stack
+    spawn("w1")
+    select(rebinder)
+    assert rebinder.imports == 1
+    select(rebinder)
+    assert rebinder.imports == 1  # cohort cached
+
+    # A topology change the cache can't see (e.g. a shard failover or a
+    # better export) — refresh forces the ranking to be recomputed.
+    assert rebinder.refresh("CarRentalService") == 1
+    select(rebinder)
+    assert rebinder.imports == 2
+    # An unknown type has no cohorts to drop; the cache stays warm.
+    assert rebinder.refresh("NoSuchService") == 0
+    select(rebinder)
+    assert rebinder.imports == 2
+
+
+def test_refresh_without_a_type_clears_every_cohort(stack):
+    net, service, rebinder, spawn = stack
+    spawn("w1")
+    select(rebinder)
+    assert rebinder.refresh() == 1
+    assert rebinder.refresh() == 0  # already empty
+    select(rebinder)
+    assert rebinder.imports == 2

@@ -132,3 +132,87 @@ def test_browser_roundtrip(make_server, make_client, rental, tmp_path):
     assert [entry.name for entry in entries] == ["CarRentalService"]
     sid = client.fetch_sid(rental.ref.service_id)
     assert sid == rental.sid
+
+
+# -- shard snapshots ----------------------------------------------------------
+
+
+@pytest.fixture
+def populated_shard():
+    from repro.trader.sharding import TraderShard
+
+    shard = TraderShard("shard-0", offer_prefix="m")
+    shard.add_type(rental_type(), now=1.0)
+    shard.export(
+        "CarRentalService",
+        ServiceRef.create("fresh", Address("h", 1), 4711),
+        {"ChargePerDay": 10.0},
+        now=0.0,
+    )
+    shard.export(
+        "CarRentalService",
+        ServiceRef.create("leased", Address("h", 2), 4711),
+        {"ChargePerDay": 20.0},
+        now=0.0,
+        lease_seconds=5.0,
+    )
+    shard.set_map({"version": 4, "shard_ids": ["shard-0"]})
+    return shard
+
+
+def test_shard_roundtrip_preserves_replication_coordinates(
+    populated_shard, tmp_path
+):
+    from repro.persistence import restore_shard, shard_snapshot
+
+    path = tmp_path / "shard.json"
+    save_snapshot(shard_snapshot(populated_shard), path)
+    restored = restore_shard(load_snapshot(path))
+    assert restored.shard_id == "shard-0"
+    assert restored.role == "primary"
+    assert restored.applied_seq == populated_shard.applied_seq
+    assert restored.map_version == 4
+    assert restored.trader.offers.prefix == "m"
+    assert sorted(o.offer_id for o in restored.list_offers()) == sorted(
+        o.offer_id for o in populated_shard.list_offers()
+    )
+    # The restored log starts empty *at* the snapshot seq: replicas older
+    # than the snapshot must resync from a snapshot, not a delta batch.
+    assert restored.log.base_seq == populated_shard.applied_seq
+    assert restored.deltas_since(populated_shard.applied_seq) == []
+
+
+def test_shard_restore_expires_leases_lapsed_while_down(populated_shard):
+    from repro.persistence import restore_shard, shard_snapshot
+
+    snapshot = shard_snapshot(populated_shard)
+    # Restarted long after ``leased``'s lease (5s) lapsed:
+    restored = restore_shard(snapshot, now=60.0)
+    assert [o.service_ref().name for o in restored.list_offers()] == ["fresh"]
+    # Without a restart clock the operator keeps both and sweeps later.
+    kept = restore_shard(snapshot)
+    assert len(kept.list_offers()) == 2
+
+
+def test_restored_shard_never_reminds_a_seen_offer_id(populated_shard):
+    from repro.persistence import restore_shard, shard_snapshot
+
+    restored = restore_shard(shard_snapshot(populated_shard), now=60.0)
+    # ``m:CarRentalService:2`` lapsed and is gone, but its id stays burnt.
+    offer_id = restored.export(
+        "CarRentalService",
+        ServiceRef.create("later", Address("h", 3), 4711),
+        {"ChargePerDay": 30.0},
+        now=61.0,
+    )
+    assert offer_id == "m:CarRentalService:3"
+
+
+def test_shard_snapshot_kind_is_checked(populated_shard):
+    from repro.persistence import restore_shard, shard_snapshot
+
+    snapshot = shard_snapshot(populated_shard)
+    with pytest.raises(ConfigurationError):
+        restore_trader(snapshot)
+    with pytest.raises(ConfigurationError):
+        restore_shard(dict(snapshot, kind="trader"))

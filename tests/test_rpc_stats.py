@@ -223,3 +223,25 @@ def test_cli_rejects_malformed_endpoint():
         stats_mod._parse_endpoint("not-an-endpoint")
     with pytest.raises(ValueError):
         stats_mod._parse_endpoint("host:notaport")
+
+
+def test_snapshot_reports_sharding_plane(make_server):
+    METRICS.set_gauge("sharding.map_version", 3.0, ("router-stats-test",))
+    METRICS.set_gauge("sharding.replication_seq", 17.0, ("shard-stats-test",))
+    METRICS.inc("sharding.routed", ("router-stats-test", "s0", "export"), amount=2)
+    METRICS.inc("sharding.failovers", ("router-stats-test", "s0"))
+    METRICS.inc("sharding.promotions", ("shard-stats-test",))
+    METRICS.inc("sharding.fanout", ("router-stats-test",), amount=4)
+    METRICS.inc("sharding.syncs", ("shard-stats-test",))
+    snapshot = stats_mod.build_snapshot(make_server())
+    sharding = snapshot["sharding"]
+    assert sharding["map_version"]["router-stats-test"] == 3.0
+    assert sharding["replication_seq"]["shard-stats-test"] == 17.0
+    assert sharding["routed"]["router-stats-test|s0|export"] == 2.0
+    assert sharding["failovers"]["router-stats-test|s0"] == 1.0
+    assert sharding["promotions"]["shard-stats-test"] == 1.0
+    assert sharding["fanout"] >= 4.0
+    assert sharding["syncs"] >= 1.0
+    # And the section survives the wire codec like everything else.
+    decoded = decode_value(encode_value(snapshot))
+    assert decoded["sharding"] == sharding

@@ -167,13 +167,17 @@ def test_offer_index_hit_and_fallback_counters(rental):
     properties = export_properties(rental.sid)
     trader.export(service_type.name, rental.ref, properties)
     hits = METRICS.counter("offers.index_hits", ("t-idx",))
+    ranges = METRICS.counter("offers.range_hits", ("t-idx",))
     scans = METRICS.counter("offers.fallback_scans", ("t-idx",))
     # equality conjunct -> served off the property index
     model = properties["CarModel"]
     assert trader.import_(ImportRequest(service_type.name, f"CarModel == '{model}'"))
     assert METRICS.counter("offers.index_hits", ("t-idx",)) == hits + 1
-    # no equality conjunct -> full type scan
+    # range conjunct -> served off the sorted index
     assert trader.import_(ImportRequest(service_type.name, "ChargePerDay < 100"))
+    assert METRICS.counter("offers.range_hits", ("t-idx",)) == ranges + 1
+    # no exploitable conjunct -> full type scan
+    assert trader.import_(ImportRequest(service_type.name, "ChargePerDay != 100"))
     assert METRICS.counter("offers.fallback_scans", ("t-idx",)) == scans + 1
 
 

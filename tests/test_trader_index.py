@@ -205,3 +205,113 @@ def test_select_best_honours_now():
     request = ImportRequest("CarRentalService", preference="min ChargePerDay")
     assert trader.select_best(request, now=1.0).service_ref().name == "stale"
     assert trader.select_best(request, now=6.0).service_ref().name == "fresh"
+
+
+# -- range/equality index invalidation under MODIFY ---------------------------
+
+
+def _index_counters(prefix="t"):
+    from repro.telemetry.metrics import METRICS
+
+    return {
+        name: METRICS.counter(f"offers.{name}", (prefix,))
+        for name in ("index_hits", "range_hits", "fallback_scans")
+    }
+
+
+def _deltas(before, after):
+    return {name: after[name] - before[name] for name in before if after[name] != before[name]}
+
+
+def test_modify_from_unhashable_value_rehomes_the_equality_index():
+    """Regression: a value that entered the store unhashable (a list) and
+    later became hashable via MODIFY must land in the equality bucket —
+    and leave it again when modified back."""
+    trader = make_trader()
+    offer_id = trader.export(
+        "CarRentalService",
+        ServiceRef.create("tagged", Address("t", 1), 4711),
+        {"ChargePerDay": 10.0, "City": "HH", "Tier": ["gold"]},
+    )
+    request = ImportRequest("CarRentalService", "Tier == 'gold'")
+
+    before = _index_counters()
+    assert trader.import_(request) == []  # the list is not the string
+    assert _deltas(before, _index_counters()) == {"index_hits": 1}
+
+    trader.modify(offer_id, {"ChargePerDay": 10.0, "City": "HH", "Tier": "gold"})
+    before = _index_counters()
+    assert names(trader.import_(request)) == ["tagged"]
+    assert _deltas(before, _index_counters()) == {"index_hits": 1}
+
+    trader.modify(offer_id, {"ChargePerDay": 10.0, "City": "HH", "Tier": ["silver"]})
+    before = _index_counters()
+    assert trader.import_(request) == []  # no stale bucket entry survives
+    assert _deltas(before, _index_counters()) == {"index_hits": 1}
+
+
+def test_modify_keeps_the_range_index_fresh():
+    trader = make_trader()
+    offer_id = export(trader, "hh-1", 10.0)
+    request = ImportRequest("CarRentalService", "ChargePerDay < 20")
+
+    before = _index_counters()
+    assert names(trader.import_(request)) == ["hh-1"]
+    assert _deltas(before, _index_counters()) == {"range_hits": 1}
+
+    trader.modify(offer_id, {"ChargePerDay": 30.0, "City": "HH"})
+    before = _index_counters()
+    assert trader.import_(request) == []
+    assert _deltas(before, _index_counters()) == {"range_hits": 1}
+
+    trader.modify(offer_id, {"ChargePerDay": 10.0, "City": "HH"})
+    before = _index_counters()
+    assert names(trader.import_(request)) == ["hh-1"]
+    assert _deltas(before, _index_counters()) == {"range_hits": 1}
+
+
+def test_readding_the_same_offer_id_is_idempotent():
+    """A replication retry re-adds an offer the store already holds; the
+    index must not double-count it."""
+    from repro.trader.offers import ServiceOffer
+
+    trader = make_trader()
+    offer_id = export(trader, "hh-1", 40.0)
+    replayed = ServiceOffer.from_wire(trader.offers.get(offer_id).to_wire())
+    trader.offers.add(replayed)
+    assert len(trader.offers) == 1
+    assert names(trader.import_(ImportRequest("CarRentalService", "City == 'HH'"))) == [
+        "hh-1"
+    ]
+    assert names(
+        trader.import_(ImportRequest("CarRentalService", "ChargePerDay < 50"))
+    ) == ["hh-1"]
+
+
+def test_inplace_property_mutation_cannot_strand_index_entries():
+    """Withdraw must unindex what was *recorded at index time*, not what
+    the (possibly aliased and since-mutated) properties dict now says."""
+    trader = make_trader()
+    offer_id = export(trader, "hh-1", 40.0, "HH")
+    trader.offers.get(offer_id).properties["City"] = "B"  # aliasing abuse
+    trader.withdraw(offer_id)
+    assert trader.import_(ImportRequest("CarRentalService", "City == 'HH'")) == []
+    assert trader.import_(ImportRequest("CarRentalService", "City == 'B'")) == []
+    export(trader, "hh-2", 41.0, "HH")
+    assert names(trader.import_(ImportRequest("CarRentalService", "City == 'HH'"))) == [
+        "hh-2"
+    ]
+
+
+def test_min_max_fast_path_counts_ordered_scans():
+    from repro.telemetry.metrics import METRICS
+
+    trader = make_trader()
+    for index in range(5):
+        export(trader, f"car-{index}", 10.0 + index)
+    before = METRICS.counter("trader.ordered_scans", ("t",))
+    offers = trader.import_(
+        ImportRequest("CarRentalService", "", "min ChargePerDay", max_matches=2)
+    )
+    assert [o.service_ref().name for o in offers] == ["car-0", "car-1"]
+    assert METRICS.counter("trader.ordered_scans", ("t",)) == before + 1

@@ -1,0 +1,270 @@
+"""Sharding parity: a partitioned trader is indistinguishable from one trader.
+
+One deterministic workload script — type registration (including a
+subtype), a spread of exports with leases, every preference flavour of
+import, then MODIFY/WITHDRAW/RENEW and the re-imports that observe them
+— runs against three backends behind the *same* ``TraderService`` wire
+surface:
+
+* a bare :class:`~repro.trader.trader.LocalTrader`,
+* a :class:`~repro.trader.sharding.router.ShardRouter` over one shard,
+* a router over four shards (each with a warm replica).
+
+and through two client flavours: the synchronous :class:`TraderClient`
+stub and a raw :class:`~repro.rpc.aio.AsyncRpcClient` driving the same
+procedures on the virtual-time event loop.  All six outcome maps —
+minted offer ids, ranked import results, renew leases, ack booleans —
+must be *identical*: sharding is an implementation detail the wire
+surface must not leak.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.naming.refs import ServiceRef
+from repro.net import SimNetwork
+from repro.net.aioclock import loop_for
+from repro.net.endpoints import Address
+from repro.rpc.aio import AsyncRpcClient
+from repro.rpc.client import RpcClient
+from repro.rpc.server import RpcServer
+from repro.rpc.transport import SimTransport
+from repro.sidl.types import DOUBLE, InterfaceType, LONG, OperationType, STRING
+from repro.trader.service_types import ServiceType
+from repro.trader.sharding import build_local_router
+from repro.trader.trader import (
+    TRADER_PROGRAM,
+    ImportRequest,
+    LocalTrader,
+    TraderClient,
+    TraderService,
+)
+
+BACKENDS = ("bare", "router1", "router4")
+CLIENTS = ("sync", "async")
+
+_PROC_EXPORT = 1
+_PROC_WITHDRAW = 2
+_PROC_MODIFY = 3
+_PROC_IMPORT = 4
+_PROC_ADD_TYPE = 5
+_PROC_LIST_OFFERS = 9
+_PROC_RENEW = 11
+
+
+def rental_type(name="CarRentalService", supers=()):
+    return ServiceType(
+        name,
+        InterfaceType("I", [OperationType("SelectCar", [], LONG)]),
+        [("ChargePerDay", DOUBLE), ("City", STRING), ("Seats", LONG)],
+        super_types=list(supers),
+    )
+
+
+def make_backend(flavour):
+    """The trader the service wraps — all three share prefix and seed."""
+    if flavour == "bare":
+        return LocalTrader("bare", offer_prefix="m", seed=0, fanout_workers=1)
+    shard_ids = ["s0"] if flavour == "router1" else ["s0", "s1", "s2", "s3"]
+    return build_local_router(
+        shard_ids, replicas=1, router_id=flavour, offer_prefix="m", seed=0
+    )
+
+
+class SyncDriver:
+    """The workload's view of a trader, via the blocking stub."""
+
+    def __init__(self, net, address):
+        self._stub = TraderClient(
+            RpcClient(SimTransport(net, "cli"), timeout=1.0, retries=3), address
+        )
+
+    def add_type(self, service_type):
+        return self._stub.add_type(service_type)
+
+    def export(self, service_type, ref, properties, **kw):
+        return self._stub.export(service_type, ref, properties, **kw)
+
+    def import_ids(self, request):
+        return [offer.offer_id for offer in self._stub.import_(request)]
+
+    def modify(self, offer_id, properties):
+        return self._stub.modify(offer_id, properties)
+
+    def withdraw(self, offer_id):
+        return self._stub.withdraw(offer_id)
+
+    def renew(self, offer_id):
+        return self._stub.renew(offer_id)
+
+    def offer_ids(self):
+        return sorted(offer.offer_id for offer in self._stub.list_offers())
+
+
+class AsyncDriver:
+    """Same workload, raw procedure calls on the coroutine client."""
+
+    def __init__(self, net, address):
+        self._loop = loop_for(net.clock)
+        self._client = AsyncRpcClient(
+            SimTransport(net, "acli"), timeout=1.0, retries=3
+        )
+        self._address = address
+
+    def _call(self, proc, args):
+        return self._loop.run_until_complete(
+            self._client.call(self._address, TRADER_PROGRAM, 1, proc, args)
+        )
+
+    def add_type(self, service_type):
+        return self._call(_PROC_ADD_TYPE, {"type": service_type.to_wire()})
+
+    def export(self, service_type, ref, properties, **kw):
+        return self._call(
+            _PROC_EXPORT,
+            {
+                "service_type": service_type,
+                "ref": ref.to_wire(),
+                "properties": properties,
+                "lifetime": kw.get("lifetime"),
+                "lease_seconds": kw.get("lease_seconds"),
+            },
+        )
+
+    def import_ids(self, request):
+        return [item["offer_id"] for item in self._call(_PROC_IMPORT, request.to_wire())]
+
+    def modify(self, offer_id, properties):
+        return self._call(_PROC_MODIFY, {"offer_id": offer_id, "properties": properties})
+
+    def withdraw(self, offer_id):
+        return self._call(_PROC_WITHDRAW, {"offer_id": offer_id})
+
+    def renew(self, offer_id):
+        return self._call(_PROC_RENEW, {"offer_id": offer_id})
+
+    def offer_ids(self):
+        return sorted(item["offer_id"] for item in self._call(_PROC_LIST_OFFERS, {}))
+
+
+def ref(name):
+    return ServiceRef.create(name, Address("provider", 4711), 1)
+
+
+def drive(driver):
+    """The scripted workload; returns the full observable outcome map."""
+    outcome = {}
+    driver.add_type(rental_type())
+    driver.add_type(rental_type("LuxuryRental", supers=["CarRentalService"]))
+    driver.add_type(rental_type("BikeRental"))
+
+    exports = [
+        ("CarRentalService", "hh-cheap", {"ChargePerDay": 19.0, "City": "HH", "Seats": 4}),
+        ("CarRentalService", "hh-mid", {"ChargePerDay": 42.0, "City": "HH", "Seats": 4}),
+        ("CarRentalService", "hh-steep", {"ChargePerDay": 97.0, "City": "HH", "Seats": 2}),
+        ("CarRentalService", "b-cheap", {"ChargePerDay": 21.0, "City": "B", "Seats": 5}),
+        ("CarRentalService", "b-mid", {"ChargePerDay": 55.0, "City": "B", "Seats": 4}),
+        ("LuxuryRental", "lux-1", {"ChargePerDay": 120.0, "City": "HH", "Seats": 2}),
+        ("LuxuryRental", "lux-2", {"ChargePerDay": 29.0, "City": "M", "Seats": 4}),
+        ("BikeRental", "bike-1", {"ChargePerDay": 5.0, "City": "HH", "Seats": 1}),
+        ("BikeRental", "bike-2", {"ChargePerDay": 7.0, "City": "B", "Seats": 1}),
+        ("CarRentalService", "hh-late", {"ChargePerDay": 23.0, "City": "HH", "Seats": 7}),
+        ("LuxuryRental", "lux-3", {"ChargePerDay": 84.0, "City": "HH", "Seats": 4}),
+        ("CarRentalService", "b-late", {"ChargePerDay": 33.0, "City": "B", "Seats": 4}),
+    ]
+    ids = {}
+    for index, (type_name, name, properties) in enumerate(exports):
+        lease = 60.0 + index if index % 3 == 0 else None
+        ids[name] = driver.export(
+            type_name, ref(name), properties, lease_seconds=lease
+        )
+    outcome["export_ids"] = dict(ids)
+
+    queries = {
+        "range_min": ImportRequest(
+            "CarRentalService", "ChargePerDay < 30", "min ChargePerDay"
+        ),
+        "range_pair": ImportRequest(
+            "CarRentalService", "ChargePerDay >= 20 and ChargePerDay <= 60"
+        ),
+        "eq_max": ImportRequest(
+            "CarRentalService", "City == 'HH'", "max ChargePerDay", max_matches=2
+        ),
+        "first": ImportRequest("CarRentalService", "Seats >= 4", "first"),
+        "subtype_all": ImportRequest("CarRentalService"),
+        "subtype_min": ImportRequest("CarRentalService", "", "min ChargePerDay"),
+        "newest": ImportRequest("LuxuryRental", "", "newest"),
+        "random": ImportRequest("CarRentalService", "City == 'B'", "random"),
+        "bike": ImportRequest("BikeRental", "ChargePerDay > 4", "max ChargePerDay"),
+    }
+    for label, request in queries.items():
+        outcome[f"q1:{label}"] = driver.import_ids(request)
+
+    # Mutations a stale index or a mis-routed shard would get wrong.
+    outcome["modify"] = driver.modify(
+        ids["hh-steep"], {"ChargePerDay": 9.0, "City": "HH", "Seats": 2}
+    )
+    outcome["withdraw"] = driver.withdraw(ids["b-cheap"])
+    outcome["renew"] = driver.renew(ids["hh-cheap"])
+    outcome["random_again"] = driver.import_ids(queries["random"])
+
+    for label, request in queries.items():
+        outcome[f"q2:{label}"] = driver.import_ids(request)
+    outcome["offer_ids"] = driver.offer_ids()
+    return outcome
+
+
+def run(backend_flavour, client_flavour):
+    net = SimNetwork(seed=1994)
+    service = TraderService(
+        RpcServer(SimTransport(net, "trader")), trader=make_backend(backend_flavour)
+    )
+    driver_cls = SyncDriver if client_flavour == "sync" else AsyncDriver
+    return drive(driver_cls(net, service.address))
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return {
+        (backend, client): run(backend, client)
+        for backend in BACKENDS
+        for client in CLIENTS
+    }
+
+
+def test_workload_is_not_trivial(outcomes):
+    baseline = outcomes[("bare", "sync")]
+    assert len(baseline["export_ids"]) == 12
+    assert baseline["q1:range_min"]  # ranked results exist
+    assert baseline["q1:eq_max"] != baseline["q2:eq_max"]  # mutations observed
+    assert baseline["withdraw"] is True
+    assert isinstance(baseline["renew"], float)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("client", CLIENTS)
+def test_every_backend_and_client_matches_the_bare_trader(outcomes, backend, client):
+    assert outcomes[(backend, client)] == outcomes[("bare", "sync")]
+
+
+def test_offer_ids_are_placement_independent(outcomes):
+    """Per-type counters make minted ids identical however offers shard."""
+    reference = outcomes[("bare", "sync")]["export_ids"]
+    for key, outcome in outcomes.items():
+        assert outcome["export_ids"] == reference, key
+    assert reference["hh-cheap"] == "m:CarRentalService:1"
+    assert reference["lux-1"] == "m:LuxuryRental:1"
+
+
+def test_four_shard_router_actually_partitions():
+    """Guard against the parity matrix degenerating to one shard."""
+    router = make_backend("router4")
+    router.add_type(rental_type())
+    router.add_type(rental_type("LuxuryRental", supers=["CarRentalService"]))
+    router.add_type(rental_type("BikeRental"))
+    owners = {
+        name: router.map.owner(name)
+        for name in ("CarRentalService", "LuxuryRental", "BikeRental")
+    }
+    assert len(set(owners.values())) > 1
