@@ -102,7 +102,10 @@ def shard_snapshot(shard: Any) -> Dict[str, Any]:
     The trader snapshot plus the replication coordinates — role, applied
     sequence, shard-map version — so a restarted shard knows where in the
     delta stream to resume (``deltas_since(applied_seq)``) instead of
-    refetching the world.
+    refetching the world.  Open migration records and type seals ride
+    along: a shard checkpointed mid-migration restarts still inside the
+    protocol (still sealed, still holding the begin-time snapshot list),
+    so a resumed coordinator picks up exactly where the crash cut in.
     """
     snapshot = trader_snapshot(shard.trader)
     snapshot["kind"] = "trader_shard"
@@ -111,6 +114,23 @@ def shard_snapshot(shard: Any) -> Dict[str, Any]:
     snapshot["role"] = shard.role
     snapshot["applied_seq"] = shard.applied_seq
     snapshot["map_version"] = shard.map_version
+    snapshot["migrations"] = {
+        migration_id: dict(record)
+        for migration_id, record in shard.migrations.items()
+    }
+    snapshot["sealed_types"] = sorted(shard.sealed_types)
+    if shard.migrations:
+        # An open migration still needs the delta tail back to its
+        # begin-time snapshot for CATCH_UP replay; compacting it into
+        # this snapshot would strand a resumed coordinator (SyncGap).
+        retain_from = min(
+            int(record.get("snapshot_seq", 0))
+            for record in shard.migrations.values()
+        )
+        snapshot["delta_tail"] = [
+            delta.to_wire()
+            for delta in shard.log.since(max(retain_from, shard.log.base_seq))
+        ]
     return snapshot
 
 
@@ -127,6 +147,7 @@ def restore_shard(
     ``applied_seq``, so replicas older than the snapshot are told to
     take a snapshot themselves rather than a delta batch.
     """
+    from repro.trader.sharding.replication import DeltaLog, ShardDelta
     from repro.trader.sharding.shard import TraderShard
 
     _check(snapshot, "trader_shard")
@@ -138,6 +159,18 @@ def restore_shard(
         **shard_options,
     )
     shard.map_version = snapshot.get("map_version", 0)
+    shard.migrations = {
+        migration_id: dict(record)
+        for migration_id, record in snapshot.get("migrations", {}).items()
+    }
+    shard.sealed_types = set(snapshot.get("sealed_types", ()))
+    tail = snapshot.get("delta_tail", [])
+    if tail:
+        # Re-seed the retained tail (see ``shard_snapshot``) so a resumed
+        # migration can still pull ``deltas_since(snapshot_seq)``.
+        shard.log = DeltaLog(tail[0]["seq"] - 1)
+        for wire in tail:
+            shard.log.record(ShardDelta.from_wire(wire))
     trader_view = dict(snapshot, kind="trader")
     restored = restore_trader(
         trader_view,
@@ -145,8 +178,17 @@ def restore_shard(
     )
     shard.trader.types = restored.types
     shard.trader.offers = restored.offers
+    for record in shard.migrations.values():
+        # Counters aren't in the snapshot; re-burn the migration's mint
+        # floor so a restored recipient still cannot re-mint donor ids.
+        if record.get("side") == "in" and record.get("service_type"):
+            shard.trader.offers.burn_to(
+                record["service_type"], int(record.get("mint_floor", 0))
+            )
     if now is not None:
-        shard.trader.expire_offers(now)
+        # The shard's sweep, not the raw trader's: types mid-absorption
+        # stay shielded across a restart too.
+        shard._shielded_sweep(now)
     return shard
 
 

@@ -176,6 +176,20 @@ def build_snapshot(server: Any) -> Dict[str, Any]:
             ),
             "syncs": METRICS.counter_total("sharding.syncs"),
             "push_failed": METRICS.counter_total("sharding.push_failed"),
+            "migration": {
+                "phase": _series_by_label(
+                    METRICS.gauges("sharding.migration."), "sharding.migration.phase"
+                ),
+                "offers_copied": METRICS.counter_total(
+                    "sharding.migration.offers_copied"
+                ),
+                "deltas_replayed": METRICS.counter_total(
+                    "sharding.migration.deltas_replayed"
+                ),
+                "forwarded_calls": METRICS.counter_total(
+                    "sharding.migration.forwarded_calls"
+                ),
+            },
         },
         "sampling": {
             "rate": sampling_policy.rate,

@@ -334,6 +334,21 @@ class StatsPoller:
 # -- rendering ---------------------------------------------------------------
 
 
+#: ``sharding.migration.phase`` gauge values → phase names (0 = aborted,
+#: then the migration state machine in order — mirrors
+#: ``repro.trader.sharding.migration.PHASE_INDEX``).
+_MIGRATION_PHASES = (
+    "ABORTED", "PREPARE", "COPY", "CATCH_UP", "FLIP", "DRAIN", "DONE",
+)
+
+
+def _migration_phase_name(value: Any) -> str:
+    index = int(value)
+    if 0 <= index < len(_MIGRATION_PHASES):
+        return _MIGRATION_PHASES[index]
+    return str(value)
+
+
 def dashboard_widgets(
     aggregator: RedAggregator,
     stats_snapshots: Sequence[Dict[str, Any]] = (),
@@ -385,6 +400,40 @@ def dashboard_widgets(
                 breakers_open,
             )
         widgets.append(stats)
+        sharding_rows = [
+            (snapshot.get("address", "?"), snapshot["sharding"])
+            for snapshot in stats_snapshots
+            if isinstance(snapshot.get("sharding"), dict)
+            and (
+                snapshot["sharding"].get("map_version")
+                or snapshot["sharding"].get("migration", {}).get("phase")
+            )
+        ]
+        if sharding_rows:
+            sharding = Table(
+                "Sharding / migrations",
+                [
+                    "endpoint", "map ver", "routed", "failovers",
+                    "migration", "copied", "replayed", "forwarded",
+                ],
+            )
+            for address, plane in sharding_rows:
+                migration = plane.get("migration", {})
+                phases = ", ".join(
+                    f"{label.rpartition('|')[2]}:{_migration_phase_name(value)}"
+                    for label, value in sorted(migration.get("phase", {}).items())
+                ) or "-"
+                sharding.add_row(
+                    address,
+                    max(plane.get("map_version", {}).values(), default=0),
+                    sum(plane.get("routed", {}).values()),
+                    sum(plane.get("failovers", {}).values()),
+                    phases,
+                    migration.get("offers_copied", 0),
+                    migration.get("deltas_replayed", 0),
+                    migration.get("forwarded_calls", 0),
+                )
+            widgets.append(sharding)
     if aggregator.recent_events:
         events = Table("Recent events", ["at", "event", "level", "trace"])
         for record in aggregator.recent_events:

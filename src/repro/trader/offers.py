@@ -299,6 +299,21 @@ class OfferStore:
             if number > self._counters.get(offer.service_type, 0):
                 self._counters[offer.service_type] = number
 
+    def minted(self, service_type: str) -> int:
+        """Highest id number ever minted (or seen) for ``service_type``."""
+        return self._counters.get(service_type, 0)
+
+    def burn_to(self, service_type: str, count: int) -> None:
+        """Advance the per-type counter to at least ``count``.
+
+        Ids up to ``count`` are spent even if no offer carrying them
+        survives — a migration recipient burns the donor's counter at
+        begin so it can never re-mint an id the donor already used,
+        even when every such offer was withdrawn before the copy.
+        """
+        if count > self._counters.get(service_type, 0):
+            self._counters[service_type] = count
+
     def add(self, offer: ServiceOffer) -> None:
         self._note_minted(offer)
         existing = self._by_id.get(offer.offer_id)

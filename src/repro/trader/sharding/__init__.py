@@ -10,10 +10,20 @@ lapsed in the failover window — when a primary's breaker opens.
 """
 
 from repro.trader.sharding.hashing import ShardMap, rendezvous_score
+from repro.trader.sharding.migration import (
+    FileCheckpoints,
+    MemoryCheckpoints,
+    MigrationCoordinator,
+    MigrationError,
+    MigrationState,
+    PHASES,
+)
 from repro.trader.sharding.replication import (
     DeltaLog,
+    MigrationSealed,
     ShardDelta,
     ShardingError,
+    ShardNotDrained,
     ShardUnavailable,
     SyncGap,
 )
@@ -33,7 +43,15 @@ from repro.trader.sharding.shard import ROLE_PRIMARY, ROLE_REPLICA, TraderShard
 
 __all__ = [
     "DeltaLog",
+    "FileCheckpoints",
+    "MemoryCheckpoints",
+    "MigrationCoordinator",
+    "MigrationError",
+    "MigrationSealed",
+    "MigrationState",
+    "PHASES",
     "RemoteShardBackend",
+    "ShardNotDrained",
     "ROLE_PRIMARY",
     "ROLE_REPLICA",
     "SHARD_BREAKER",

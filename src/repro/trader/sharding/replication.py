@@ -28,9 +28,23 @@ class ShardUnavailable(ShardingError):
     """No backend (primary or replica) could serve the shard's request."""
 
 
+class MigrationSealed(ShardingError):
+    """The donor sealed this service type at migration FLIP: writes for it
+    must be forwarded to the recipient shard (the router does so)."""
+
+
+class ShardNotDrained(ShardingError):
+    """``remove_shard`` refused: the victim still holds live offers that a
+    removal would silently strand.  Drain (migrate) it first, or pass
+    ``force=True`` to accept the loss."""
+
+
 #: Delta operations a primary may log.  ``expire`` replicates the lease
 #: sweep itself so replicas evict exactly the offers the primary did, at
-#: the same virtual instant — independent sweeping would diverge.
+#: the same virtual instant — independent sweeping would diverge.  The
+#: ``migrate_*`` ops replicate live-resharding state so a replica
+#: promoted mid-migration inherits the migration exactly where the old
+#: primary left it (see :mod:`repro.trader.sharding.migration`).
 DELTA_OPS = (
     "export",
     "withdraw",
@@ -40,6 +54,12 @@ DELTA_OPS = (
     "add_type",
     "remove_type",
     "mask_type",
+    "migrate_begin",
+    "migrate_in",
+    "migrate_expire",
+    "migrate_flip",
+    "migrate_done",
+    "migrate_abort",
 )
 
 

@@ -23,6 +23,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
 from repro.context import CallContext, Clock, current_context
 from repro.naming.refs import ServiceRef
+from repro.rpc.errors import RemoteFault
 from repro.rpc.resilience import STATE_OPEN, BreakerPolicy, CircuitBreaker
 from repro.telemetry.metrics import METRICS
 from repro.trader.errors import OfferNotFound, TraderError
@@ -31,7 +32,12 @@ from repro.trader.offers import ServiceOffer
 from repro.trader.policies import parse_preference
 from repro.trader.service_types import ServiceType
 from repro.trader.sharding.hashing import ShardMap
-from repro.trader.sharding.replication import ShardUnavailable
+from repro.trader.sharding.migration import DUAL_READ_PHASES, MigrationState
+from repro.trader.sharding.replication import (
+    MigrationSealed,
+    ShardNotDrained,
+    ShardUnavailable,
+)
 from repro.trader.sharding.shard import TraderShard
 from repro.trader.trader import ImportRequest
 from repro.trader.type_manager import TypeManager
@@ -80,6 +86,17 @@ class ShardHandle:
             except TraderError:
                 self.breaker.record_success()
                 raise
+            except RemoteFault as fault:
+                if fault.kind == "MigrationSealed":
+                    # A remote donor refusing a sealed type is an
+                    # application answer, not an outage: re-raise it
+                    # typed so the router's forwarding window catches it.
+                    self.breaker.record_success()
+                    raise MigrationSealed(fault.detail) from fault
+                self.breaker.record_failure()
+                if self.breaker.state != STATE_OPEN:
+                    raise
+                return self._failover(op, args, kwargs, fault)
             except Exception as failure:  # noqa: BLE001 - backend is down
                 self.breaker.record_failure()
                 if self.breaker.state != STATE_OPEN:
@@ -119,10 +136,17 @@ class _RouterOffers:
         self._router = router
 
     def all(self) -> List[ServiceOffer]:
-        offers: List[ServiceOffer] = []
+        # While a migration is open the same offer lives on two shards:
+        # dedup by id, the effective owner's copy winning.
+        merged: Dict[str, ServiceOffer] = {}
         for shard_id in self._router.map.shard_ids:
-            offers.extend(self._router.handle(shard_id).call("list_offers"))
-        return offers
+            for offer in self._router.handle(shard_id).call("list_offers"):
+                if (
+                    offer.offer_id not in merged
+                    or shard_id == self._router.effective_owner(offer.service_type)
+                ):
+                    merged[offer.offer_id] = offer
+        return list(merged.values())
 
     def get(self, offer_id: str) -> ServiceOffer:
         for offer in self.all():
@@ -161,16 +185,30 @@ class ShardRouter:
         self.offers = _RouterOffers(self)
         self.exports_accepted = 0
         self.imports_served = 0
+        #: Open migrations by service type: the dual-ownership window.
+        self._migrations: Dict[str, MigrationState] = {}
+        #: Routing pins that override rendezvous placement: a type whose
+        #: map owner changed stays pinned to the shard actually holding
+        #: its offers until a migration FLIPs it across.
+        self._pins: Dict[str, str] = {}
 
     # -- topology ---------------------------------------------------------------
 
-    def add_shard(self, shard_id: str, primary: Any, replicas: Iterable[Any] = ()) -> None:
-        """Register a shard backend and re-version the map.
+    def add_shard(self, shard_id: str, primary: Any, replicas: Iterable[Any] = ()) -> set:
+        """Register a shard backend and re-version the map; returns the
+        set of registered types whose rendezvous ownership moved.
 
         Backends are anything exposing the shard surface —
         :class:`TraderShard` in-process, or the RPC backend from
         :mod:`repro.trader.sharding.rpc` for a shard living elsewhere.
+
+        Moved types are **pinned** to their old owner, so their resident
+        offers keep being found and mutated exactly where they are; the
+        returned set is the work-list a
+        :class:`~repro.trader.sharding.migration.MigrationCoordinator`
+        streams across (each migration's FLIP repoints the pin).
         """
+        old_map = self.map if len(self.map) else None
         self._handles[shard_id] = ShardHandle(
             shard_id,
             primary,
@@ -180,15 +218,125 @@ class ShardRouter:
             router_id=self.trader_id,
         )
         self.map = self.map.with_shard(shard_id)
+        self._seed_types(self._handles[shard_id])
+        moved: set = set()
+        if old_map is not None:
+            for service_type in self.types:
+                name = service_type.name
+                if name in self._pins or name in self._migrations:
+                    continue  # routing is pinned: map movement is latent
+                old_owner = old_map.owner(name)
+                if old_owner != self.map.owner(name):
+                    moved.add(name)
+                    self._pins[name] = old_owner
         self._push_map()
+        return moved
 
-    def remove_shard(self, shard_id: str) -> None:
+    def remove_shard(self, shard_id: str, force: bool = False) -> None:
+        """Retire a shard.  Refused while the victim still holds offers —
+        a removal would silently strand them — unless ``force=True``
+        (accepting the loss; e.g. the shard's data is already gone).
+        Drain it first: ``MigrationCoordinator.drain(shard_id)``.
+        """
+        handle = self._handles.get(shard_id)
+        if handle is not None and not force:
+            resident = handle.call("list_offers")
+            if resident:
+                raise ShardNotDrained(
+                    f"shard {shard_id!r} still holds {len(resident)} offers; "
+                    "drain it with a migration or pass force=True"
+                )
         self._handles.pop(shard_id, None)
         self.map = self.map.without_shard(shard_id)
+        for name, pin in list(self._pins.items()):
+            if pin == shard_id or (len(self.map) and self.map.owner(name) == pin):
+                del self._pins[name]
         self._push_map()
 
     def handle(self, shard_id: str) -> ShardHandle:
         return self._handles[shard_id]
+
+    def _seed_types(self, handle: ShardHandle) -> None:
+        """A shard joining a live router learns the registered types (in
+        registration order, so supers always precede their subtypes)."""
+        for service_type in self.types:
+            name = service_type.name
+            try:
+                handle.call(
+                    "add_type", service_type, self.types.registered_at(name) or 0.0
+                )
+            except TraderError:
+                continue  # backend already knows it (rejoining shard)
+            if self.types.masked(name):
+                handle.call("mask_type", name)
+
+    # -- live resharding: the dual-ownership window -------------------------------
+
+    def migration_for(self, service_type: str) -> Optional[MigrationState]:
+        return self._migrations.get(service_type)
+
+    def open_migration(self, state: MigrationState) -> None:
+        """Open (or re-open, on resume) the forwarding window for a type."""
+        self._migrations[state.service_type] = state
+
+    def close_migration(self, state: MigrationState) -> None:
+        self._migrations.pop(state.service_type, None)
+
+    def flip_type(self, state: MigrationState) -> None:
+        """The atomic cutover: repoint the type's routing at the migration
+        target and bump the shard-map version so every shard (and every
+        delta logged from here on) sees the new ownership epoch.
+        Idempotent — resuming a flipped migration re-applies at no cost."""
+        name = state.service_type
+        if self.map.owner(name) == state.target:
+            changed = self._pins.pop(name, None) is not None
+        else:
+            changed = self._pins.get(name) != state.target
+            self._pins[name] = state.target
+        if changed:
+            self.map = ShardMap(self.map.shard_ids, self.map.version + 1)
+            self._push_map()
+
+    def effective_owner(self, service_type: str) -> str:
+        """Where the type's offers actually live *right now*: the open
+        migration's authoritative side, else the pin, else the map."""
+        state = self._migrations.get(service_type)
+        if state is not None:
+            return state.target if state.flipped else state.source
+        pin = self._pins.get(service_type)
+        if pin is not None:
+            return pin
+        return self.map.owner(service_type)
+
+    def _forward_target(self, service_type: str, owner: str) -> Optional[str]:
+        """Where to retry a write the sealed donor refused."""
+        state = self._migrations.get(service_type)
+        if state is not None:
+            return state.target if owner != state.target else state.source
+        pin = self._pins.get(service_type)
+        if pin is not None and pin != owner:
+            return pin
+        mapped = self.map.owner(service_type)
+        return mapped if mapped != owner else None
+
+    def _route_write(self, op: str, service_type: str, *args: Any) -> Any:
+        """Route a mutation to the effective owner; a ``MigrationSealed``
+        refusal (the donor was flipped under the call) forwards to the
+        other side of the window — the caller never sees the cutover."""
+        owner = self.effective_owner(service_type)
+        METRICS.inc("sharding.routed", (self.trader_id, owner, op))
+        try:
+            return self._handles[owner].call(op, *args)
+        except MigrationSealed:
+            fallback = self._forward_target(service_type, owner)
+            if fallback is None:
+                raise
+            METRICS.inc(
+                "sharding.migration.forwarded_calls",
+                (self.trader_id, service_type),
+            )
+            METRICS.inc("sharding.routed", (self.trader_id, fallback, op))
+            return self._handles[fallback].call(op, *args)
 
     def _push_map(self) -> None:
         METRICS.set_gauge("sharding.map_version", self.map.version, (self.trader_id,))
@@ -230,28 +378,23 @@ class ShardRouter:
         lifetime: Optional[float] = None,
         lease_seconds: Optional[float] = None,
     ) -> str:
-        owner = self.map.owner(service_type)
-        offer_id = self._handles[owner].call(
-            "export", service_type, ref, properties, now, lifetime, lease_seconds
+        offer_id = self._route_write(
+            "export", service_type, service_type, ref, properties, now, lifetime,
+            lease_seconds,
         )
         self.exports_accepted += 1
-        METRICS.inc("sharding.routed", (self.trader_id, owner, "export"))
         return offer_id
 
     def renew(self, offer_id: str, now: float = 0.0) -> Optional[float]:
-        owner = self._owner_of_offer(offer_id)
-        METRICS.inc("sharding.routed", (self.trader_id, owner, "renew"))
-        return self._handles[owner].call("renew", offer_id, now)
+        return self._route_write("renew", self._type_of_offer(offer_id), offer_id, now)
 
     def withdraw(self, offer_id: str) -> ServiceOffer:
-        owner = self._owner_of_offer(offer_id)
-        METRICS.inc("sharding.routed", (self.trader_id, owner, "withdraw"))
-        return self._handles[owner].call("withdraw", offer_id)
+        return self._route_write("withdraw", self._type_of_offer(offer_id), offer_id)
 
     def modify(self, offer_id: str, properties: Dict[str, Any]) -> ServiceOffer:
-        owner = self._owner_of_offer(offer_id)
-        METRICS.inc("sharding.routed", (self.trader_id, owner, "modify"))
-        return self._handles[owner].call("modify", offer_id, properties)
+        return self._route_write(
+            "modify", self._type_of_offer(offer_id), offer_id, properties
+        )
 
     def expire_offers(self, now: float) -> int:
         """Broadcast the lease sweep; each primary replicates its own."""
@@ -263,13 +406,13 @@ class ShardRouter:
     def purge_expired(self, now: float) -> int:
         return self.expire_offers(now)
 
-    def _owner_of_offer(self, offer_id: str) -> str:
+    def _type_of_offer(self, offer_id: str) -> str:
         """Offer ids are ``prefix:type:n`` — placement needs no lookup."""
         prefix = self.offer_prefix + ":"
         if offer_id.startswith(prefix):
             service_type, _, suffix = offer_id[len(prefix) :].rpartition(":")
             if service_type and suffix.isdigit():
-                return self.map.owner(service_type)
+                return service_type
         raise OfferNotFound(f"no offer {offer_id!r}")
 
     # -- importer interface ---------------------------------------------------------
@@ -311,7 +454,7 @@ class ShardRouter:
         type_names = self.types.matching_types(
             request.service_type, structural=request.structural
         )
-        owners = self.map.owners(type_names)
+        owners = self._covering_shards(type_names)
         forwarded = request.to_wire()
         if request.max_matches > 0 and preference.kind != "random":
             METRICS.inc("sharding.topk_pushdown", (self.trader_id,))
@@ -320,11 +463,19 @@ class ShardRouter:
             forwarded["max_matches"] = 0
         forwarded["hop_limit"] = 0  # shards are partitions, not federation hops
         wire_lists = self._gather(owners, forwarded, ctx, now)
+        # Merge with dual-ownership awareness: while a type is migrating,
+        # both sides may return the same offer; the copy from the type's
+        # *effective owner* wins, so a not-yet-replayed RENEW or MODIFY on
+        # the other side is never observable — no stale mediation.
         merged: Dict[str, ServiceOffer] = {}
-        for wires in wire_lists:
+        for shard_id, wires in zip(owners, wire_lists):
             for item in wires or ():
                 offer = ServiceOffer.from_wire(item)
-                merged.setdefault(offer.offer_id, offer)
+                if (
+                    offer.offer_id not in merged
+                    or shard_id == self.effective_owner(offer.service_type)
+                ):
+                    merged[offer.offer_id] = offer
         position = {name: index for index, name in enumerate(type_names)}
         candidates = sorted(
             merged.values(),
@@ -337,6 +488,25 @@ class ShardRouter:
         if request.max_matches > 0:
             ordered = ordered[: request.max_matches]
         return ordered
+
+    def _covering_shards(self, type_names: List[str]) -> List[str]:
+        """The shards an import must ask: each queried type's effective
+        owner, plus — for types inside a dual-ownership window — the other
+        side of the migration (the double-read), appended after the
+        authoritative owners so its rows only fill gaps in the merge."""
+        owners: List[str] = []
+        for name in type_names:
+            owner = self.effective_owner(name)
+            if owner not in owners:
+                owners.append(owner)
+        for name in type_names:
+            state = self._migrations.get(name)
+            if state is None or state.phase not in DUAL_READ_PHASES:
+                continue
+            other = state.source if state.flipped else state.target
+            if other not in owners:
+                owners.append(other)
+        return owners
 
     def _gather(
         self,
@@ -402,6 +572,10 @@ class ShardRouter:
                 shard_id: self._handles[shard_id].status()
                 for shard_id in self.map.shard_ids
             },
+            "migrations": {
+                name: state.phase for name, state in sorted(self._migrations.items())
+            },
+            "pins": dict(sorted(self._pins.items())),
         }
 
 

@@ -29,6 +29,17 @@ _PROC_PROMOTE = 3
 _PROC_STATUS = 4
 _PROC_SET_MAP = 5
 _PROC_EXPIRE = 6
+# Live resharding (see repro.trader.sharding.migration).  MIGRATE_CHUNK
+# carries the three transfer shapes of one migration stream, told apart
+# by the argument present: ``cursor`` reads a copy chunk off the donor,
+# ``offers`` absorbs one into the recipient, ``deltas`` replays a
+# catch-up tail.  MIGRATE_FLIP carries the cutover family via ``action``
+# (``flip`` seals the donor, ``done`` drops the moved offers, ``abort``
+# rolls both sides back).
+_PROC_MIGRATE_BEGIN = 7
+_PROC_MIGRATE_CHUNK = 8
+_PROC_MIGRATE_FLIP = 9
+_PROC_MIGRATE_STATUS = 10
 
 _PROC_TRADER_IMPORT = 4  # the trader program's IMPORT procedure
 
@@ -46,6 +57,10 @@ class ShardReplicationService:
         program.register(_PROC_STATUS, self._status, "status")
         program.register(_PROC_SET_MAP, self._set_map, "set_map")
         program.register(_PROC_EXPIRE, self._expire, "expire")
+        program.register(_PROC_MIGRATE_BEGIN, self._migrate_begin, "migrate_begin")
+        program.register(_PROC_MIGRATE_CHUNK, self._migrate_chunk, "migrate_chunk")
+        program.register(_PROC_MIGRATE_FLIP, self._migrate_flip, "migrate_flip")
+        program.register(_PROC_MIGRATE_STATUS, self._migrate_status, "migrate_status")
         server.serve(program)
         self.address = server.address
 
@@ -66,6 +81,31 @@ class ShardReplicationService:
 
     def _expire(self, args) -> int:
         return self.shard.expire_offers(args.get("now", self._now()))
+
+    def _migrate_begin(self, args) -> Dict[str, Any]:
+        return self.shard.migrate_begin(args["migration"], args["side"])
+
+    def _migrate_chunk(self, args) -> Any:
+        migration_id = args["migration_id"]
+        if "offers" in args:
+            return self.shard.migrate_chunk_in(migration_id, args["offers"])
+        if "deltas" in args:
+            return self.shard.migrate_replay(migration_id, args["deltas"])
+        return self.shard.migrate_chunk_out(
+            migration_id, args["cursor"], args.get("limit", 256)
+        )
+
+    def _migrate_flip(self, args) -> Any:
+        migration_id = args["migration_id"]
+        action = args.get("action", "flip")
+        if action == "done":
+            return self.shard.migrate_done(migration_id)
+        if action == "abort":
+            return self.shard.migrate_abort(migration_id)
+        return self.shard.migrate_flip(migration_id)
+
+    def _migrate_status(self, args) -> Dict[str, Any]:
+        return self.shard.migrate_status(args["migration_id"])
 
 
 class ShardAdminClient:
@@ -92,6 +132,47 @@ class ShardAdminClient:
 
     def expire(self, now: Optional[float] = None) -> int:
         return self._call(_PROC_EXPIRE, {"now": now})
+
+    def migrate_begin(self, migration_wire: Dict[str, Any], side: str) -> Dict[str, Any]:
+        return self._call(
+            _PROC_MIGRATE_BEGIN, {"migration": migration_wire, "side": side}
+        )
+
+    def migrate_chunk_out(
+        self, migration_id: str, cursor: int, limit: int
+    ) -> Dict[str, Any]:
+        return self._call(
+            _PROC_MIGRATE_CHUNK,
+            {"migration_id": migration_id, "cursor": cursor, "limit": limit},
+        )
+
+    def migrate_chunk_in(self, migration_id: str, offers) -> int:
+        return self._call(
+            _PROC_MIGRATE_CHUNK, {"migration_id": migration_id, "offers": offers}
+        )
+
+    def migrate_replay(self, migration_id: str, deltas) -> int:
+        return self._call(
+            _PROC_MIGRATE_CHUNK, {"migration_id": migration_id, "deltas": deltas}
+        )
+
+    def migrate_flip(self, migration_id: str) -> Dict[str, Any]:
+        return self._call(
+            _PROC_MIGRATE_FLIP, {"migration_id": migration_id, "action": "flip"}
+        )
+
+    def migrate_done(self, migration_id: str) -> int:
+        return self._call(
+            _PROC_MIGRATE_FLIP, {"migration_id": migration_id, "action": "done"}
+        )
+
+    def migrate_abort(self, migration_id: str) -> bool:
+        return self._call(
+            _PROC_MIGRATE_FLIP, {"migration_id": migration_id, "action": "abort"}
+        )
+
+    def migrate_status(self, migration_id: str) -> Dict[str, Any]:
+        return self._call(_PROC_MIGRATE_STATUS, {"migration_id": migration_id})
 
     def _call(self, proc: int, args: Dict[str, Any]) -> Any:
         return self._client.call(self.address, SHARDING_PROGRAM, 1, proc, args)
@@ -181,3 +262,31 @@ class RemoteShardBackend:
 
     def expire_offers(self, now: Optional[float] = None) -> int:
         return self._admin.expire(now)
+
+    # migration surface ------------------------------------------------------
+
+    def migrate_begin(self, migration_wire: Dict[str, Any], side: str) -> Dict[str, Any]:
+        return self._admin.migrate_begin(migration_wire, side)
+
+    def migrate_chunk_out(
+        self, migration_id: str, cursor: int, limit: int
+    ) -> Dict[str, Any]:
+        return self._admin.migrate_chunk_out(migration_id, cursor, limit)
+
+    def migrate_chunk_in(self, migration_id: str, offers) -> int:
+        return self._admin.migrate_chunk_in(migration_id, offers)
+
+    def migrate_replay(self, migration_id: str, deltas) -> int:
+        return self._admin.migrate_replay(migration_id, deltas)
+
+    def migrate_flip(self, migration_id: str) -> Dict[str, Any]:
+        return self._admin.migrate_flip(migration_id)
+
+    def migrate_done(self, migration_id: str) -> int:
+        return self._admin.migrate_done(migration_id)
+
+    def migrate_abort(self, migration_id: str) -> bool:
+        return self._admin.migrate_abort(migration_id)
+
+    def migrate_status(self, migration_id: str) -> Dict[str, Any]:
+        return self._admin.migrate_status(migration_id)

@@ -18,7 +18,12 @@ from repro.telemetry.metrics import METRICS
 from repro.trader.errors import DuplicateServiceType, OfferNotFound
 from repro.trader.offers import ServiceOffer
 from repro.trader.service_types import ServiceType
-from repro.trader.sharding.replication import DeltaLog, ShardDelta, ShardingError
+from repro.trader.sharding.replication import (
+    DeltaLog,
+    MigrationSealed,
+    ShardDelta,
+    ShardingError,
+)
 from repro.trader.trader import ImportRequest, LocalTrader
 from repro.trader.type_manager import TypeManager
 
@@ -71,6 +76,14 @@ class TraderShard:
         self.applied_seq = base_seq
         self.map_version = 0
         self._sinks: Dict[str, DeltaSink] = {}
+        #: Live-resharding state, keyed by migration id.  Every record
+        #: mutation is logged as a delta, so a promoted replica holds the
+        #: same records — a migration survives the donor's primary.
+        self.migrations: Dict[str, Dict[str, Any]] = {}
+        #: Types sealed at migration FLIP: writes raise
+        #: :class:`MigrationSealed` so the router forwards them to the
+        #: new owner instead of mutating a partition that gave the type up.
+        self.sealed_types: set = set()
 
     @property
     def types(self) -> TypeManager:
@@ -112,6 +125,7 @@ class TraderShard:
         lease_seconds: Optional[float] = None,
     ) -> str:
         self._require_primary("export")
+        self._require_unsealed(service_type, "export")
         offer_id = self.trader.export(
             service_type, ref, properties, now, lifetime, lease_seconds
         )
@@ -121,12 +135,14 @@ class TraderShard:
 
     def withdraw(self, offer_id: str) -> ServiceOffer:
         self._require_primary("withdraw")
+        self._require_unsealed(self._type_of_offer(offer_id), "withdraw")
         offer = self.trader.withdraw(offer_id)
         self._log("withdraw", {"offer_id": offer_id})
         return offer
 
     def modify(self, offer_id: str, properties: Dict[str, Any]) -> ServiceOffer:
         self._require_primary("modify")
+        self._require_unsealed(self._type_of_offer(offer_id), "modify")
         offer = self.trader.modify(offer_id, properties)
         # Replicate the *checked* properties, not the caller's raw dict.
         self._log(
@@ -136,13 +152,23 @@ class TraderShard:
 
     def renew(self, offer_id: str, now: float = 0.0) -> Optional[float]:
         self._require_primary("renew")
+        self._require_unsealed(self._type_of_offer(offer_id), "renew")
         expires_at = self.trader.renew(offer_id, now)
         self._log("renew", {"offer_id": offer_id, "expires_at": expires_at})
         return expires_at
 
     def expire_offers(self, now: float) -> int:
-        """Sweep lapsed leases; the sweep itself replicates as a delta."""
-        removed = self.trader.expire_offers(now)
+        """Sweep lapsed leases; the sweep itself replicates as a delta.
+
+        Types mid-absorption (an open ``in``-side migration) are
+        shielded from the sweep: the donor is still authoritative for
+        them and this shard's copy may lack renews that only arrive
+        with the next replay batch — sweeping it here would lose the
+        offer for good.  Donor-driven expiry still lands through the
+        type-scoped ``migrate_expire`` replay, and the coordinator runs
+        an unshielded type sweep at FLIP, when the copy is final.
+        """
+        removed = self._shielded_sweep(now)
         if removed and self.role == ROLE_PRIMARY:
             self._log("expire", {"now": now})
         return removed
@@ -193,6 +219,8 @@ class TraderShard:
             "map_version": self.map_version,
             "offers": len(self.trader.offers),
             "replicas": sorted(self._sinks),
+            "migrations": sorted(self.migrations),
+            "sealed_types": sorted(self.sealed_types),
         }
 
     # -- replication: primary side ----------------------------------------------
@@ -220,6 +248,336 @@ class TraderShard:
     def _require_primary(self, op: str) -> None:
         if self.role != ROLE_PRIMARY:
             raise ShardingError(f"{self.shard_id}: {op} refused, shard is a replica")
+
+    def _require_unsealed(self, service_type: str, op: str) -> None:
+        if service_type and service_type in self.sealed_types:
+            raise MigrationSealed(
+                f"{self.shard_id}: {op} for {service_type!r} refused — the type "
+                "was sealed at migration FLIP; the new owner serves it"
+            )
+
+    def _type_of_offer(self, offer_id: str) -> str:
+        """The service type an offer id names (``prefix:type:n``), or ``""``."""
+        prefix = self.trader.offers.prefix + ":"
+        if offer_id.startswith(prefix):
+            service_type, _, suffix = offer_id[len(prefix) :].rpartition(":")
+            if service_type and suffix.isdigit():
+                return service_type
+        return ""
+
+    # -- live resharding: the shard side of the migration protocol ----------------
+    #
+    # Every state change below is logged as a delta, so a replica promoted
+    # mid-migration inherits the records, the snapshot cursor, and the
+    # seal — the coordinator resumes against it as if nothing happened.
+
+    def migrate_begin(self, migration_wire: Dict[str, Any], side: str) -> Dict[str, Any]:
+        """Open a migration on this shard (``side`` = ``out`` donor /
+        ``in`` recipient).  Idempotent: re-beginning an open migration
+        returns the originally recorded snapshot coordinates, so a resumed
+        coordinator never re-snapshots a moving world."""
+        self._require_primary("migrate_begin")
+        migration_id = migration_wire["migration_id"]
+        record = self.migrations.get(migration_id)
+        if record is None:
+            record = {
+                "migration_id": migration_id,
+                "service_type": migration_wire["service_type"],
+                "side": side,
+                "peer": migration_wire.get("target" if side == "out" else "source", ""),
+                "snapshot_seq": self.applied_seq,
+                "offer_ids": [],
+                "sealed": False,
+                "absorbed": 0,
+                "mint_floor": 0,
+            }
+            if side == "out":
+                offers = self.trader.offers.of_types([record["service_type"]])
+                record["offer_ids"] = sorted(
+                    (offer.offer_id for offer in offers),
+                    key=lambda offer_id: int(offer_id.rpartition(":")[2]),
+                )
+                # The donor's mint counter travels with the migration:
+                # ids spent on offers withdrawn *before* the copy appear
+                # in no snapshot and no tail delta, so the counter is the
+                # only way the recipient learns they are taken.
+                record["mint_floor"] = self.trader.offers.minted(
+                    record["service_type"]
+                )
+            else:
+                record["mint_floor"] = int(
+                    migration_wire.get("extra", {}).get("mint_floor", 0)
+                )
+            self._do_migrate_begin(record)
+            self._log("migrate_begin", {"record": dict(record)})
+        return {
+            "migration_id": migration_id,
+            "snapshot_seq": record["snapshot_seq"],
+            "offer_ids": list(record["offer_ids"]),
+            "count": len(record["offer_ids"]),
+            "mint_floor": record.get("mint_floor", 0),
+        }
+
+    def migrate_chunk_out(
+        self, migration_id: str, cursor: int, limit: int
+    ) -> Dict[str, Any]:
+        """One copy chunk off the donor's begin-time id snapshot.  Offers
+        withdrawn or expired since begin are skipped — their deltas replay
+        during CATCH_UP.  Pure read: nothing is logged."""
+        self._require_primary("migrate_chunk_out")
+        record = self._migration_record(migration_id, "out")
+        offer_ids = record["offer_ids"]
+        window = offer_ids[cursor : cursor + limit]
+        offers = []
+        for offer_id in window:
+            try:
+                offers.append(self.trader.offers.get(offer_id).to_wire())
+            except OfferNotFound:
+                continue  # withdrawn/expired after begin: replays as a delta
+        next_cursor = cursor + len(window)
+        return {
+            "offers": offers,
+            "next_cursor": next_cursor,
+            "done": next_cursor >= len(offer_ids),
+        }
+
+    def migrate_chunk_in(
+        self, migration_id: str, offers_wire: List[Dict[str, Any]]
+    ) -> int:
+        """Absorb one copied chunk on the recipient; returns how many
+        offers were new.  Idempotent: a re-sent chunk absorbs nothing and
+        logs nothing, so crash-resume never duplicates an offer or a
+        delta.  Absorbed ids burn the per-type counters (``_note_minted``
+        inside ``OfferStore.add``) — the recipient can never re-mint."""
+        self._require_primary("migrate_chunk_in")
+        record = self._migration_record(migration_id, "in")
+        fresh = []
+        for wire in offers_wire:
+            if not self._has_offer(wire["offer_id"]):
+                fresh.append(wire)
+        if fresh:
+            self._do_migrate_in(record, fresh)
+            self._log("migrate_in", {"migration_id": migration_id, "offers": fresh})
+        return len(fresh)
+
+    def migrate_replay(
+        self, migration_id: str, deltas_wire: List[Dict[str, Any]]
+    ) -> int:
+        """Replay a filtered donor delta tail onto the recipient, in order.
+
+        Each donor delta is translated to a local mutation *and* re-logged
+        as this primary's own delta, so the recipient's replicas converge
+        too.  Every translation is idempotent (absolute lease times,
+        tolerated-missing offers), so a resumed coordinator may replay a
+        batch twice without harm — and a renew replayed after the lease
+        already lapsed sets the same absolute expiry, never extends it.
+        """
+        self._require_primary("migrate_replay")
+        record = self._migration_record(migration_id, "in")
+        applied = 0
+        for delta_wire in deltas_wire:
+            op, data = delta_wire["op"], delta_wire.get("data", {})
+            if op == "export":
+                wire = data["offer"]
+                if not self._has_offer(wire["offer_id"]):
+                    self._do_migrate_in(record, [wire])
+                    self._log(
+                        "migrate_in", {"migration_id": migration_id, "offers": [wire]}
+                    )
+            elif op == "withdraw":
+                if self._has_offer(data["offer_id"]):
+                    self.trader.offers.remove(data["offer_id"])
+                    self._log("withdraw", {"offer_id": data["offer_id"]})
+            elif op == "modify":
+                if self._has_offer(data["offer_id"]):
+                    self.trader.offers.replace_properties(
+                        data["offer_id"], data["properties"]
+                    )
+                    self._log("modify", dict(data))
+            elif op == "renew":
+                if self._has_offer(data["offer_id"]):
+                    self.trader.offers.get(data["offer_id"]).expires_at = data[
+                        "expires_at"
+                    ]
+                    self._log("renew", dict(data))
+            elif op == "expire":
+                # The donor's sweep was global; here it is scoped to the
+                # moving type so the recipient's own offers keep their
+                # revive-before-sweep grace untouched.
+                evicted = self._sweep_type(record["service_type"], data["now"])
+                if evicted:
+                    self._log(
+                        "migrate_expire",
+                        {"service_type": record["service_type"], "now": data["now"]},
+                    )
+            else:
+                continue  # type management broadcasts router-side; migrate_* is local
+            applied += 1
+        return applied
+
+    def migrate_flip(self, migration_id: str) -> Dict[str, Any]:
+        """Seal the moving type on the donor: after this, no new delta for
+        it can ever appear, so the tail the coordinator reads next is
+        final.  Idempotent — a resumed FLIP re-reads the (unchanged) tail.
+        Returns the donor's log high-water mark."""
+        self._require_primary("migrate_flip")
+        record = self._migration_record(migration_id, "out")
+        if not record["sealed"]:
+            self._do_migrate_flip(record)
+            self._log("migrate_flip", {"migration_id": migration_id})
+        return {"final_seq": self.applied_seq}
+
+    def migrate_done(self, migration_id: str) -> int:
+        """Close the record on either end.  On the donor (``out``) the
+        moved type's offers are dropped (they live on the recipient now —
+        rehoming, not expiry) and the seal stays: a straggler write must
+        keep being forwarded, never absorbed.  On the recipient (``in``)
+        the offers stay, the absorption shield lifts, and normal lease
+        sweeps take over."""
+        self._require_primary("migrate_done")
+        record = self.migrations.get(migration_id)
+        if record is None:
+            return 0  # already completed (crash between done and checkpoint)
+        service_type = record["service_type"]
+        side = record["side"]
+        dropped = self._do_migrate_done(migration_id, service_type, side)
+        self._log(
+            "migrate_done",
+            {
+                "migration_id": migration_id,
+                "service_type": service_type,
+                "side": side,
+            },
+        )
+        return dropped
+
+    def migrate_abort(self, migration_id: str) -> bool:
+        """Roll a not-yet-flipped migration back: the donor unseals and
+        keeps serving; the recipient drops every copied offer (ownership
+        is exclusive, so all of the type's offers there are copies)."""
+        self._require_primary("migrate_abort")
+        record = self.migrations.get(migration_id)
+        if record is None:
+            return False
+        self._do_migrate_abort(record)
+        self._log(
+            "migrate_abort",
+            {
+                "migration_id": migration_id,
+                "service_type": record["service_type"],
+                "side": record["side"],
+            },
+        )
+        return True
+
+    def migrate_status(self, migration_id: str) -> Dict[str, Any]:
+        record = self.migrations.get(migration_id)
+        return dict(record) if record is not None else {}
+
+    # The ``_do_*`` helpers mutate without logging: the primary methods
+    # above log after calling them, and ``_apply`` calls them directly so
+    # replicas fold the same mutations in from the delta stream.
+
+    def _do_migrate_begin(self, record: Dict[str, Any]) -> None:
+        self.migrations[record["migration_id"]] = dict(record)
+        if record["side"] == "in":
+            # The type may be coming *back* to a shard that once gave it
+            # up — receiving it again lifts the old seal.
+            self.sealed_types.discard(record["service_type"])
+            # Burn the donor's mint counter: runs through ``_apply`` too,
+            # so a promoted replica inherits the floor from the delta log.
+            self.trader.offers.burn_to(
+                record["service_type"], int(record.get("mint_floor", 0))
+            )
+
+    def _do_migrate_in(
+        self, record: Dict[str, Any], offers_wire: List[Dict[str, Any]]
+    ) -> None:
+        for wire in offers_wire:
+            self.trader.offers.add(ServiceOffer.from_wire(wire))
+        record["absorbed"] = record.get("absorbed", 0) + len(offers_wire)
+
+    def _do_migrate_flip(self, record: Dict[str, Any]) -> None:
+        record["sealed"] = True
+        self.sealed_types.add(record["service_type"])
+
+    def _do_migrate_done(
+        self, migration_id: str, service_type: str, side: str = "out"
+    ) -> int:
+        dropped = 0
+        if side == "out":
+            dropped = self._drop_type_offers(service_type)
+            self.sealed_types.add(service_type)
+        self.migrations.pop(migration_id, None)
+        return dropped
+
+    def _do_migrate_abort(self, record: Dict[str, Any]) -> None:
+        if record["side"] == "in":
+            self._drop_type_offers(record["service_type"])
+        else:
+            self.sealed_types.discard(record["service_type"])
+        self.migrations.pop(record["migration_id"], None)
+
+    def _migration_record(self, migration_id: str, side: str) -> Dict[str, Any]:
+        record = self.migrations.get(migration_id)
+        if record is None or record["side"] != side:
+            raise ShardingError(
+                f"{self.shard_id}: no open {side!r}-side migration {migration_id!r}"
+            )
+        return record
+
+    def _has_offer(self, offer_id: str) -> bool:
+        try:
+            self.trader.offers.get(offer_id)
+        except OfferNotFound:
+            return False
+        return True
+
+    def _absorbing_types(self) -> set:
+        """Types with an open ``in``-side migration: shielded from this
+        shard's own lease sweeps until the record closes."""
+        return {
+            record["service_type"]
+            for record in self.migrations.values()
+            if record.get("side") == "in" and record.get("service_type")
+        }
+
+    def _shielded_sweep(self, now: float) -> int:
+        shielded = self._absorbing_types()
+        if not shielded:
+            return self.trader.expire_offers(now)
+        doomed = [
+            offer.offer_id
+            for offer in self.trader.offers.all()
+            if offer.service_type not in shielded and offer.expired(now)
+        ]
+        for offer_id in doomed:
+            self.trader.offers.remove(offer_id)
+        if doomed:
+            METRICS.inc(
+                "trader.offers.expired",
+                (self.trader.trader_id, "swept"),
+                amount=len(doomed),
+            )
+        return len(doomed)
+
+    def _sweep_type(self, service_type: str, now: float) -> int:
+        expired = [
+            offer.offer_id
+            for offer in self.trader.offers.of_types([service_type])
+            if offer.expired(now)
+        ]
+        for offer_id in expired:
+            self.trader.offers.remove(offer_id)
+        return len(expired)
+
+    def _drop_type_offers(self, service_type: str) -> int:
+        moved = [
+            offer.offer_id for offer in self.trader.offers.of_types([service_type])
+        ]
+        for offer_id in moved:
+            self.trader.offers.remove(offer_id)
+        return len(moved)
 
     # -- replication: replica side -----------------------------------------------
 
@@ -255,7 +613,7 @@ class TraderShard:
                     f"{delta_wire.get('seq')}"
                 )
         METRICS.inc("sharding.syncs", (self.shard_id,))
-        self.trader.expire_offers(now)
+        self._shielded_sweep(now)
         return len(deltas)
 
     def promote(self, now: float) -> int:
@@ -286,7 +644,7 @@ class TraderShard:
             except OfferNotFound:
                 pass
         elif op == "expire":
-            trader.expire_offers(data["now"])
+            self._shielded_sweep(data["now"])
         elif op == "add_type":
             try:
                 trader.types.add(
@@ -298,5 +656,26 @@ class TraderShard:
             trader.types.remove(data["name"])
         elif op == "mask_type":
             trader.types.mask(data["name"])
+        elif op == "migrate_begin":
+            self._do_migrate_begin(data["record"])
+        elif op == "migrate_in":
+            record = self.migrations.get(data["migration_id"])
+            if record is None:  # tolerate a tail replayed past its done
+                record = {"migration_id": data["migration_id"], "absorbed": 0}
+            self._do_migrate_in(record, data["offers"])
+        elif op == "migrate_expire":
+            self._sweep_type(data["service_type"], data["now"])
+        elif op == "migrate_flip":
+            record = self.migrations.get(data["migration_id"])
+            if record is not None:
+                self._do_migrate_flip(record)
+        elif op == "migrate_done":
+            self._do_migrate_done(
+                data["migration_id"], data["service_type"], data.get("side", "out")
+            )
+        elif op == "migrate_abort":
+            record = self.migrations.get(data["migration_id"])
+            if record is not None:
+                self._do_migrate_abort(record)
         else:
             raise ShardingError(f"unknown delta op {op!r}")

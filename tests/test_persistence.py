@@ -216,3 +216,107 @@ def test_shard_snapshot_kind_is_checked(populated_shard):
         restore_trader(snapshot)
     with pytest.raises(ConfigurationError):
         restore_shard(dict(snapshot, kind="trader"))
+
+
+# -- mid-migration shard snapshots --------------------------------------------
+
+
+def _migration_world(tmp_path):
+    """A two-shard router mid-stream: returns the pieces a crash-restart
+    test needs — router, coordinator checkpoints dir, and the moving type."""
+    from repro.trader.sharding import (
+        FileCheckpoints,
+        MigrationCoordinator,
+        build_local_router,
+    )
+
+    router = build_local_router(
+        ("s0", "s1"), router_id="p", offer_prefix="p", fanout_workers=1
+    )
+    router.add_type(rental_type())
+    for index in range(4):
+        router.export(
+            "CarRentalService",
+            ServiceRef.create(f"r{index}", Address("h", index), 1),
+            {"ChargePerDay": 10.0 + index},
+            now=0.0,
+            lifetime=600.0,
+        )
+    checkpoints = FileCheckpoints(tmp_path / "checkpoints")
+    coordinator = MigrationCoordinator(router, checkpoints=checkpoints, chunk_size=1)
+    donor = router.effective_owner("CarRentalService")
+    target = "s1" if donor == "s0" else "s0"
+    return router, coordinator, checkpoints, donor, target
+
+
+def _crash_restart(router, checkpoints, tmp_path, migration_id):
+    """Snapshot both shards to disk, restore them into the router as if
+    both processes restarted, and resume with a brand-new coordinator."""
+    from repro.persistence import restore_shard, shard_snapshot
+    from repro.trader.sharding import MigrationCoordinator
+
+    for shard_id in router.map.shard_ids:
+        handle = router.handle(shard_id)
+        path = tmp_path / f"{shard_id}.json"
+        save_snapshot(shard_snapshot(handle.primary), path)
+        handle.primary = restore_shard(load_snapshot(path))
+        handle.replicas = []
+    coordinator = MigrationCoordinator(router, checkpoints=checkpoints, chunk_size=1)
+    return coordinator, coordinator.resume(migration_id)
+
+
+def test_shard_snapshot_roundtrips_at_every_migration_phase(tmp_path):
+    """Crash-restart both shards at every step of a live migration; the
+    resumed run must land on exactly the uninterrupted run's final store."""
+    from repro.trader.sharding import MigrationCoordinator, MemoryCheckpoints
+
+    def final_store(router):
+        return sorted(o.to_wire()["offer_id"] for o in router.offers.all())
+
+    control, coordinator, _, donor, target = _migration_world(tmp_path / "control")
+    coordinator.run(coordinator.begin("CarRentalService", target))
+    expected = final_store(control)
+    # Migrating *against* rendezvous leaves a standing pin — by design.
+    expected_pins = control.status()["pins"]
+    steps = 1
+    while True:
+        base = tmp_path / f"crash{steps}"
+        router, coordinator, checkpoints, _, target = _migration_world(base)
+        state = coordinator.begin("CarRentalService", target)
+        for _ in range(steps):
+            if state.finished:
+                break
+            coordinator.step(state)
+        interrupted = not state.finished
+        coordinator, state = _crash_restart(
+            router, checkpoints, base, state.migration_id
+        )
+        coordinator.run(state)
+        assert final_store(router) == expected, f"diverged after crash at {steps}"
+        assert router.status()["migrations"] == {}
+        assert router.status()["pins"] == expected_pins
+        if not interrupted:
+            break
+        steps += 1
+    assert steps >= 5, "migration finished suspiciously fast"
+
+
+def test_restored_recipient_mid_copy_keeps_shield_and_mint_floor(tmp_path):
+    """A recipient snapshotted mid-COPY restarts still shielded (its
+    mid-copy offers survive a restart-time sweep) and still unable to
+    re-mint donor ids."""
+    from repro.persistence import restore_shard, shard_snapshot
+
+    router, coordinator, checkpoints, donor, target = _migration_world(tmp_path)
+    router.withdraw("p:CarRentalService:4")
+    state = coordinator.begin("CarRentalService", target)
+    coordinator.step(state)  # PREPARE
+    coordinator.step(state)  # first COPY chunk
+    assert state.offers_copied >= 1
+    snapshot = shard_snapshot(router.handle(target).primary)
+    restored = restore_shard(snapshot, now=10_000.0)
+    copied = [
+        o for o in restored.list_offers() if o.service_type == "CarRentalService"
+    ]
+    assert len(copied) == state.offers_copied, "restart-time sweep ate the copy"
+    assert restored.trader.offers.minted("CarRentalService") == 4

@@ -245,3 +245,29 @@ def test_snapshot_reports_sharding_plane(make_server):
     # And the section survives the wire codec like everything else.
     decoded = decode_value(encode_value(snapshot))
     assert decoded["sharding"] == sharding
+
+
+def test_snapshot_reports_migration_subsection(make_server):
+    METRICS.set_gauge(
+        "sharding.migration.phase", 4.0, ("router-stats-test", "CarRentalService")
+    )
+    METRICS.inc(
+        "sharding.migration.offers_copied",
+        ("router-stats-test", "CarRentalService"),
+        amount=12,
+    )
+    METRICS.inc(
+        "sharding.migration.deltas_replayed",
+        ("router-stats-test", "CarRentalService"),
+        amount=3,
+    )
+    METRICS.inc("sharding.migration.forwarded_calls", ("router-stats-test", "export"))
+    snapshot = stats_mod.build_snapshot(make_server())
+    migration = snapshot["sharding"]["migration"]
+    assert migration["phase"]["router-stats-test|CarRentalService"] == 4.0
+    assert migration["offers_copied"] >= 12.0
+    assert migration["deltas_replayed"] >= 3.0
+    assert migration["forwarded_calls"] >= 1.0
+    # And the subsection survives the wire codec like everything else.
+    decoded = decode_value(encode_value(snapshot))
+    assert decoded["sharding"]["migration"] == migration

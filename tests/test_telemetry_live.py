@@ -284,6 +284,31 @@ def test_dashboard_frame_renders_red_stats_and_events():
     assert "rpc.shed" in frame
 
 
+def test_dashboard_frame_renders_migration_table():
+    snapshot = {
+        "address": "host-a:7",
+        "server": {
+            "calls_handled": 1, "calls_shed": 0, "queue_depth": 0,
+            "queue_capacity": 8, "in_flight": 0,
+        },
+        "sharding": {
+            "map_version": {"router": 5.0},
+            "routed": {"router|s0|export": 9.0},
+            "failovers": {},
+            "migration": {
+                "phase": {"router|CarRentalService": 4.0},
+                "offers_copied": 12.0,
+                "deltas_replayed": 3.0,
+                "forwarded_calls": 1.0,
+            },
+        },
+    }
+    frame = render_frame(sample_aggregator(), [snapshot])
+    assert "Sharding / migrations" in frame
+    assert "CarRentalService:FLIP" in frame
+    assert "host-a:7" in frame
+
+
 def test_widget_tree_shape():
     widgets = dashboard_widgets(sample_aggregator())
     labels = [widget.label for widget in widgets]
